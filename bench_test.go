@@ -1,0 +1,221 @@
+package repro
+
+// One benchmark per evaluation artifact: Figure 5 (main and inset),
+// Figure 6 (per cell of the 1M-points scenario plus the full sweep), the
+// speedup table, and the two ablations. Each iteration runs a complete,
+// independent simulation; the interesting output is the simulated time,
+// reported as the custom metric "sim-sec".
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kmeans"
+	"repro/internal/sim"
+)
+
+// BenchmarkFig5PilotStartup measures pilot (agent) startup per machine
+// and system — the bars of Figure 5.
+func BenchmarkFig5PilotStartup(b *testing.B) {
+	cases := []struct {
+		machine experiments.MachineName
+		system  experiments.System
+		mode    core.PilotMode
+		mode2   bool
+	}{
+		{experiments.Stampede, experiments.RP, core.ModeHPC, false},
+		{experiments.Stampede, experiments.RPYARN, core.ModeYARN, false},
+		{experiments.Wrangler, experiments.RP, core.ModeHPC, false},
+		{experiments.Wrangler, experiments.RPYARN, core.ModeYARN, false},
+		{experiments.Wrangler, experiments.RPYARNModeII, core.ModeYARN, true},
+	}
+	for _, cse := range cases {
+		name := fmt.Sprintf("%s/%s", cse.machine, cse.system)
+		b.Run(name, func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				env, err := experiments.NewEnv(cse.machine, 3, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var startup float64
+				env.Eng.Spawn("driver", func(p *sim.Proc) {
+					pm := core.NewPilotManager(env.Session)
+					pl, err := pm.Submit(p, core.PilotDescription{
+						Resource: string(cse.machine), Nodes: 1, Runtime: 2 * 3600e9,
+						Mode: cse.mode, ConnectDedicated: cse.mode2,
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if !pl.WaitState(p, core.PilotActive) {
+						b.Errorf("pilot ended %v", pl.State())
+						return
+					}
+					startup = pl.AgentStartup().Seconds()
+					pl.Cancel()
+				})
+				env.Eng.Run()
+				env.Close()
+				total += startup
+			}
+			b.ReportMetric(total/float64(b.N), "sim-sec")
+		})
+	}
+}
+
+// BenchmarkFig5UnitStartup measures Compute-Unit startup per system on
+// Stampede — the Figure 5 inset.
+func BenchmarkFig5UnitStartup(b *testing.B) {
+	for _, cse := range []struct {
+		system experiments.System
+		mode   core.PilotMode
+	}{
+		{experiments.RP, core.ModeHPC},
+		{experiments.RPYARN, core.ModeYARN},
+	} {
+		b.Run(string(cse.system), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				env, err := experiments.NewEnv(experiments.Stampede, 3, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var startup float64
+				env.Eng.Spawn("driver", func(p *sim.Proc) {
+					pm := core.NewPilotManager(env.Session)
+					pl, err := pm.Submit(p, core.PilotDescription{
+						Resource: "stampede", Nodes: 1, Runtime: 2 * 3600e9, Mode: cse.mode,
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if !pl.WaitState(p, core.PilotActive) {
+						b.Errorf("pilot ended %v", pl.State())
+						return
+					}
+					um := core.NewUnitManager(env.Session)
+					um.AddPilot(pl)
+					units, err := um.Submit(p, []core.ComputeUnitDescription{{Executable: "/bin/date"}})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					um.WaitAll(p, units)
+					startup = units[0].StartupTime().Seconds()
+					pl.Cancel()
+				})
+				env.Eng.Run()
+				env.Close()
+				total += startup
+			}
+			b.ReportMetric(total/float64(b.N), "sim-sec")
+		})
+	}
+}
+
+// BenchmarkFig6KMeans measures K-Means time-to-completion for the
+// 1M-points scenario across machines, task counts, and systems — the
+// right-hand column of Figure 6 (the full figure is
+// BenchmarkFig6FullSweep).
+func BenchmarkFig6KMeans(b *testing.B) {
+	scn := kmeans.PaperScenarios[2]
+	for _, machine := range []experiments.MachineName{experiments.Stampede, experiments.Wrangler} {
+		for _, tc := range kmeans.PaperTaskCounts {
+			for _, cse := range []struct {
+				system experiments.System
+				mode   core.PilotMode
+			}{
+				{experiments.RP, core.ModeHPC},
+				{experiments.RPYARN, core.ModeYARN},
+			} {
+				name := fmt.Sprintf("%s/%dtasks/%s", machine, tc.Tasks, cse.system)
+				b.Run(name, func(b *testing.B) {
+					var total float64
+					for i := 0; i < b.N; i++ {
+						env, err := experiments.NewEnv(machine, tc.Nodes+1, int64(i)+1)
+						if err != nil {
+							b.Fatal(err)
+						}
+						var runtime float64
+						env.Eng.Spawn("driver", func(p *sim.Proc) {
+							pm := core.NewPilotManager(env.Session)
+							pl, err := pm.Submit(p, core.PilotDescription{
+								Resource: string(machine), Nodes: tc.Nodes,
+								Runtime: 6 * 3600e9, Mode: cse.mode,
+							})
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if !pl.WaitState(p, core.PilotActive) {
+								b.Errorf("pilot ended %v", pl.State())
+								return
+							}
+							um := core.NewUnitManager(env.Session)
+							um.AddPilot(pl)
+							res, err := kmeans.RunWorkload(p, um, scn, tc.Tasks, kmeans.DefaultCostModel(), sim.NewRNG(int64(i)))
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							runtime = (res.Makespan + pl.HadoopSpawnTime).Seconds()
+							pl.Cancel()
+						})
+						env.Eng.Run()
+						env.Close()
+						total += runtime
+					}
+					b.ReportMetric(total/float64(b.N), "sim-sec")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig6FullSweep regenerates the entire Figure 6 (all scenarios,
+// machines, task counts and systems) per iteration, as cmd/repro does.
+func BenchmarkFig6FullSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(int64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpeedupTable regenerates the Section IV-B speedup numbers.
+func BenchmarkSpeedupTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Speedups()) == 0 {
+			b.Fatal("no speedups computed")
+		}
+	}
+}
+
+// BenchmarkAblationShuffle regenerates Ablation A (shuffle storage
+// target).
+func BenchmarkAblationShuffle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunShuffleAblation(int64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAMReuse regenerates Ablation B (Application Master
+// reuse).
+func BenchmarkAblationAMReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAMReuseAblation(int64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Command radical-pilot runs a pilot workload described in JSON against
+// a simulated machine, reporting the state timeline and timing metrics —
+// the simulation-side equivalent of a RADICAL-Pilot script.
+//
+// Usage:
+//
+//	radical-pilot [-f workload.json] [-v]
+//
+// With no -f, a built-in demo workload runs (16 single-core 60 s tasks
+// under a 2-node YARN pilot on Wrangler). The JSON schema:
+//
+//	{
+//	  "machine": "wrangler",       // stampede | wrangler
+//	  "mode": "yarn",              // hpc | yarn | spark
+//	  "mode2": false,              // connect to dedicated cluster (yarn)
+//	  "nodes": 2,
+//	  "runtime_min": 120,
+//	  "units": 16,
+//	  "unit_cores": 1,
+//	  "unit_seconds": 60,
+//	  "seed": 42
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+type workload struct {
+	Machine     string `json:"machine"`
+	Mode        string `json:"mode"`
+	Mode2       bool   `json:"mode2"`
+	Nodes       int    `json:"nodes"`
+	RuntimeMin  int    `json:"runtime_min"`
+	Units       int    `json:"units"`
+	UnitCores   int    `json:"unit_cores"`
+	UnitSeconds int    `json:"unit_seconds"`
+	Seed        int64  `json:"seed"`
+}
+
+func defaultWorkload() workload {
+	return workload{
+		Machine: "wrangler", Mode: "yarn", Nodes: 2, RuntimeMin: 120,
+		Units: 16, UnitCores: 1, UnitSeconds: 60, Seed: 42,
+	}
+}
+
+func main() {
+	file := flag.String("f", "", "workload description (JSON); empty runs the demo workload")
+	verbose := flag.Bool("v", false, "trace simulation events")
+	flag.Parse()
+
+	wl := defaultWorkload()
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "radical-pilot:", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(data, &wl); err != nil {
+			fmt.Fprintln(os.Stderr, "radical-pilot: parsing workload:", err)
+			os.Exit(1)
+		}
+	}
+	mode := map[string]core.PilotMode{"hpc": core.ModeHPC, "yarn": core.ModeYARN, "spark": core.ModeSpark}
+	pm, ok := mode[wl.Mode]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "radical-pilot: unknown mode %q (hpc, yarn, spark)\n", wl.Mode)
+		os.Exit(2)
+	}
+	env, err := experiments.NewEnv(experiments.MachineName(wl.Machine), wl.Nodes+1, wl.Seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "radical-pilot:", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		env.Eng.SetTrace(os.Stderr)
+	}
+	failed := false
+	env.Eng.Spawn("driver", func(p *sim.Proc) {
+		pmgr := core.NewPilotManager(env.Session)
+		pilot, err := pmgr.Submit(p, core.PilotDescription{
+			Resource:         wl.Machine,
+			Nodes:            wl.Nodes,
+			Runtime:          time.Duration(wl.RuntimeMin) * time.Minute,
+			Mode:             pm,
+			ConnectDedicated: wl.Mode2,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "radical-pilot:", err)
+			failed = true
+			return
+		}
+		fmt.Printf("[%10s] pilot submitted: %s on %s (%d nodes, mode %s)\n",
+			p.Now(), pilot.ID, wl.Machine, wl.Nodes, wl.Mode)
+		if !pilot.WaitState(p, core.PilotActive) {
+			fmt.Fprintf(os.Stderr, "radical-pilot: pilot ended %v\n", pilot.State())
+			failed = true
+			return
+		}
+		fmt.Printf("[%10s] pilot active: queue wait %s, agent startup %s\n",
+			p.Now(), metrics.Seconds(pilot.QueueWait()), metrics.Seconds(pilot.AgentStartup()))
+		if pilot.HadoopSpawnTime > 0 {
+			fmt.Printf("[%10s] hadoop cluster spawned in %s\n", p.Now(), metrics.Seconds(pilot.HadoopSpawnTime))
+		}
+		um := core.NewUnitManager(env.Session)
+		um.AddPilot(pilot)
+		descs := make([]core.ComputeUnitDescription, wl.Units)
+		for i := range descs {
+			descs[i] = core.ComputeUnitDescription{
+				Name:       fmt.Sprintf("task-%03d", i),
+				Executable: "/bin/task",
+				Cores:      wl.UnitCores,
+				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+					ctx.Node.Compute(bp, float64(wl.UnitSeconds))
+				},
+			}
+		}
+		units, err := um.Submit(p, descs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "radical-pilot:", err)
+			failed = true
+			return
+		}
+		fmt.Printf("[%10s] %d units submitted\n", p.Now(), len(units))
+		um.WaitAll(p, units)
+		var startup, ttc metrics.Sample
+		done := 0
+		for _, u := range units {
+			if u.State() == core.UnitDone {
+				done++
+				startup.Add(u.StartupTime())
+				ttc.Add(u.TimeToCompletion())
+			} else {
+				fmt.Fprintf(os.Stderr, "radical-pilot: unit %s: %v (%v)\n", u.ID, u.State(), u.Err)
+			}
+		}
+		fmt.Printf("[%10s] %d/%d units done; unit startup mean %ss (max %ss); time-to-completion mean %ss\n",
+			p.Now(), done, len(units),
+			metrics.Seconds(startup.Mean()), metrics.Seconds(startup.Max()), metrics.Seconds(ttc.Mean()))
+		pilot.Cancel()
+		failed = failed || done != len(units)
+	})
+	env.Eng.Run()
+	env.Close()
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,172 @@
+// Command repro regenerates the paper's evaluation figures on the
+// simulated Stampede and Wrangler machines.
+//
+// Usage:
+//
+//	repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|breakdown|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/profiling"
+	"repro/internal/sim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
+	trials := flag.Int("trials", 3, "trials per Figure 5 bar")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	run := func(name string, fn func() error) {
+		if cmd != name && cmd != "all" {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "repro %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	known := map[string]bool{"fig5": true, "fig6": true, "speedups": true,
+		"ablate-shuffle": true, "ablate-amreuse": true, "breakdown": true, "all": true}
+	if !known[cmd] {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var fig6 *experiments.Fig6Result
+	run("fig5", func() error {
+		res, err := experiments.RunFig5(*trials, *seed)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	})
+	ensureFig6 := func() error {
+		if fig6 != nil {
+			return nil
+		}
+		var err error
+		fig6, err = experiments.RunFig6(*seed)
+		return err
+	}
+	run("fig6", func() error {
+		if err := ensureFig6(); err != nil {
+			return err
+		}
+		fig6.Write(os.Stdout)
+		return nil
+	})
+	run("speedups", func() error {
+		if err := ensureFig6(); err != nil {
+			return err
+		}
+		fig6.WriteSpeedups(os.Stdout)
+		return nil
+	})
+	run("ablate-shuffle", func() error {
+		rows, err := experiments.RunShuffleAblation(*seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteShuffleAblation(os.Stdout, rows)
+		return nil
+	})
+	run("ablate-amreuse", func() error {
+		rows, err := experiments.RunAMReuseAblation(*seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteAMReuseAblation(os.Stdout, rows)
+		return nil
+	})
+	run("breakdown", func() error { return breakdown(*seed) })
+}
+
+// breakdown prints the per-phase unit time decomposition for fork vs
+// YARN launch paths on Stampede — where the Figure 5 inset seconds go.
+func breakdown(seed int64) error {
+	for _, sys := range []struct {
+		label string
+		mode  core.PilotMode
+	}{
+		{"RADICAL-Pilot (fork launch method)", core.ModeHPC},
+		{"RADICAL-Pilot-YARN (YARN launch method)", core.ModeYARN},
+	} {
+		env, err := experiments.NewEnv(experiments.Stampede, 3, seed)
+		if err != nil {
+			return err
+		}
+		var units []*core.Unit
+		var runErr error
+		env.Eng.Spawn("driver", func(p *sim.Proc) {
+			pm := core.NewPilotManager(env.Session)
+			pl, err := pm.Submit(p, core.PilotDescription{
+				Resource: "stampede", Nodes: 2, Runtime: 2 * time.Hour, Mode: sys.mode,
+			})
+			if err != nil {
+				runErr = err
+				return
+			}
+			if !pl.WaitState(p, core.PilotActive) {
+				runErr = fmt.Errorf("pilot ended %v", pl.State())
+				return
+			}
+			um := core.NewUnitManager(env.Session)
+			um.AddPilot(pl)
+			descs := make([]core.ComputeUnitDescription, 16)
+			for i := range descs {
+				descs[i] = core.ComputeUnitDescription{
+					Executable:        "/bin/task",
+					Cores:             1,
+					InputStagingBytes: 16 << 20,
+					Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+						ctx.Node.Compute(bp, 60)
+					},
+				}
+			}
+			units, runErr = um.Submit(p, descs)
+			if runErr != nil {
+				return
+			}
+			um.WaitAll(p, units)
+			ov := profiling.PilotProfile(pl)
+			fmt.Printf("%s\n", sys.label)
+			fmt.Printf("  pilot: queue wait %ss, agent startup %ss (hadoop spawn %ss)\n",
+				metrics.Seconds(ov.QueueWait), metrics.Seconds(ov.AgentStartup), metrics.Seconds(ov.HadoopSpawn))
+			prof, skipped := profiling.NewProfile(units)
+			if skipped > 0 {
+				runErr = fmt.Errorf("%d units did not finish", skipped)
+				return
+			}
+			prof.Write(os.Stdout)
+			spans := profiling.ExecutionSpans(units)
+			fmt.Printf("  peak concurrency %d, core utilization %.0f%%\n\n",
+				profiling.MaxConcurrency(spans),
+				100*profiling.Utilization(spans, 16))
+			pl.Cancel()
+		})
+		env.Eng.Run()
+		env.Close()
+		if runErr != nil {
+			return runErr
+		}
+	}
+	return nil
+}

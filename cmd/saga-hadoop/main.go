@@ -1,0 +1,116 @@
+// Command saga-hadoop mirrors the paper's SAGA-Hadoop tool (Section
+// III-A): it spawns a YARN or Spark cluster inside an allocation of a
+// simulated HPC machine, submits a probe application, reports status,
+// and tears the cluster down — the full Figure 2 sequence.
+//
+// Usage:
+//
+//	saga-hadoop [-machine stampede|wrangler] [-framework yarn|spark] [-nodes N] [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/hpc"
+	"repro/internal/saga"
+	"repro/internal/sagahadoop"
+	"repro/internal/sim"
+	"repro/internal/yarn"
+)
+
+func main() {
+	machine := flag.String("machine", "stampede", "machine profile (stampede, wrangler)")
+	framework := flag.String("framework", "yarn", "framework plugin (yarn, spark)")
+	nodes := flag.Int("nodes", 2, "allocation size in nodes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "trace simulation events")
+	flag.Parse()
+
+	profile, ok := cluster.Profiles[*machine]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "saga-hadoop: unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	eng := sim.NewEngine()
+	if *verbose {
+		eng.SetTrace(os.Stderr)
+	}
+	m := cluster.New(eng, profile(*nodes+1))
+	batch := hpc.NewBatch(m, hpc.DefaultConfig())
+	js, err := saga.NewJobService("slurm://"+*machine, batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saga-hadoop:", err)
+		os.Exit(1)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "saga-hadoop:", err)
+		os.Exit(1)
+	}
+	eng.Spawn("saga-hadoop", func(p *sim.Proc) {
+		fmt.Printf("[%8s] submitting %s cluster job (%d nodes) to %s\n",
+			p.Now(), *framework, *nodes, *machine)
+		h, err := sagahadoop.Start(p, js, sagahadoop.Config{
+			Framework: sagahadoop.Framework(*framework),
+			Nodes:     *nodes,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		env, err := h.WaitRunning(p)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("[%8s] cluster is %s\n", p.Now(), h.State())
+		switch {
+		case env.YARN != nil:
+			met := env.YARN.Metrics()
+			fmt.Printf("[%8s] YARN up: %d nodes, %d MB, %d vcores\n",
+				p.Now(), met.ActiveNodes, met.TotalMB, met.TotalVCores)
+			app, err := env.YARN.Submit(p, yarn.AppDesc{
+				Name: "wordcount-probe",
+				Runner: func(ap *sim.Proc, am *yarn.AppMaster) {
+					am.Register(ap)
+					am.RequestContainers(ap, yarn.ResourceSpec{MemoryMB: 1024, VCores: 1}, 2, nil)
+					var cs []*yarn.Container
+					for i := 0; i < 2; i++ {
+						c := am.NextContainer(ap)
+						am.Launch(ap, c, func(cp *sim.Proc, cc *yarn.Container) {
+							cp.Sleep(20e9) // 20s of map work
+						})
+						cs = append(cs, c)
+					}
+					for _, c := range cs {
+						ap.Wait(c.Done)
+					}
+					am.Unregister(ap, yarn.StatusSucceeded)
+				},
+			})
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("[%8s] submitted application %q\n", p.Now(), "wordcount-probe")
+			st := app.Wait(p)
+			fmt.Printf("[%8s] application finished: %s\n", p.Now(), st)
+		case env.Spark != nil:
+			fmt.Printf("[%8s] Spark up: %d cores\n", p.Now(), env.Spark.TotalCores())
+			app, err := env.Spark.StartApp(p, "pyspark-probe")
+			if err != nil {
+				fail(err)
+			}
+			for i := 0; i < 4; i++ {
+				app.RunTask(p, 1, func(tp *sim.Proc, _ *cluster.Node) { tp.Sleep(10e9) })
+			}
+			app.Stop()
+			fmt.Printf("[%8s] spark application finished (%d tasks)\n", p.Now(), app.TasksRun)
+		}
+		h.Stop(p)
+		fmt.Printf("[%8s] cluster stopped\n", p.Now())
+	})
+	eng.Run()
+	eng.Close()
+}

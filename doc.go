@@ -1,0 +1,16 @@
+// Package repro is a from-scratch Go reproduction of Luckow, Paraskevakos,
+// Chantzialexiou & Jha, "Hadoop on HPC: Integrating Hadoop and Pilot-based
+// Dynamic Resource Management" (IPDPS Workshops 2016, arXiv:1602.00345).
+//
+// The repository builds the paper's complete software stack over a
+// deterministic discrete-event simulation of the two evaluation machines
+// (TACC Stampede and Wrangler): batch scheduling (SLURM-like, via a SAGA
+// layer), HDFS, YARN, standalone Spark, MapReduce, the RADICAL-Pilot
+// middleware with its YARN/Spark extensions (the paper's contribution),
+// the SAGA-Hadoop tool, and the K-Means evaluation workload. The
+// experiments package regenerates Figures 5 and 6 and the speedup numbers
+// quoted in the text; bench_test.go exposes each as a Go benchmark.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,86 @@
+// Hybrid deployment modes (paper Figure 1): the same YARN workload run
+// under Mode I ("Hadoop on HPC" — the agent spawns a YARN cluster inside
+// the allocation) and Mode II ("HPC on Hadoop" — the agent connects to
+// Wrangler's dedicated, pre-provisioned Hadoop environment), showing the
+// startup trade-off of Figure 5.
+//
+//	go run ./examples/hybrid
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func main() {
+	for _, m := range []struct {
+		label     string
+		dedicated bool
+	}{
+		{"Mode I  (spawn YARN inside the allocation)", false},
+		{"Mode II (connect to the dedicated Hadoop environment)", true},
+	} {
+		env, err := experiments.NewEnv(experiments.Wrangler, 3, 21)
+		if err != nil {
+			log.Fatal(err)
+		}
+		env.Eng.Spawn("driver", func(p *sim.Proc) {
+			pm := core.NewPilotManager(env.Session)
+			pilot, err := pm.Submit(p, core.PilotDescription{
+				Resource:         "wrangler",
+				Nodes:            2,
+				Runtime:          2 * time.Hour,
+				Mode:             core.ModeYARN,
+				ConnectDedicated: m.dedicated,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !pilot.WaitState(p, core.PilotActive) {
+				log.Fatalf("pilot ended %v", pilot.State())
+			}
+			um := core.NewUnitManager(env.Session)
+			um.AddPilot(pilot)
+			descs := make([]core.ComputeUnitDescription, 8)
+			for i := range descs {
+				descs[i] = core.ComputeUnitDescription{
+					Name:       fmt.Sprintf("yarn-task-%d", i),
+					Executable: "/bin/analytics",
+					Cores:      2,
+					MemoryMB:   4096,
+					Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+						ctx.Node.Compute(bp, 45)
+						ctx.Sandbox.Write(bp, 16<<20)
+					},
+				}
+			}
+			t0 := p.Now()
+			units, err := um.Submit(p, descs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			um.WaitAll(p, units)
+			var startups metrics.Sample
+			for _, u := range units {
+				if u.State() != core.UnitDone {
+					log.Fatalf("unit %s: %v (%v)", u.ID, u.State(), u.Err)
+				}
+				startups.Add(u.StartupTime())
+			}
+			fmt.Printf("%s\n", m.label)
+			fmt.Printf("  agent startup      %8ss (hadoop spawn %ss)\n",
+				metrics.Seconds(pilot.AgentStartup()), metrics.Seconds(pilot.HadoopSpawnTime))
+			fmt.Printf("  workload makespan  %8ss, mean unit startup %ss\n\n",
+				metrics.Seconds(p.Now()-t0), metrics.Seconds(startups.Mean()))
+			pilot.Cancel()
+		})
+		env.Eng.Run()
+		env.Close()
+	}
+}

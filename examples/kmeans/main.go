@@ -1,0 +1,108 @@
+// K-Means two ways, mirroring the paper's evaluation workload:
+//
+//  1. In-process: the real K-Means in internal/kmeans clusters generated
+//     data (validating the algorithm end to end).
+//
+//  2. Through the middleware: the same partitioned computation runs as
+//     Compute-Units on a simulated Wrangler under plain RADICAL-Pilot
+//     and under RADICAL-Pilot-YARN (Mode I), printing the paper's
+//     comparison for one configuration.
+//
+//     go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kmeans"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func main() {
+	realKMeans()
+	simulatedKMeans()
+}
+
+// realKMeans runs the actual algorithm on generated blobs.
+func realKMeans() {
+	rng := sim.NewRNG(7)
+	points, _ := kmeans.GenerateBlobs(20_000, 8, 2.0, rng)
+	seeds, err := kmeans.SeedPlusPlus(points, 8, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := kmeans.Run(points, seeds, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("real k-means: %d points, k=8: converged=%v after %d iterations, inertia %.1f\n",
+		len(points), res.Converged, res.Iterations, res.Inertia)
+
+	// The distributed formulation (map: partial sums, reduce: merge)
+	// must agree with the sequential one — this is what the simulated
+	// tasks model.
+	var parts []kmeans.PartialSums
+	for _, part := range kmeans.Partition(points, 16) {
+		parts = append(parts, kmeans.AssignPartial(part, seeds))
+	}
+	merged, err := kmeans.MergePartials(seeds, parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	one, _ := kmeans.Run(points, seeds, 1)
+	maxDiff := 0.0
+	for c := range merged {
+		if d := merged[c].Dist2(one.Centroids[c]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("distributed vs sequential first iteration: max centroid divergence %.2e\n\n", maxDiff)
+}
+
+// simulatedKMeans reproduces one Figure 6 cell pair.
+func simulatedKMeans() {
+	scn := kmeans.PaperScenarios[2] // 1M points / 50 clusters
+	const tasks, nodes = 32, 3
+	for _, mode := range []struct {
+		name string
+		mode core.PilotMode
+	}{
+		{"RADICAL-Pilot (shuffle on Lustre)", core.ModeHPC},
+		{"RADICAL-Pilot-YARN (shuffle on local disk)", core.ModeYARN},
+	} {
+		env, err := experiments.NewEnv(experiments.Wrangler, nodes+1, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		env.Eng.Spawn("driver", func(p *sim.Proc) {
+			pm := core.NewPilotManager(env.Session)
+			pilot, err := pm.Submit(p, core.PilotDescription{
+				Resource: "wrangler", Nodes: nodes, Runtime: 4 * time.Hour, Mode: mode.mode,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !pilot.WaitState(p, core.PilotActive) {
+				log.Fatalf("pilot ended %v", pilot.State())
+			}
+			um := core.NewUnitManager(env.Session)
+			um.AddPilot(pilot)
+			res, err := kmeans.RunWorkload(p, um, scn, tasks, kmeans.DefaultCostModel(), sim.NewRNG(42))
+			if err != nil {
+				log.Fatal(err)
+			}
+			total := res.Makespan + pilot.HadoopSpawnTime
+			fmt.Printf("%-45s %s, %d tasks: runtime %ss (workload %ss, cluster spawn %ss)\n",
+				mode.name, scn.Name, tasks,
+				metrics.Seconds(total), metrics.Seconds(res.Makespan), metrics.Seconds(pilot.HadoopSpawnTime))
+			pilot.Cancel()
+		})
+		env.Eng.Run()
+		env.Close()
+	}
+}

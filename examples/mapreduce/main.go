@@ -1,0 +1,83 @@
+// MapReduce on HPC via SAGA-Hadoop (paper Mode I, Figure 2): spawn a
+// YARN+HDFS cluster inside a Stampede allocation, load input into HDFS,
+// run a wordcount-style MapReduce job with data-local map scheduling,
+// and compare shuffle-to-local-disk against shuffle-to-Lustre.
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/hpc"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/saga"
+	"repro/internal/sagahadoop"
+	"repro/internal/sim"
+)
+
+func main() {
+	eng := sim.NewEngine()
+	machine := cluster.New(eng, cluster.Stampede(4))
+	batch := hpc.NewBatch(machine, hpc.DefaultConfig())
+	js, err := saga.NewJobService("slurm://stampede", batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng.Spawn("user", func(p *sim.Proc) {
+		// Spawn the cluster (Mode I).
+		h, err := sagahadoop.Start(p, js, sagahadoop.Config{
+			Framework: sagahadoop.FrameworkYARN, Nodes: 3, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		env, err := h.WaitRunning(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%10s] YARN+HDFS up on %d nodes\n", p.Now(), len(env.Nodes))
+
+		// Ingest 1 GB of input into HDFS.
+		if err := env.HDFS.Write(p, "/in/corpus", 1<<30, env.Nodes[0]); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%10s] ingested 1 GB into HDFS (%d-way replicated blocks)\n",
+			p.Now(), env.HDFS.Config().Replication)
+
+		mr, err := mapreduce.NewEngine(env.YARN, env.HDFS)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, shared := range []bool{false, true} {
+			name := map[bool]string{false: "wordcount-localshuffle", true: "wordcount-lustreshuffle"}[shared]
+			t0 := p.Now()
+			job, err := mr.Submit(p, mapreduce.JobConf{
+				Name:            name,
+				Input:           "/in/corpus",
+				NumReducers:     3,
+				Mapper:          mapreduce.MapSpec{CPUPerByte: 3e-8, Selectivity: 0.4},
+				Reducer:         mapreduce.ReduceSpec{CPUPerByte: 1e-8, Selectivity: 0.1},
+				ShuffleOnShared: shared,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := job.Wait(p); err != nil {
+				log.Fatal(err)
+			}
+			c := job.Counters
+			fmt.Printf("[%10s] %s: %ss (%d maps, %d/%d data-local, %d MB shuffled)\n",
+				p.Now(), name, metrics.Seconds(p.Now()-t0),
+				c.Maps, c.DataLocalMaps, c.Maps, c.ShuffleBytes>>20)
+		}
+		h.Stop(p)
+		fmt.Printf("[%10s] cluster stopped\n", p.Now())
+	})
+	eng.Run()
+	eng.Close()
+}

@@ -1,0 +1,135 @@
+// Coupled simulation + analytics — the paper's motivating use case
+// (Section I): a bio-molecular pipeline where MPI simulation stages
+// generate trajectory data and data-intensive analysis stages cluster
+// it, both managed through one resource layer.
+//
+// Stage 1 runs an ensemble of "MD simulations" as multi-core MPI units
+// on a plain HPC pilot, writing trajectory files to the shared
+// filesystem. Stage 2 runs trajectory analysis (K-Means over
+// conformations, a CPPTraj/MDAnalysis-style task) on a Spark pilot on
+// the same machine. The Pilot-Abstraction lets the driver treat both
+// uniformly — the paper's central argument.
+//
+//	go run ./examples/mdanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kmeans"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+const (
+	replicas       = 8   // ensemble members
+	trajMB         = 256 // trajectory output per replica
+	nsPerReplica   = 120 // simulated CPU-seconds per replica
+	conformations  = 50_000
+	clustersWanted = 10
+)
+
+func main() {
+	env, err := experiments.NewEnv(experiments.Wrangler, 5, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+
+	env.Eng.Spawn("driver", func(p *sim.Proc) {
+		pm := core.NewPilotManager(env.Session)
+
+		// One pilot for the HPC stage, one Spark pilot for analytics —
+		// both on Wrangler, managed through the same API.
+		simPilot, err := pm.Submit(p, core.PilotDescription{
+			Resource: "wrangler", Nodes: 2, Runtime: 4 * time.Hour, Mode: core.ModeHPC,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		anaPilot, err := pm.Submit(p, core.PilotDescription{
+			Resource: "wrangler", Nodes: 2, Runtime: 4 * time.Hour, Mode: core.ModeSpark,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !simPilot.WaitState(p, core.PilotActive) || !anaPilot.WaitState(p, core.PilotActive) {
+			log.Fatalf("pilots: %v / %v", simPilot.State(), anaPilot.State())
+		}
+		fmt.Printf("pilots active: HPC after %ss, Spark after %ss (incl. cluster spawn)\n",
+			metrics.Seconds(simPilot.AgentStartup()), metrics.Seconds(anaPilot.AgentStartup()))
+
+		// Stage 1: the simulation ensemble (MPI launch method, 8 cores
+		// each), writing trajectories to the shared filesystem.
+		simUM := core.NewUnitManager(env.Session)
+		simUM.AddPilot(simPilot)
+		simDescs := make([]core.ComputeUnitDescription, replicas)
+		for i := range simDescs {
+			simDescs[i] = core.ComputeUnitDescription{
+				Name:       fmt.Sprintf("md-replica-%d", i),
+				Executable: "gmx_mpi mdrun",
+				Cores:      8,
+				Launch:     core.LaunchMPIExec,
+				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+					ctx.Node.Compute(bp, nsPerReplica)
+					ctx.Shared.Write(bp, trajMB<<20) // trajectory to Lustre
+				},
+			}
+		}
+		t0 := p.Now()
+		simUnits, err := simUM.Submit(p, simDescs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simUM.WaitAll(p, simUnits)
+		for _, u := range simUnits {
+			if u.State() != core.UnitDone {
+				log.Fatalf("replica %s: %v (%v)", u.ID, u.State(), u.Err)
+			}
+		}
+		fmt.Printf("stage 1: %d MD replicas done in %ss (%d MB of trajectories)\n",
+			replicas, metrics.Seconds(p.Now()-t0), replicas*trajMB)
+
+		// Stage 2: trajectory analysis on the Spark pilot — read the
+		// trajectories, featurize, cluster conformations.
+		anaUM := core.NewUnitManager(env.Session)
+		anaUM.AddPilot(anaPilot)
+		anaDescs := make([]core.ComputeUnitDescription, replicas)
+		for i := range anaDescs {
+			anaDescs[i] = core.ComputeUnitDescription{
+				Name:       fmt.Sprintf("traj-analysis-%d", i),
+				Executable: "spark-submit cluster_conformations.py",
+				Cores:      8,
+				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+					ctx.Shared.Read(bp, trajMB<<20) // trajectory from Lustre
+					// Featurize + cluster: points × clusters distance
+					// evaluations at the calibrated task rate.
+					work := float64(conformations/replicas) * clustersWanted / kmeans.DefaultCostModel().PairsPerSecond
+					ctx.Node.Compute(bp, work)
+					ctx.Sandbox.Write(bp, 4<<20) // cluster assignments
+				},
+			}
+		}
+		t1 := p.Now()
+		anaUnits, err := anaUM.Submit(p, anaDescs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		anaUM.WaitAll(p, anaUnits)
+		for _, u := range anaUnits {
+			if u.State() != core.UnitDone {
+				log.Fatalf("analysis %s: %v (%v)", u.ID, u.State(), u.Err)
+			}
+		}
+		fmt.Printf("stage 2: %d analysis tasks done in %ss on the Spark pilot\n",
+			replicas, metrics.Seconds(p.Now()-t1))
+		fmt.Printf("end-to-end pipeline: %ss\n", metrics.Seconds(p.Now()-t0))
+		simPilot.Cancel()
+		anaPilot.Cancel()
+	})
+	env.Eng.Run()
+}

@@ -1,0 +1,79 @@
+// Quickstart: submit a pilot to a simulated HPC machine and run a bag of
+// tasks through it — the smallest end-to-end use of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+func main() {
+	// A fresh simulated Stampede with 3 compute nodes plus headroom.
+	env, err := experiments.NewEnv(experiments.Stampede, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+
+	env.Eng.Spawn("driver", func(p *sim.Proc) {
+		// 1. Submit a placeholder job (the pilot) through the session's
+		//    SAGA layer and wait for the agent to come up.
+		pm := core.NewPilotManager(env.Session)
+		pilot, err := pm.Submit(p, core.PilotDescription{
+			Resource: "stampede",
+			Nodes:    2,
+			Runtime:  time.Hour,
+			Mode:     core.ModeHPC,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !pilot.WaitState(p, core.PilotActive) {
+			log.Fatalf("pilot ended in %v", pilot.State())
+		}
+		fmt.Printf("pilot active after %s in queue + %s agent startup\n",
+			metrics.Seconds(pilot.QueueWait()), metrics.Seconds(pilot.AgentStartup()))
+
+		// 2. Bind a Unit-Manager to the pilot and submit Compute-Units.
+		um := core.NewUnitManager(env.Session)
+		um.AddPilot(pilot)
+		descs := make([]core.ComputeUnitDescription, 8)
+		for i := range descs {
+			i := i
+			descs[i] = core.ComputeUnitDescription{
+				Name:       fmt.Sprintf("hello-%d", i),
+				Executable: "/bin/hello",
+				Cores:      4,
+				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+					// 30 CPU-seconds on whichever node the agent chose.
+					ctx.Node.Compute(bp, 30)
+					fmt.Printf("  unit %d ran on %s with %d cores, finished at %v\n",
+						i, ctx.Node.Name, ctx.Cores, bp.Now())
+				},
+			}
+		}
+		units, err := um.Submit(p, descs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 3. Wait and report.
+		um.WaitAll(p, units)
+		for _, u := range units {
+			if u.State() != core.UnitDone {
+				log.Fatalf("unit %s: %v (%v)", u.ID, u.State(), u.Err)
+			}
+		}
+		fmt.Printf("all %d units done at %v\n", len(units), p.Now())
+		pilot.Cancel()
+	})
+	env.Eng.Run()
+}

@@ -1,0 +1,191 @@
+// Package cluster models the hardware of an HPC machine: compute nodes
+// with cores, memory, a node-local disk and a NIC, joined by an
+// interconnect fabric and a shared parallel filesystem. Machine profiles
+// for the two XSEDE systems used in the paper's evaluation (Stampede and
+// Wrangler) live in profiles.go.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// NodeSpec describes one compute node.
+type NodeSpec struct {
+	Cores    int
+	MemoryMB int64
+	// DiskBW is local-disk bandwidth in bytes/second; DiskOpLatency is
+	// the per-operation latency of the local filesystem.
+	DiskBW        float64
+	DiskOpLatency sim.Duration
+	// NICBW is the node's network bandwidth in bytes/second.
+	NICBW float64
+}
+
+// Validate reports a descriptive error for nonsensical node specs.
+func (s NodeSpec) Validate() error {
+	if s.Cores <= 0 {
+		return fmt.Errorf("cluster: node must have positive cores, got %d", s.Cores)
+	}
+	if s.MemoryMB <= 0 {
+		return fmt.Errorf("cluster: node must have positive memory, got %d MB", s.MemoryMB)
+	}
+	if s.DiskBW <= 0 || s.NICBW <= 0 {
+		return fmt.Errorf("cluster: node disk/NIC bandwidth must be positive (disk %g, nic %g)", s.DiskBW, s.NICBW)
+	}
+	return nil
+}
+
+// MachineSpec describes a whole machine.
+type MachineSpec struct {
+	Name  string
+	Nodes int
+	Node  NodeSpec
+	// FabricBW is the aggregate interconnect bandwidth in bytes/second.
+	FabricBW float64
+	// Lustre parameterizes the shared parallel filesystem.
+	Lustre storage.LustreSpec
+	// CPUFactor scales compute speed relative to the Stampede baseline
+	// (1.0); larger is faster. Wrangler's newer Haswell cores and larger
+	// memory give it a factor above 1.
+	CPUFactor float64
+	// ExternalBW is the bandwidth between the machine and the outside
+	// world (software mirrors, user workstation) in bytes/second. Mode I
+	// bootstrap downloads the Hadoop distribution over this path.
+	ExternalBW float64
+	// ExternalRTT is the round-trip latency to external services.
+	ExternalRTT sim.Duration
+}
+
+// Validate reports a descriptive error for nonsensical machine specs.
+func (s MachineSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("cluster: machine must have a name")
+	}
+	if s.Nodes <= 0 {
+		return fmt.Errorf("cluster: machine %q must have positive nodes, got %d", s.Name, s.Nodes)
+	}
+	if err := s.Node.Validate(); err != nil {
+		return fmt.Errorf("machine %q: %w", s.Name, err)
+	}
+	if s.FabricBW <= 0 {
+		return fmt.Errorf("cluster: machine %q fabric bandwidth must be positive", s.Name)
+	}
+	if s.CPUFactor <= 0 {
+		return fmt.Errorf("cluster: machine %q CPU factor must be positive", s.Name)
+	}
+	return s.Lustre.Validate()
+}
+
+// Node is a compute node instance with live resource state.
+type Node struct {
+	ID   int
+	Name string
+	Spec NodeSpec
+
+	// Cores and Memory are allocation pools used by the system-level and
+	// application-level schedulers.
+	Cores  *sim.Resource
+	Memory *sim.Resource // MB granularity
+
+	// Disk is the node-local volume; NIC the network interface.
+	Disk *storage.LocalDisk
+	NIC  *sim.SharedLink
+
+	machine *Machine
+}
+
+// Machine returns the machine the node belongs to.
+func (n *Node) Machine() *Machine { return n.machine }
+
+// Compute blocks p for the time needed to execute "work" abstract
+// compute-seconds on this machine (scaled by the machine CPU factor).
+// The caller is responsible for having acquired cores.
+func (n *Node) Compute(p *sim.Proc, workSeconds float64) {
+	if workSeconds <= 0 {
+		return
+	}
+	p.Sleep(sim.Seconds(workSeconds / n.machine.Spec.CPUFactor))
+}
+
+// Machine is a live machine instance.
+type Machine struct {
+	Spec   MachineSpec
+	Engine *sim.Engine
+	Nodes  []*Node
+	// Lustre is the shared parallel filesystem, visible from all nodes.
+	Lustre *storage.Lustre
+	// Fabric is the machine interconnect.
+	Fabric *sim.SharedLink
+	// External models the path to the outside world (e.g. Apache
+	// mirrors for the Mode I Hadoop download).
+	External *sim.SharedLink
+}
+
+// New instantiates a machine from spec. It panics on invalid specs, which
+// are programmer-defined profiles rather than user input.
+func New(e *sim.Engine, spec MachineSpec) *Machine {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if spec.ExternalBW <= 0 {
+		spec.ExternalBW = 50e6 // default 50 MB/s to the outside world
+	}
+	m := &Machine{
+		Spec:     spec,
+		Engine:   e,
+		Lustre:   storage.NewLustre(e, spec.Name+":lustre", spec.Lustre),
+		Fabric:   sim.NewSharedLink(e, spec.Name+":fabric", spec.FabricBW),
+		External: sim.NewSharedLink(e, spec.Name+":wan", spec.ExternalBW),
+	}
+	for i := 0; i < spec.Nodes; i++ {
+		name := fmt.Sprintf("%s-n%03d", spec.Name, i)
+		m.Nodes = append(m.Nodes, &Node{
+			ID:      i,
+			Name:    name,
+			Spec:    spec.Node,
+			Cores:   sim.NewResource(e, spec.Node.Cores),
+			Memory:  sim.NewResource(e, int(spec.Node.MemoryMB)),
+			Disk:    storage.NewLocalDisk(e, "disk:"+name, spec.Node.DiskBW, spec.Node.DiskOpLatency),
+			NIC:     sim.NewSharedLink(e, "nic:"+name, spec.Node.NICBW),
+			machine: m,
+		})
+	}
+	return m
+}
+
+// Transfer moves bytes from node src to node dst across the interconnect.
+// The transfer is limited by whichever of the source NIC, fabric, or
+// destination NIC is most contended (fluid max-of-shares model).
+// Transfers within one node are free.
+func (m *Machine) Transfer(p *sim.Proc, src, dst *Node, bytes int64) {
+	if bytes <= 0 || src == dst {
+		return
+	}
+	evSrc := src.NIC.StartTransfer(bytes)
+	evFab := m.Fabric.StartTransfer(bytes)
+	evDst := dst.NIC.StartTransfer(bytes)
+	p.Wait(evSrc)
+	p.Wait(evFab)
+	p.Wait(evDst)
+}
+
+// DownloadExternal models fetching bytes from the outside world onto the
+// machine (software distribution mirrors, input staging).
+func (m *Machine) DownloadExternal(p *sim.Proc, bytes int64) {
+	p.Sleep(m.Spec.ExternalRTT)
+	m.External.Transfer(p, bytes)
+}
+
+// Node returns the node with the given ID, or nil if out of range.
+func (m *Machine) Node(id int) *Node {
+	if id < 0 || id >= len(m.Nodes) {
+		return nil
+	}
+	return m.Nodes[id]
+}
+
+// TotalCores returns the machine-wide core count.
+func (m *Machine) TotalCores() int { return m.Spec.Nodes * m.Spec.Node.Cores }

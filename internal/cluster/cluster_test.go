@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func testSpec(nodes int) MachineSpec {
+	return MachineSpec{
+		Name:  "testmachine",
+		Nodes: nodes,
+		Node: NodeSpec{
+			Cores:    4,
+			MemoryMB: 1024,
+			DiskBW:   100e6,
+			NICBW:    1e9,
+		},
+		FabricBW:  2e9,
+		Lustre:    storage.LustreSpec{AggregateBW: 1e9, MDSServers: 2},
+		CPUFactor: 1.0,
+	}
+}
+
+func TestNewMachineLayout(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, testSpec(3))
+	if len(m.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(m.Nodes))
+	}
+	if m.TotalCores() != 12 {
+		t.Fatalf("total cores = %d, want 12", m.TotalCores())
+	}
+	for i, n := range m.Nodes {
+		if n.ID != i || n.Machine() != m {
+			t.Fatalf("node %d wired wrong", i)
+		}
+		if n.Cores.Capacity() != 4 || n.Memory.Capacity() != 1024 {
+			t.Fatalf("node %d resources wrong", i)
+		}
+	}
+	if m.Node(0) == nil || m.Node(3) != nil || m.Node(-1) != nil {
+		t.Fatal("Node() bounds wrong")
+	}
+}
+
+func TestInvalidSpecsPanic(t *testing.T) {
+	e := sim.NewEngine()
+	cases := map[string]func(*MachineSpec){
+		"no name":    func(s *MachineSpec) { s.Name = "" },
+		"no nodes":   func(s *MachineSpec) { s.Nodes = 0 },
+		"no cores":   func(s *MachineSpec) { s.Node.Cores = 0 },
+		"no memory":  func(s *MachineSpec) { s.Node.MemoryMB = 0 },
+		"no disk bw": func(s *MachineSpec) { s.Node.DiskBW = 0 },
+		"no fabric":  func(s *MachineSpec) { s.FabricBW = 0 },
+		"no cpu":     func(s *MachineSpec) { s.CPUFactor = 0 },
+		"bad lustre": func(s *MachineSpec) { s.Lustre.AggregateBW = 0 },
+	}
+	for name, corrupt := range cases {
+		spec := testSpec(2)
+		corrupt(&spec)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			New(e, spec)
+		}()
+	}
+}
+
+func TestComputeScalesWithCPUFactor(t *testing.T) {
+	e := sim.NewEngine()
+	spec := testSpec(1)
+	spec.CPUFactor = 2.0
+	m := New(e, spec)
+	var done time.Duration
+	e.Spawn("c", func(p *sim.Proc) {
+		m.Nodes[0].Compute(p, 10) // 10 compute-seconds at 2x speed
+		done = p.Now()
+	})
+	e.Run()
+	if done != 5*time.Second {
+		t.Fatalf("compute took %v, want 5s", done)
+	}
+}
+
+func TestTransferBetweenNodes(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, testSpec(2))
+	var done time.Duration
+	e.Spawn("x", func(p *sim.Proc) {
+		m.Transfer(p, m.Nodes[0], m.Nodes[1], 1e9) // 1 GB over 1 GB/s NICs
+		done = p.Now()
+	})
+	e.Run()
+	if done < 990*time.Millisecond || done > 1100*time.Millisecond {
+		t.Fatalf("transfer took %v, want ~1s", done)
+	}
+}
+
+func TestTransferSameNodeFree(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, testSpec(2))
+	var done time.Duration = -1
+	e.Spawn("x", func(p *sim.Proc) {
+		m.Transfer(p, m.Nodes[0], m.Nodes[0], 1e12)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 0 {
+		t.Fatalf("same-node transfer took %v, want 0", done)
+	}
+}
+
+func TestFabricIsSharedBottleneck(t *testing.T) {
+	e := sim.NewEngine()
+	spec := testSpec(4)
+	spec.FabricBW = 1e9 // fabric slower than the sum of NICs
+	m := New(e, spec)
+	var last time.Duration
+	// Two disjoint node pairs transfer 1 GB each: NICs are uncontended
+	// (1s each) but the shared fabric halves the rate → ~2s.
+	pairs := [][2]int{{0, 1}, {2, 3}}
+	for _, pr := range pairs {
+		pr := pr
+		e.Spawn("x", func(p *sim.Proc) {
+			m.Transfer(p, m.Nodes[pr[0]], m.Nodes[pr[1]], 1e9)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	e.Run()
+	if last < 1900*time.Millisecond {
+		t.Fatalf("transfers done at %v, want ~2s (fabric shared)", last)
+	}
+}
+
+func TestDownloadExternal(t *testing.T) {
+	e := sim.NewEngine()
+	spec := testSpec(1)
+	spec.ExternalBW = 10e6
+	spec.ExternalRTT = 100 * time.Millisecond
+	m := New(e, spec)
+	var done time.Duration
+	e.Spawn("dl", func(p *sim.Proc) {
+		m.DownloadExternal(p, 100e6) // 100 MB at 10 MB/s
+		done = p.Now()
+	})
+	e.Run()
+	want := 10*time.Second + 100*time.Millisecond
+	if done != want {
+		t.Fatalf("download took %v, want %v", done, want)
+	}
+}
+
+func TestStampedeAndWranglerProfiles(t *testing.T) {
+	st := Stampede(3)
+	wr := Wrangler(3)
+	if err := st.Validate(); err != nil {
+		t.Fatalf("stampede invalid: %v", err)
+	}
+	if err := wr.Validate(); err != nil {
+		t.Fatalf("wrangler invalid: %v", err)
+	}
+	// The paper's constants: 16 cores/32 GB vs 48 cores/128 GB.
+	if st.Node.Cores != 16 || st.Node.MemoryMB != 32*1024 {
+		t.Fatalf("stampede nodes: %d cores / %d MB", st.Node.Cores, st.Node.MemoryMB)
+	}
+	if wr.Node.Cores != 48 || wr.Node.MemoryMB != 128*1024 {
+		t.Fatalf("wrangler nodes: %d cores / %d MB", wr.Node.Cores, wr.Node.MemoryMB)
+	}
+	// Wrangler must be the faster, more data-capable machine.
+	if wr.CPUFactor <= st.CPUFactor {
+		t.Fatal("wrangler should have higher CPU factor")
+	}
+	if wr.Node.DiskBW <= st.Node.DiskBW {
+		t.Fatal("wrangler local storage should be faster")
+	}
+	if wr.Lustre.AggregateBW <= st.Lustre.AggregateBW {
+		t.Fatal("wrangler shared FS should be faster")
+	}
+	if _, ok := Profiles["stampede"]; !ok {
+		t.Fatal("profiles registry missing stampede")
+	}
+}

@@ -1,0 +1,111 @@
+// Package coord models the shared MongoDB instance RADICAL-Pilot uses for
+// client↔agent coordination: the Unit-Manager queues new Compute-Units in
+// the database (paper step U.2), the Pilot-Agent periodically pulls them
+// (U.3), and both sides publish state updates through it. Every operation
+// pays a configurable round-trip latency, which is the wide-area hop
+// between the user's machine and the database.
+package coord
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Store is a document store with named work queues.
+type Store struct {
+	eng    *sim.Engine
+	rtt    sim.Duration
+	queues map[string]*sim.Queue[any]
+	docs   map[string]map[string]any
+	ops    int
+}
+
+// NewStore creates a store whose operations cost one rtt round trip each.
+// A zero rtt is permitted (tests).
+func NewStore(e *sim.Engine, rtt sim.Duration) *Store {
+	return &Store{
+		eng:    e,
+		rtt:    rtt,
+		queues: make(map[string]*sim.Queue[any]),
+		docs:   make(map[string]map[string]any),
+	}
+}
+
+// Ops returns the number of store operations performed (round trips).
+func (s *Store) Ops() int { return s.ops }
+
+func (s *Store) roundTrip(p *sim.Proc) {
+	s.ops++
+	p.Sleep(s.rtt)
+}
+
+// Insert stores doc under (collection, id), failing if it exists.
+func (s *Store) Insert(p *sim.Proc, collection, id string, doc any) error {
+	s.roundTrip(p)
+	coll := s.docs[collection]
+	if coll == nil {
+		coll = make(map[string]any)
+		s.docs[collection] = coll
+	}
+	if _, ok := coll[id]; ok {
+		return fmt.Errorf("coord: duplicate id %s/%s", collection, id)
+	}
+	coll[id] = doc
+	return nil
+}
+
+// Update stores doc under (collection, id), overwriting any prior value.
+func (s *Store) Update(p *sim.Proc, collection, id string, doc any) {
+	s.roundTrip(p)
+	coll := s.docs[collection]
+	if coll == nil {
+		coll = make(map[string]any)
+		s.docs[collection] = coll
+	}
+	coll[id] = doc
+}
+
+// Find retrieves the document at (collection, id).
+func (s *Store) Find(p *sim.Proc, collection, id string) (any, bool) {
+	s.roundTrip(p)
+	doc, ok := s.docs[collection][id]
+	return doc, ok
+}
+
+// queue returns the named queue, creating it on first use.
+func (s *Store) queue(name string) *sim.Queue[any] {
+	q := s.queues[name]
+	if q == nil {
+		q = sim.NewQueue[any](s.eng)
+		s.queues[name] = q
+	}
+	return q
+}
+
+// Push appends v to the named queue.
+func (s *Store) Push(p *sim.Proc, queueName string, v any) {
+	s.roundTrip(p)
+	s.queue(queueName).Put(v)
+}
+
+// PopWait blocks until an item is available on the queue or the timeout
+// expires, paying the round trip up front (the agent's polling request).
+func (s *Store) PopWait(p *sim.Proc, queueName string, timeout time.Duration) (any, bool) {
+	s.roundTrip(p)
+	return s.queue(queueName).GetTimeout(p, timeout)
+}
+
+// TryPop removes the queue head if present, without blocking beyond the
+// round trip.
+func (s *Store) TryPop(p *sim.Proc, queueName string) (any, bool) {
+	s.roundTrip(p)
+	return s.queue(queueName).TryGet()
+}
+
+// QueueLen reports the number of buffered items (no round trip; used by
+// tests and metrics, not by simulated clients).
+func (s *Store) QueueLen(queueName string) int {
+	return s.queue(queueName).Len()
+}

@@ -1,0 +1,111 @@
+package coord
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestDocumentCRUD(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewStore(e, 10*time.Millisecond)
+	e.Spawn("client", func(p *sim.Proc) {
+		if err := s.Insert(p, "pilots", "p1", "NEW"); err != nil {
+			t.Error(err)
+		}
+		if err := s.Insert(p, "pilots", "p1", "AGAIN"); err == nil {
+			t.Error("duplicate insert accepted")
+		}
+		s.Update(p, "pilots", "p1", "ACTIVE")
+		v, ok := s.Find(p, "pilots", "p1")
+		if !ok || v != "ACTIVE" {
+			t.Errorf("find = %v, %v", v, ok)
+		}
+		if _, ok := s.Find(p, "pilots", "nope"); ok {
+			t.Error("found nonexistent doc")
+		}
+	})
+	e.Run()
+	e.Close()
+	if s.Ops() != 5 {
+		t.Fatalf("ops = %d, want 5", s.Ops())
+	}
+}
+
+func TestOperationsPayRoundTrip(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewStore(e, 25*time.Millisecond)
+	var elapsed time.Duration
+	e.Spawn("client", func(p *sim.Proc) {
+		s.Update(p, "c", "id", 1)
+		s.Find(p, "c", "id")
+		elapsed = p.Now()
+	})
+	e.Run()
+	e.Close()
+	if elapsed != 50*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 50ms (2 round trips)", elapsed)
+	}
+}
+
+func TestQueuePushPop(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewStore(e, 0)
+	var got []any
+	e.Spawn("producer", func(p *sim.Proc) {
+		s.Push(p, "q", 1)
+		s.Push(p, "q", 2)
+	})
+	e.Spawn("consumer", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			v, ok := s.PopWait(p, "q", time.Minute)
+			if !ok {
+				t.Error("pop timed out")
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	e.Run()
+	e.Close()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestPopWaitTimeout(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewStore(e, 0)
+	var ok bool
+	var at time.Duration
+	e.Spawn("consumer", func(p *sim.Proc) {
+		_, ok = s.PopWait(p, "empty", 2*time.Second)
+		at = p.Now()
+	})
+	e.Run()
+	e.Close()
+	if ok || at != 2*time.Second {
+		t.Fatalf("ok=%v at=%v, want timeout at 2s", ok, at)
+	}
+}
+
+func TestTryPopAndQueueLen(t *testing.T) {
+	e := sim.NewEngine()
+	s := NewStore(e, 0)
+	e.Spawn("x", func(p *sim.Proc) {
+		if _, ok := s.TryPop(p, "q"); ok {
+			t.Error("TryPop on empty queue returned a value")
+		}
+		s.Push(p, "q", "a")
+		if s.QueueLen("q") != 1 {
+			t.Errorf("len = %d, want 1", s.QueueLen("q"))
+		}
+		v, ok := s.TryPop(p, "q")
+		if !ok || v != "a" {
+			t.Errorf("TryPop = %v, %v", v, ok)
+		}
+	})
+	e.Run()
+	e.Close()
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/hpc"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/yarn"
+)
+
+// agent is the RADICAL-Pilot-Agent: it runs as the payload of the
+// placeholder job and owns the Local Resource Manager, the agent
+// scheduler, the staging workers and the task spawner (paper Figure 3,
+// right side).
+type agent struct {
+	pilot   *Pilot
+	session *Session
+	alloc   *hpc.Allocation
+	machine *cluster.Machine
+	prof    BootstrapProfile
+	rng     *rand.Rand
+
+	sched    agentScheduler
+	launcher launcher
+
+	// Mode I/II Hadoop environment.
+	rm      *yarn.ResourceManager
+	fs      *hdfs.FileSystem
+	ownsRM  bool // Mode I spawned it and must stop it
+	pam     *persistentAM
+	sparkCl *spark.Cluster
+	sparkAp *spark.App
+
+	// unitProcs tracks per-unit executor processes for teardown.
+	unitProcs map[*Unit]*sim.Proc
+	draining  bool
+}
+
+// errAgentShutdown is the interrupt reason for unit executors during
+// teardown.
+var errAgentShutdown = errors.New("core: agent shutting down")
+
+// runAgent is the placeholder job's payload.
+func (pl *Pilot) runAgent(p *sim.Proc, alloc *hpc.Allocation) {
+	a := &agent{
+		pilot:     pl,
+		session:   pl.session,
+		alloc:     alloc,
+		machine:   alloc.Machine(),
+		prof:      pl.session.profile,
+		rng:       sim.SubRNG(pl.session.seed, "agent:"+pl.ID),
+		unitProcs: make(map[*Unit]*sim.Proc),
+	}
+	pl.agent = a
+	pl.AgentStartTime = p.Now()
+	pl.advance(PilotAgentStarting)
+	defer a.teardown()
+	intr := sim.OnInterrupt(func() {
+		a.bootstrap(p)
+		if err := a.initLRM(p); err != nil {
+			panic(fmt.Sprintf("core: agent %s LRM init: %v", pl.ID, err))
+		}
+		a.startComponents(p)
+		pl.advance(PilotActive)
+		a.mainLoop(p)
+	})
+	_ = intr // cancellation and walltime both land here; teardown runs next
+}
+
+// jitter applies the profile's run-to-run variation.
+func (a *agent) jitter(d sim.Duration) sim.Duration {
+	return sim.Jitter(a.rng, d, a.prof.Jitter)
+}
+
+// bootstrap models the agent bootstrap chain: module loads, Python
+// start, and the virtualenv verification on the shared filesystem whose
+// thousands of small-file operations dominate startup on Lustre.
+func (a *agent) bootstrap(p *sim.Proc) {
+	p.Sleep(a.jitter(a.prof.AgentSetup))
+	lustre := a.machine.Lustre
+	for i := 0; i < a.prof.AgentVenvOps; i++ {
+		lustre.Touch(p)
+	}
+}
+
+// initLRM performs the Local Resource Manager's environment-specific
+// setup. For ModeHPC it only collects node information; for ModeYARN it
+// spawns (Mode I) or connects to (Mode II) HDFS+YARN; for ModeSpark it
+// deploys a standalone Spark cluster.
+func (a *agent) initLRM(p *sim.Proc) error {
+	switch a.pilot.Desc.Mode {
+	case ModeHPC:
+		p.Sleep(a.jitter(500e6)) // evaluate RM environment variables
+		a.sched = newContinuousScheduler(a.session.eng, a.alloc.Nodes)
+		a.launcher = &forkLauncher{}
+		return nil
+
+	case ModeYARN:
+		if a.pilot.Desc.ConnectDedicated {
+			// Mode II: the cluster already runs (e.g. Wrangler's data
+			// portal environment); just discover and connect.
+			p.Sleep(a.jitter(a.prof.ConnectDedicated))
+			a.rm = a.pilot.res.DedicatedYARN
+			a.fs = a.pilot.res.DedicatedHDFS
+		} else {
+			if err := a.bootstrapHadoop(p); err != nil {
+				return err
+			}
+			a.ownsRM = true
+		}
+		met := a.rm.Metrics()
+		a.sched = newYarnAgentScheduler(a.session.eng, met.TotalMB, met.TotalVCores)
+		a.launcher = &yarnLauncher{}
+		if a.pilot.Desc.ReuseAM {
+			if err := a.startPersistentAM(p); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case ModeSpark:
+		if err := a.bootstrapSpark(p); err != nil {
+			return err
+		}
+		a.sched = newPoolScheduler(a.session.eng, a.sparkAp.TotalSlots())
+		a.launcher = &sparkLauncher{}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown pilot mode %v", a.pilot.Desc.Mode)
+	}
+}
+
+// bootstrapHadoop is the paper's Mode I LRM sequence: download the
+// distribution, unpack it onto the shared filesystem, write the
+// configuration files, format HDFS, and start the daemons (NameNode and
+// ResourceManager on the agent node, DataNodes and NodeManagers
+// everywhere).
+func (a *agent) bootstrapHadoop(p *sim.Proc) error {
+	started := p.Now()
+	defer func() { a.pilot.HadoopSpawnTime = p.Now() - started }()
+	prof := a.prof
+	a.machine.DownloadExternal(p, prof.HadoopDownloadBytes)
+	lustre := a.machine.Lustre
+	lustre.Write(p, prof.HadoopDownloadBytes) // store the tarball
+	for i := 0; i < prof.HadoopUnpackOps; i++ {
+		lustre.Touch(p) // untar: one metadata op per file
+	}
+	p.Sleep(a.jitter(prof.HadoopConfig))
+
+	// HDFS: format, then NameNode (serial), then DataNodes (parallel).
+	p.Sleep(a.jitter(prof.HDFSFormat))
+	fs, err := hdfs.New(a.session.eng, hdfs.DefaultConfig(), a.alloc.Nodes)
+	if err != nil {
+		return err
+	}
+	p.Sleep(a.jitter(prof.DaemonStart)) // NameNode start
+	p.Sleep(a.jitter(prof.DaemonStart)) // DataNodes start (parallel wave)
+
+	// YARN: ResourceManager (serial), then NodeManagers (parallel).
+	p.Sleep(a.jitter(prof.DaemonStart)) // ResourceManager start
+	ycfg := yarn.DefaultConfig()
+	ycfg.Seed = a.session.seed
+	// The RP environment bundle is localized from the agent sandbox on
+	// the shared filesystem.
+	ycfg.Fetcher = yarn.VolumeFetcher{Volume: lustre}
+	rm, err := yarn.NewResourceManager(a.session.eng, ycfg, a.alloc.Nodes)
+	if err != nil {
+		return err
+	}
+	p.Sleep(a.jitter(prof.DaemonStart)) // NodeManagers start + register
+	a.fs = fs
+	a.rm = rm
+	return nil
+}
+
+// bootstrapSpark deploys the standalone Spark cluster (Mode I for
+// Spark): download, unpack, start Master and Workers, then launch the
+// pilot-wide application whose executors run the units.
+func (a *agent) bootstrapSpark(p *sim.Proc) error {
+	prof := a.prof
+	a.machine.DownloadExternal(p, prof.SparkDownloadBytes)
+	lustre := a.machine.Lustre
+	lustre.Write(p, prof.SparkDownloadBytes)
+	for i := 0; i < prof.HadoopUnpackOps/2; i++ {
+		lustre.Touch(p)
+	}
+	p.Sleep(a.jitter(prof.HadoopConfig)) // spark-env.sh, slaves, master
+	scfg := spark.DefaultConfig()
+	scfg.Seed = a.session.seed
+	cl, err := spark.NewCluster(a.session.eng, scfg, a.alloc.Nodes)
+	if err != nil {
+		return err
+	}
+	p.Sleep(a.jitter(prof.SparkDaemonStart)) // master
+	p.Sleep(a.jitter(prof.SparkDaemonStart)) // workers (parallel wave)
+	app, err := cl.StartApp(p, "rp-agent:"+a.pilot.ID)
+	if err != nil {
+		return err
+	}
+	a.sparkCl = cl
+	a.sparkAp = app
+	return nil
+}
+
+// startComponents brings up the agent's internal components (scheduler,
+// staging workers, heartbeat monitor).
+func (a *agent) startComponents(p *sim.Proc) {
+	p.Sleep(a.jitter(a.prof.AgentComponents))
+	store := a.session.store
+	pl := a.pilot
+	a.session.eng.SpawnDaemon("agent:hb:"+pl.ID, func(hp *sim.Proc) {
+		for !a.draining && !pl.State().Final() {
+			store.Update(hp, "pilots", pl.ID, pl.State().String())
+			hp.Sleep(10e9) // 10s heartbeat
+		}
+	})
+}
+
+// mainLoop pulls Compute-Units from the coordination store (paper steps
+// U.3–U.4) and hands each to an executor process. It runs until the
+// placeholder job is cancelled or hits its walltime.
+func (a *agent) mainLoop(p *sim.Proc) {
+	store := a.session.store
+	for {
+		item, ok := store.PopWait(p, a.pilot.queueName, a.prof.AgentPull)
+		if !ok {
+			continue
+		}
+		u := item.(*Unit)
+		u.advance(UnitSchedulingAgent)
+		proc := a.session.eng.Spawn("exec:"+u.ID, func(up *sim.Proc) {
+			defer delete(a.unitProcs, u)
+			if intr := sim.OnInterrupt(func() { a.unitPipeline(up, u) }); intr != nil {
+				if errors.Is(reasonErr(intr.Reason), errAgentShutdown) {
+					u.cancel()
+				} else {
+					u.fail(reasonErr(intr.Reason))
+				}
+			}
+		})
+		a.unitProcs[u] = proc
+	}
+}
+
+func reasonErr(reason any) error {
+	if err, ok := reason.(error); ok {
+		return err
+	}
+	return fmt.Errorf("core: interrupted: %v", reason)
+}
+
+// unitPipeline drives one unit through scheduling, staging, execution
+// and output staging (paper steps U.4–U.7).
+func (a *agent) unitPipeline(p *sim.Proc, u *Unit) {
+	slot, err := a.sched.acquire(p, u)
+	if err != nil {
+		u.fail(err)
+		return
+	}
+	defer a.sched.release(slot)
+
+	u.advance(UnitStagingInput)
+	if in := u.Desc.InputStagingBytes; in > 0 {
+		// Stage-In worker: shared filesystem into the agent sandbox.
+		a.machine.Lustre.Read(p, in)
+	}
+	if err := a.launcher.run(p, a, u, slot); err != nil {
+		u.fail(err)
+		return
+	}
+	u.advance(UnitStagingOutput)
+	if out := u.Desc.OutputStagingBytes; out > 0 {
+		a.machine.Lustre.Write(p, out)
+	}
+	u.advance(UnitDone)
+}
+
+// teardown stops everything the agent started. For Mode I it stops the
+// Hadoop/Spark daemons it spawned, mirroring the paper's LRM shutdown
+// ("the LRM stops the Hadoop and YARN daemons and removes the associated
+// data files").
+func (a *agent) teardown() {
+	a.draining = true
+	for u, proc := range a.unitProcs {
+		proc.Interrupt(errAgentShutdown)
+		_ = u
+	}
+	if a.rm != nil && a.ownsRM {
+		a.rm.Stop()
+	}
+	if a.sparkAp != nil {
+		a.sparkAp.Stop()
+	}
+	if a.sparkCl != nil {
+		a.sparkCl.Stop()
+	}
+	if a.pilot.state == PilotActive {
+		// The job payload returning normally (walltime drain) moves the
+		// pilot to Done via the PilotManager watcher.
+		a.session.eng.Tracef("agent %s teardown complete", a.pilot.ID)
+	}
+}
+
+// YARNMetrics exposes the connected cluster's metrics (nil outside
+// ModeYARN), used by tests and the repro harness.
+func (pl *Pilot) YARNMetrics() *yarn.ClusterMetrics {
+	if pl.agent == nil || pl.agent.rm == nil {
+		return nil
+	}
+	m := pl.agent.rm.Metrics()
+	return &m
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// PilotMode selects the agent flavour, corresponding to the paper's
+// integration modes.
+type PilotMode int
+
+const (
+	// ModeHPC is a plain RADICAL-Pilot agent executing units directly on
+	// the allocation (fork/mpiexec launch methods).
+	ModeHPC PilotMode = iota
+	// ModeYARN spawns (Mode I) or connects to (Mode II) a YARN cluster
+	// and executes units as YARN applications.
+	ModeYARN
+	// ModeSpark spawns a standalone Spark cluster and executes units on
+	// its executors.
+	ModeSpark
+)
+
+// String names the mode.
+func (m PilotMode) String() string {
+	switch m {
+	case ModeHPC:
+		return "hpc"
+	case ModeYARN:
+		return "yarn"
+	case ModeSpark:
+		return "spark"
+	default:
+		return fmt.Sprintf("PilotMode(%d)", int(m))
+	}
+}
+
+// PilotDescription describes a pilot request (cf. RADICAL-Pilot's
+// ComputePilotDescription).
+type PilotDescription struct {
+	// Resource names a resource registered with the Session, e.g.
+	// "stampede" or "wrangler".
+	Resource string
+	// Nodes is the allocation size in nodes.
+	Nodes int
+	// Runtime is the walltime request.
+	Runtime sim.Duration
+	// Queue is the batch queue (informational).
+	Queue string
+	// Mode selects the agent flavour (plain HPC, YARN, Spark).
+	Mode PilotMode
+	// ConnectDedicated, with ModeYARN, connects to the resource's
+	// dedicated Hadoop environment instead of spawning one inside the
+	// allocation: the paper's Mode II ("HPC on Hadoop"), available on
+	// Wrangler via its data portal reservation.
+	ConnectDedicated bool
+	// LocalSandbox places unit sandboxes on node-local disks even for
+	// plain HPC pilots (an extension beyond the paper, used by the
+	// shuffle-target ablation to isolate the storage effect from the
+	// YARN overheads).
+	LocalSandbox bool
+	// ReuseAM, with ModeYARN, keeps one pilot-wide YARN application
+	// whose Application Master serves all units, instead of one
+	// application per unit — the optimization the paper names as future
+	// work ("providing support for Application Master and container
+	// re-use").
+	ReuseAM bool
+}
+
+// Validate reports a descriptive error for invalid descriptions.
+func (d PilotDescription) Validate() error {
+	if d.Resource == "" {
+		return fmt.Errorf("core: pilot needs a resource")
+	}
+	if d.Nodes <= 0 {
+		return fmt.Errorf("core: pilot needs positive nodes, got %d", d.Nodes)
+	}
+	if d.Runtime <= 0 {
+		return fmt.Errorf("core: pilot needs a positive runtime")
+	}
+	if d.ConnectDedicated && d.Mode != ModeYARN {
+		return fmt.Errorf("core: ConnectDedicated requires ModeYARN")
+	}
+	if d.ReuseAM && d.Mode != ModeYARN {
+		return fmt.Errorf("core: ReuseAM requires ModeYARN")
+	}
+	return nil
+}
+
+// UnitContext is handed to a unit's Body: where it runs and which storage
+// it sees. The Sandbox is the unit's working directory volume — the
+// shared filesystem for plain HPC pilots, the node-local disk under YARN
+// and Spark. That difference is the mechanism behind the paper's Figure 6
+// result.
+type UnitContext struct {
+	Unit    *Unit
+	Node    *cluster.Node
+	Cores   int
+	Sandbox storage.Volume
+	Shared  *storage.Lustre
+	Machine *cluster.Machine
+}
+
+// UnitBody is the simulated executable of a Compute-Unit.
+type UnitBody func(p *sim.Proc, ctx *UnitContext)
+
+// LaunchMethod selects how the agent starts the unit executable.
+type LaunchMethod int
+
+const (
+	// LaunchDefault lets the agent pick (fork for HPC pilots, YARN/Spark
+	// for the respective modes).
+	LaunchDefault LaunchMethod = iota
+	// LaunchFork executes directly on a node.
+	LaunchFork
+	// LaunchMPIExec wraps the executable in mpiexec (adds per-rank
+	// startup cost).
+	LaunchMPIExec
+	// LaunchAPRun is the Cray launcher (similar cost model to mpiexec).
+	LaunchAPRun
+)
+
+// String names the launch method.
+func (l LaunchMethod) String() string {
+	switch l {
+	case LaunchDefault:
+		return "default"
+	case LaunchFork:
+		return "fork"
+	case LaunchMPIExec:
+		return "mpiexec"
+	case LaunchAPRun:
+		return "aprun"
+	default:
+		return fmt.Sprintf("LaunchMethod(%d)", int(l))
+	}
+}
+
+// ComputeUnitDescription describes one Compute-Unit (cf. RADICAL-Pilot's
+// ComputeUnitDescription).
+type ComputeUnitDescription struct {
+	Name       string
+	Executable string
+	Arguments  []string
+	// Cores is the number of cores the unit occupies (default 1).
+	Cores int
+	// MemoryMB sizes the unit's YARN container in ModeYARN (default
+	// 2048).
+	MemoryMB int64
+	// InputStagingBytes are staged from the shared filesystem into the
+	// sandbox before execution.
+	InputStagingBytes int64
+	// OutputStagingBytes are staged out after execution.
+	OutputStagingBytes int64
+	// Launch overrides the launch method.
+	Launch LaunchMethod
+	// Body is the simulated executable; a nil Body just spawns and
+	// exits (a /bin/date probe, as in the startup benchmarks).
+	Body UnitBody
+}
+
+func (d ComputeUnitDescription) withDefaults() ComputeUnitDescription {
+	if d.Cores <= 0 {
+		d.Cores = 1
+	}
+	if d.MemoryMB <= 0 {
+		d.MemoryMB = 2048
+	}
+	if d.Executable == "" {
+		d.Executable = "/bin/true"
+	}
+	return d
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/yarn"
+)
+
+// launcher encapsulates the launch-method-specific way of starting a
+// unit's executable (paper: "the Launch Method encapsulates the
+// environment specifics for executing an application, e.g. the usage of
+// mpiexec ..., machine-specific launch methods (e.g. aprun on Cray
+// machines) or the usage of YARN").
+type launcher interface {
+	run(p *sim.Proc, a *agent, u *Unit, sl *slot) error
+}
+
+// runBody executes the unit body with the proper context, marking
+// UnitExecuting at executable start.
+func runBody(p *sim.Proc, a *agent, u *Unit, node *cluster.Node, sandbox storage.Volume) {
+	u.advance(UnitExecuting)
+	if u.Desc.Body == nil {
+		return
+	}
+	ctx := &UnitContext{
+		Unit:    u,
+		Node:    node,
+		Cores:   u.Desc.Cores,
+		Sandbox: sandbox,
+		Shared:  a.machine.Lustre,
+		Machine: a.machine,
+	}
+	u.Desc.Body(p, ctx)
+}
+
+// forkLauncher starts the executable directly on the slot's node. Plain
+// HPC units keep their sandbox on the shared filesystem (RADICAL-Pilot's
+// default sandbox location) — the reason the paper's K-Means on plain RP
+// shuffles through Lustre.
+type forkLauncher struct{}
+
+func (forkLauncher) run(p *sim.Proc, a *agent, u *Unit, sl *slot) error {
+	spawn := a.prof.ForkSpawn
+	switch effectiveLaunch(u) {
+	case LaunchMPIExec, LaunchAPRun:
+		spawn += a.prof.MPIStartup
+	}
+	p.Sleep(a.jitter(spawn))
+	var sandbox storage.Volume = a.machine.Lustre
+	if a.pilot.Desc.LocalSandbox {
+		sandbox = sl.node.Disk
+	}
+	runBody(p, a, u, sl.node, sandbox)
+	return nil
+}
+
+// effectiveLaunch resolves LaunchDefault.
+func effectiveLaunch(u *Unit) LaunchMethod {
+	return u.Desc.Launch
+}
+
+// yarnLauncher runs each unit as a YARN application with a managed
+// Application Master, exactly the structure of the paper's Figure 4:
+// submit → AM container starts → AM requests a task container → the
+// wrapper script sets up the RADICAL-Pilot environment in the container
+// and runs the executable. The unit sandbox is the container working
+// directory on the node-local disk.
+type yarnLauncher struct{}
+
+// yarnContainerBody wraps the unit body in the RP wrapper script:
+// environment setup and staging inside the container on the node-local
+// disk, then the executable.
+func yarnContainerBody(a *agent, u *Unit) yarn.ContainerBody {
+	return func(cp *sim.Proc, cc *yarn.Container) {
+		node := cc.NodeManager().Node()
+		for i := 0; i < a.prof.UnitWrapperOps; i++ {
+			node.Disk.Touch(cp)
+		}
+		cp.Sleep(a.jitter(a.prof.UnitWrapperSetup))
+		runBody(cp, a, u, node, node.Disk)
+	}
+}
+
+func (yarnLauncher) run(p *sim.Proc, a *agent, u *Unit, sl *slot) error {
+	if a.pam != nil {
+		// AM reuse: the pilot-wide application master serves the unit;
+		// no per-unit client start, submission, or AM launch.
+		return a.pam.run(p, a, u, yarnContainerBody(a, u))
+	}
+	// `yarn jar RadicalYarnApp` — JVM client start before submission.
+	p.Sleep(a.jitter(a.prof.UnitWrapperSetup / 4))
+	app, err := a.rm.Submit(p, yarn.AppDesc{
+		Name:       "rp:" + u.ID,
+		AMResource: yarn.ResourceSpec{MemoryMB: amOverhead.memMB, VCores: amOverhead.cores},
+		Runner: func(ap *sim.Proc, am *yarn.AppMaster) {
+			am.Register(ap)
+			spec := yarn.ResourceSpec{MemoryMB: u.Desc.MemoryMB, VCores: u.Desc.Cores}
+			if err := am.RequestContainers(ap, spec, 1, nil); err != nil {
+				am.Unregister(ap, yarn.StatusFailed)
+				return
+			}
+			c := am.NextContainer(ap)
+			am.Launch(ap, c, yarnContainerBody(a, u))
+			ap.Wait(c.Done)
+			if c.ExitCode == 0 {
+				am.Unregister(ap, yarn.StatusSucceeded)
+			} else {
+				am.Unregister(ap, yarn.StatusFailed)
+			}
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("core: unit %s YARN submission: %w", u.ID, err)
+	}
+	if st := app.Wait(p); st != yarn.StatusSucceeded {
+		return fmt.Errorf("core: unit %s YARN application finished %s", u.ID, st)
+	}
+	return nil
+}
+
+// sparkLauncher runs the unit as a task set on the pilot's standalone
+// Spark application executors.
+type sparkLauncher struct{}
+
+func (sparkLauncher) run(p *sim.Proc, a *agent, u *Unit, sl *slot) error {
+	return a.sparkAp.RunTask(p, u.Desc.Cores, func(tp *sim.Proc, node *cluster.Node) {
+		runBody(tp, a, u, node, node.Disk)
+	})
+}

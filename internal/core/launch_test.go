@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// launchStartup measures the startup time of one probe unit under the
+// given launch method on a fast-profile environment.
+func launchStartup(t *testing.T, lm LaunchMethod, localSandbox bool) (time.Duration, string) {
+	t.Helper()
+	e := newEnv(t, 1, fastProfile())
+	var startup time.Duration
+	var sandbox string
+	e.eng.Spawn("driver", func(p *sim.Proc) {
+		pl := submitPilot(t, p, e, PilotDescription{
+			Resource: "tm", Nodes: 1, Runtime: time.Hour,
+			Mode: ModeHPC, LocalSandbox: localSandbox,
+		})
+		pl.WaitState(p, PilotActive)
+		um := NewUnitManager(e.session)
+		um.AddPilot(pl)
+		units, _ := um.Submit(p, []ComputeUnitDescription{{
+			Executable: "/bin/probe",
+			Launch:     lm,
+			Body:       func(bp *sim.Proc, ctx *UnitContext) { sandbox = ctx.Sandbox.Name() },
+		}})
+		um.WaitAll(p, units)
+		if units[0].State() != UnitDone {
+			t.Errorf("unit %v (%v)", units[0].State(), units[0].Err)
+			return
+		}
+		startup = units[0].StartupTime()
+		pl.Cancel()
+	})
+	e.eng.Run()
+	e.eng.Close()
+	return startup, sandbox
+}
+
+func TestMPILaunchCostsMoreThanFork(t *testing.T) {
+	fork, _ := launchStartup(t, LaunchFork, false)
+	mpi, _ := launchStartup(t, LaunchMPIExec, false)
+	aprun, _ := launchStartup(t, LaunchAPRun, false)
+	if mpi <= fork {
+		t.Fatalf("mpiexec startup (%v) not above fork (%v)", mpi, fork)
+	}
+	if aprun <= fork {
+		t.Fatalf("aprun startup (%v) not above fork (%v)", aprun, fork)
+	}
+	// The added cost is the profile's MPIStartup (~1.2s default,
+	// jitter disabled in fastProfile).
+	added := mpi - fork
+	if added < 500*time.Millisecond || added > 3*time.Second {
+		t.Fatalf("MPI overhead = %v, want around the profile's MPIStartup", added)
+	}
+}
+
+func TestLocalSandboxOverride(t *testing.T) {
+	_, shared := launchStartup(t, LaunchFork, false)
+	_, local := launchStartup(t, LaunchFork, true)
+	if shared == local {
+		t.Fatalf("LocalSandbox had no effect: both %q", shared)
+	}
+	if want := "lustre"; !contains(shared, want) {
+		t.Fatalf("default sandbox %q, want shared FS", shared)
+	}
+	if want := "disk"; !contains(local, want) {
+		t.Fatalf("override sandbox %q, want node disk", local)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReuseAMRunsUnitsAndValidates(t *testing.T) {
+	e := newEnv(t, 2, fastProfile())
+	ran := 0
+	e.eng.Spawn("driver", func(p *sim.Proc) {
+		pm := NewPilotManager(e.session)
+		// Validation: ReuseAM outside ModeYARN rejected.
+		if _, err := pm.Submit(p, PilotDescription{
+			Resource: "tm", Nodes: 1, Runtime: time.Hour, ReuseAM: true,
+		}); err == nil {
+			t.Error("ReuseAM without ModeYARN accepted")
+		}
+		pl := submitPilot(t, p, e, PilotDescription{
+			Resource: "tm", Nodes: 2, Runtime: time.Hour,
+			Mode: ModeYARN, ReuseAM: true,
+		})
+		if !pl.WaitState(p, PilotActive) {
+			t.Errorf("pilot %v", pl.State())
+			return
+		}
+		um := NewUnitManager(e.session)
+		um.AddPilot(pl)
+		descs := make([]ComputeUnitDescription, 5)
+		for i := range descs {
+			descs[i] = ComputeUnitDescription{
+				Cores: 1,
+				Body:  func(bp *sim.Proc, ctx *UnitContext) { bp.Sleep(10 * time.Second); ran++ },
+			}
+		}
+		units, _ := um.Submit(p, descs)
+		um.WaitAll(p, units)
+		for _, u := range units {
+			if u.State() != UnitDone {
+				t.Errorf("unit %s: %v (%v)", u.ID, u.State(), u.Err)
+			}
+		}
+		pl.Cancel()
+	})
+	e.eng.Run()
+	e.eng.Close()
+	if ran != 5 {
+		t.Fatalf("ran = %d, want 5", ran)
+	}
+}
+
+func TestStateStringsAndFinality(t *testing.T) {
+	finals := map[PilotState]bool{
+		PilotDone: true, PilotCanceled: true, PilotFailed: true,
+	}
+	for st := PilotNew; st <= PilotFailed; st++ {
+		if st.String() == "" {
+			t.Fatalf("pilot state %d has empty name", st)
+		}
+		if st.Final() != finals[st] {
+			t.Fatalf("pilot state %v finality wrong", st)
+		}
+	}
+	unitFinals := map[UnitState]bool{
+		UnitDone: true, UnitCanceled: true, UnitFailed: true,
+	}
+	for st := UnitNew; st <= UnitFailed; st++ {
+		if st.String() == "" {
+			t.Fatalf("unit state %d has empty name", st)
+		}
+		if st.Final() != unitFinals[st] {
+			t.Fatalf("unit state %v finality wrong", st)
+		}
+	}
+	for _, m := range []PilotMode{ModeHPC, ModeYARN, ModeSpark, PilotMode(99)} {
+		if m.String() == "" {
+			t.Fatalf("mode %d has empty name", m)
+		}
+	}
+	for _, l := range []LaunchMethod{LaunchDefault, LaunchFork, LaunchMPIExec, LaunchAPRun, LaunchMethod(99)} {
+		if l.String() == "" {
+			t.Fatalf("launch method %d has empty name", l)
+		}
+	}
+}

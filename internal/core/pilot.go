@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hpc"
+	"repro/internal/saga"
+	"repro/internal/sim"
+)
+
+// Pilot is a placeholder job managed by the PilotManager: once its agent
+// is active, it executes Compute-Units on the allocation.
+type Pilot struct {
+	ID      string
+	Desc    PilotDescription
+	session *Session
+	res     *Resource
+
+	state PilotState
+	// stateEv holds one event per state, triggered when reached.
+	stateEv map[PilotState]*sim.Event
+	// Timestamps records when each state was entered.
+	Timestamps map[PilotState]sim.Duration
+
+	// AgentStartTime is when the placeholder job's payload began on the
+	// allocation — the reference point of the paper's "agent startup
+	// time" (time between agent start and readiness for the first CU).
+	AgentStartTime sim.Duration
+
+	// HadoopSpawnTime is the Mode I cluster-spawn portion of the agent
+	// startup (download + configure + start HDFS/YARN); zero for other
+	// modes. Figure 6's RP-YARN runtimes include it.
+	HadoopSpawnTime sim.Duration
+
+	sagaJob *saga.Job
+	agent   *agent
+
+	// queueName is the coordination-store queue the Unit-Manager feeds.
+	queueName string
+}
+
+// State returns the pilot state.
+func (pl *Pilot) State() PilotState { return pl.state }
+
+// Resource returns the resource the pilot runs on.
+func (pl *Pilot) Resource() *Resource { return pl.res }
+
+// WaitState blocks p until the pilot reaches the given state (or a final
+// state, to avoid waiting forever on a failed pilot). It reports whether
+// the pilot actually passed through the awaited state.
+func (pl *Pilot) WaitState(p *sim.Proc, st PilotState) bool {
+	for pl.state < st && !pl.state.Final() {
+		p.Wait(pl.ev(pl.state + 1))
+	}
+	_, reached := pl.Timestamps[st]
+	return reached
+}
+
+// Wait blocks until the pilot reaches a final state.
+func (pl *Pilot) Wait(p *sim.Proc) PilotState {
+	for !pl.state.Final() {
+		p.Wait(pl.ev(pl.state + 1))
+	}
+	return pl.state
+}
+
+// AgentStartup returns the paper's Figure 5 metric: time from agent start
+// to readiness for the first Compute-Unit. Valid once PilotActive.
+func (pl *Pilot) AgentStartup() sim.Duration {
+	return pl.Timestamps[PilotActive] - pl.AgentStartTime
+}
+
+// QueueWait returns the time the placeholder job spent in the batch
+// queue.
+func (pl *Pilot) QueueWait() sim.Duration {
+	if pl.sagaJob == nil {
+		return 0
+	}
+	return pl.sagaJob.QueueWait()
+}
+
+func (pl *Pilot) ev(st PilotState) *sim.Event {
+	e := pl.stateEv[st]
+	if e == nil {
+		e = sim.NewEvent(pl.session.eng)
+		pl.stateEv[st] = e
+	}
+	return e
+}
+
+// advance moves the pilot through st, recording the timestamp and waking
+// waiters. States may be skipped on failure paths; waiters parked on
+// skipped states are woken too (and observe via Timestamps that the
+// state never actually occurred).
+func (pl *Pilot) advance(st PilotState) {
+	if pl.state.Final() || st <= pl.state {
+		return
+	}
+	old := pl.state
+	pl.state = st
+	pl.Timestamps[st] = pl.session.eng.Now()
+	for s := old + 1; s <= st; s++ {
+		pl.ev(s).Trigger()
+	}
+	pl.session.eng.Tracef("pilot %s -> %s", pl.ID, st)
+}
+
+// Cancel terminates the pilot: the placeholder job is cancelled and the
+// agent (with any Hadoop/Spark cluster it spawned) shuts down.
+func (pl *Pilot) Cancel() {
+	if pl.state.Final() {
+		return
+	}
+	if pl.sagaJob != nil {
+		pl.sagaJob.Cancel()
+	}
+	pl.advance(PilotCanceled)
+}
+
+// PilotManager submits and tracks pilots (paper Figure 3, steps P.1–P.7).
+type PilotManager struct {
+	session *Session
+}
+
+// NewPilotManager creates a pilot manager on the session.
+func NewPilotManager(s *Session) *PilotManager {
+	return &PilotManager{session: s}
+}
+
+// Session returns the owning session.
+func (pm *PilotManager) Session() *Session { return pm.session }
+
+// Submit launches a pilot: it builds the agent payload, submits the
+// placeholder job through SAGA, and returns immediately with the pilot in
+// PilotLaunching. Use WaitState(PilotActive) to block until the agent is
+// ready.
+func (pm *PilotManager) Submit(p *sim.Proc, desc PilotDescription) (*Pilot, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	res, ok := pm.session.Resource(desc.Resource)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown resource %q", desc.Resource)
+	}
+	if desc.ConnectDedicated && res.DedicatedYARN == nil {
+		return nil, fmt.Errorf("core: resource %q has no dedicated Hadoop environment for Mode II", desc.Resource)
+	}
+	pm.session.nextPilot++
+	pl := &Pilot{
+		ID:         fmt.Sprintf("pilot.%04d", pm.session.nextPilot),
+		Desc:       desc,
+		session:    pm.session,
+		res:        res,
+		stateEv:    make(map[PilotState]*sim.Event),
+		Timestamps: make(map[PilotState]sim.Duration),
+	}
+	pl.queueName = "units:" + pl.ID
+	pl.Timestamps[PilotNew] = pm.session.eng.Now()
+	pl.advance(PilotLaunching)
+
+	js, err := saga.NewJobService(res.URL, res.Batch)
+	if err != nil {
+		pl.advance(PilotFailed)
+		return nil, fmt.Errorf("core: pilot %s: %w", pl.ID, err)
+	}
+	job, err := js.Submit(p, saga.JobDescription{
+		Executable: "radical-pilot-agent",
+		NumNodes:   desc.Nodes,
+		WallTime:   desc.Runtime,
+		Queue:      desc.Queue,
+		Payload: func(ap *sim.Proc, alloc *hpc.Allocation) {
+			pl.runAgent(ap, alloc)
+		},
+	})
+	if err != nil {
+		pl.advance(PilotFailed)
+		return nil, fmt.Errorf("core: pilot %s: %w", pl.ID, err)
+	}
+	pl.sagaJob = job
+	pl.advance(PilotPending)
+	// Track the job into final states in the background.
+	pm.session.eng.SpawnDaemon("pmgr:watch:"+pl.ID, func(wp *sim.Proc) {
+		st := job.Wait(wp)
+		if pl.state.Final() {
+			return
+		}
+		switch st {
+		case saga.Done:
+			pl.advance(PilotDone)
+		case saga.Canceled:
+			pl.advance(PilotCanceled)
+		default:
+			pl.advance(PilotFailed)
+		}
+	})
+	return pl, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/yarn"
+)
+
+// persistentAM implements the paper's named future-work optimization:
+// one long-running YARN application per pilot whose Application Master
+// serves container requests for every unit, eliminating the per-unit
+// application submission and AM startup from the critical path. Only the
+// task-container allocation and launch remain per unit.
+type persistentAM struct {
+	reqs  *sim.Queue[*amRequest]
+	ready *sim.Event
+	app   *yarn.Application
+}
+
+type amRequest struct {
+	spec yarn.ResourceSpec
+	body yarn.ContainerBody
+	done *sim.Event
+	err  error
+	exit int
+}
+
+// startPersistentAM submits the pilot-wide application and waits until
+// its AM has registered.
+func (a *agent) startPersistentAM(p *sim.Proc) error {
+	pam := &persistentAM{
+		reqs:  sim.NewQueue[*amRequest](a.session.eng),
+		ready: sim.NewEvent(a.session.eng),
+	}
+	app, err := a.rm.Submit(p, yarn.AppDesc{
+		Name:       "rp-am:" + a.pilot.ID,
+		AMResource: yarn.ResourceSpec{MemoryMB: amOverhead.memMB, VCores: amOverhead.cores},
+		Runner: func(ap *sim.Proc, am *yarn.AppMaster) {
+			am.Register(ap)
+			pam.ready.Trigger()
+			for {
+				req, ok := pam.reqs.GetTimeout(ap, a.prof.AgentPull)
+				if !ok {
+					if a.draining {
+						am.Unregister(ap, yarn.StatusSucceeded)
+						return
+					}
+					continue
+				}
+				if err := am.RequestContainers(ap, req.spec, 1, nil); err != nil {
+					req.err = err
+					req.done.Trigger()
+					continue
+				}
+				c := am.NextContainer(ap)
+				if err := am.Launch(ap, c, req.body); err != nil {
+					req.err = err
+					req.done.Trigger()
+					continue
+				}
+				// Completion is reported asynchronously so the AM can
+				// serve the next unit while this one runs.
+				a.session.eng.Spawn("rp-am:wait:"+a.pilot.ID, func(wp *sim.Proc) {
+					wp.Wait(c.Done)
+					req.exit = c.ExitCode
+					req.done.Trigger()
+				})
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	pam.app = app
+	a.pam = pam
+	p.Wait(pam.ready)
+	return nil
+}
+
+// run executes one unit through the persistent AM.
+func (pam *persistentAM) run(p *sim.Proc, a *agent, u *Unit, body yarn.ContainerBody) error {
+	req := &amRequest{
+		spec: yarn.ResourceSpec{MemoryMB: u.Desc.MemoryMB, VCores: u.Desc.Cores},
+		body: body,
+		done: sim.NewEvent(a.session.eng),
+	}
+	pam.reqs.Put(req)
+	p.Wait(req.done)
+	if req.err != nil {
+		return fmt.Errorf("core: unit %s via persistent AM: %w", u.ID, req.err)
+	}
+	if req.exit != 0 {
+		return fmt.Errorf("core: unit %s container exited %d", u.ID, req.exit)
+	}
+	return nil
+}

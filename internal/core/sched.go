@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// slot is an agent-level resource reservation for one unit.
+type slot struct {
+	// node is the placement for node-bound launch methods (fork/mpi);
+	// nil for YARN/Spark, which place containers themselves.
+	node  *cluster.Node
+	cores int
+	memMB int64
+}
+
+// agentScheduler is the agent's application-level scheduler: it admits
+// units onto the pilot's resources. Implementations are FIFO with
+// head-of-line blocking (like RADICAL-Pilot's schedulers).
+type agentScheduler interface {
+	acquire(p *sim.Proc, u *Unit) (*slot, error)
+	release(s *slot)
+}
+
+// continuousScheduler assigns cores on individual nodes (RADICAL-Pilot's
+// "continuous" scheduler): a unit occupies cores on exactly one node.
+type continuousScheduler struct {
+	eng     *sim.Engine
+	nodes   []*cluster.Node
+	free    []int
+	waiters []*schedWaiter
+}
+
+type schedWaiter struct {
+	u     *Unit
+	ev    *sim.Event
+	slot  *slot
+	ready bool
+}
+
+func newContinuousScheduler(e *sim.Engine, nodes []*cluster.Node) *continuousScheduler {
+	s := &continuousScheduler{eng: e, nodes: nodes}
+	for _, n := range nodes {
+		s.free = append(s.free, n.Spec.Cores)
+	}
+	return s
+}
+
+func (s *continuousScheduler) tryPlace(cores int) *slot {
+	for i, n := range s.nodes {
+		if s.free[i] >= cores {
+			s.free[i] -= cores
+			return &slot{node: n, cores: cores}
+		}
+	}
+	return nil
+}
+
+func (s *continuousScheduler) acquire(p *sim.Proc, u *Unit) (*slot, error) {
+	cores := u.Desc.Cores
+	max := 0
+	for _, n := range s.nodes {
+		if n.Spec.Cores > max {
+			max = n.Spec.Cores
+		}
+	}
+	if cores > max {
+		return nil, fmt.Errorf("core: unit %s needs %d cores but the largest node has %d", u.ID, cores, max)
+	}
+	if len(s.waiters) == 0 {
+		if sl := s.tryPlace(cores); sl != nil {
+			return sl, nil
+		}
+	}
+	w := &schedWaiter{u: u, ev: sim.NewEvent(s.eng)}
+	s.waiters = append(s.waiters, w)
+	defer func() {
+		if e := recover(); e == nil {
+			return
+		} else {
+			if w.ready {
+				// Granted but never used: return it.
+				s.put(w.slot)
+			} else {
+				s.remove(w)
+			}
+			panic(e)
+		}
+	}()
+	p.Wait(w.ev)
+	return w.slot, nil
+}
+
+func (s *continuousScheduler) release(sl *slot) {
+	s.put(sl)
+	s.serve()
+}
+
+func (s *continuousScheduler) put(sl *slot) {
+	for i, n := range s.nodes {
+		if n == sl.node {
+			s.free[i] += sl.cores
+			return
+		}
+	}
+}
+
+func (s *continuousScheduler) serve() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		sl := s.tryPlace(w.u.Desc.Cores)
+		if sl == nil {
+			return // strict FIFO: head of line blocks
+		}
+		w.slot = sl
+		w.ready = true
+		s.waiters = s.waiters[1:]
+		w.ev.Trigger()
+	}
+}
+
+func (s *continuousScheduler) remove(w *schedWaiter) {
+	for i, cand := range s.waiters {
+		if cand == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			break
+		}
+	}
+	s.serve()
+}
+
+// yarnAgentScheduler is the paper's YARN-specific agent scheduler: "in
+// contrast to other RADICAL-Pilot schedulers, it specifically utilizes
+// memory in addition to cores for assigning resource slots", using
+// cluster state from the ResourceManager's REST API. Each unit is
+// charged its own container plus its Application Master container, which
+// also prevents AM-starvation deadlocks in the underlying cluster.
+type yarnAgentScheduler struct {
+	eng       *sim.Engine
+	freeMB    int64
+	freeCores int
+	totalMB   int64
+	totCores  int
+	waiters   []*schedWaiter
+}
+
+// amOverhead is the managed Application Master container footprint
+// charged per unit (RADICAL-Pilot's AM is a small Java shim).
+var amOverhead = slot{cores: 1, memMB: 512}
+
+func newYarnAgentScheduler(e *sim.Engine, totalMB int64, totalCores int) *yarnAgentScheduler {
+	return &yarnAgentScheduler{
+		eng: e, freeMB: totalMB, freeCores: totalCores,
+		totalMB: totalMB, totCores: totalCores,
+	}
+}
+
+func (s *yarnAgentScheduler) demand(u *Unit) (int64, int) {
+	// Memory admission counts the unit's container plus its AM (the
+	// scheduler's "memory in addition to cores"); cores count only the
+	// unit, since YARN's default calculator does not gate on vcores.
+	return u.Desc.MemoryMB + amOverhead.memMB, u.Desc.Cores
+}
+
+func (s *yarnAgentScheduler) acquire(p *sim.Proc, u *Unit) (*slot, error) {
+	mb, cores := s.demand(u)
+	if mb > s.totalMB || cores > s.totCores {
+		return nil, fmt.Errorf("core: unit %s (%d MB, %d cores + AM) exceeds cluster capacity (%d MB, %d cores)",
+			u.ID, u.Desc.MemoryMB, u.Desc.Cores, s.totalMB, s.totCores)
+	}
+	if len(s.waiters) == 0 && mb <= s.freeMB && cores <= s.freeCores {
+		s.freeMB -= mb
+		s.freeCores -= cores
+		return &slot{cores: cores, memMB: mb}, nil
+	}
+	w := &schedWaiter{u: u, ev: sim.NewEvent(s.eng)}
+	s.waiters = append(s.waiters, w)
+	defer func() {
+		if e := recover(); e == nil {
+			return
+		} else {
+			if w.ready {
+				s.freeMB += w.slot.memMB
+				s.freeCores += w.slot.cores
+				s.serve()
+			} else {
+				s.remove(w)
+			}
+			panic(e)
+		}
+	}()
+	p.Wait(w.ev)
+	return w.slot, nil
+}
+
+func (s *yarnAgentScheduler) release(sl *slot) {
+	s.freeMB += sl.memMB
+	s.freeCores += sl.cores
+	s.serve()
+}
+
+func (s *yarnAgentScheduler) serve() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		mb, cores := s.demand(w.u)
+		if mb > s.freeMB || cores > s.freeCores {
+			return
+		}
+		s.freeMB -= mb
+		s.freeCores -= cores
+		w.slot = &slot{cores: cores, memMB: mb}
+		w.ready = true
+		s.waiters = s.waiters[1:]
+		w.ev.Trigger()
+	}
+}
+
+func (s *yarnAgentScheduler) remove(w *schedWaiter) {
+	for i, cand := range s.waiters {
+		if cand == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			break
+		}
+	}
+	s.serve()
+}
+
+// poolScheduler admits units against a single core pool (the Spark
+// agent scheduler: executor core slots).
+type poolScheduler struct {
+	res *sim.Resource
+}
+
+func newPoolScheduler(e *sim.Engine, cores int) *poolScheduler {
+	return &poolScheduler{res: sim.NewResource(e, cores)}
+}
+
+func (s *poolScheduler) acquire(p *sim.Proc, u *Unit) (*slot, error) {
+	if u.Desc.Cores > s.res.Capacity() {
+		return nil, fmt.Errorf("core: unit %s needs %d cores but the pool has %d", u.ID, u.Desc.Cores, s.res.Capacity())
+	}
+	s.res.Acquire(p, u.Desc.Cores)
+	return &slot{cores: u.Desc.Cores}, nil
+}
+
+func (s *poolScheduler) release(sl *slot) {
+	s.res.Release(sl.cores)
+}

@@ -1,0 +1,114 @@
+package core
+
+import "fmt"
+
+// PilotState follows the RADICAL-Pilot pilot state model.
+type PilotState int
+
+// Pilot states in lifecycle order.
+const (
+	PilotNew PilotState = iota
+	// PilotLaunching: the placeholder job is being submitted via SAGA.
+	PilotLaunching
+	// PilotPending: queued in the resource manager.
+	PilotPending
+	// PilotAgentStarting: nodes allocated, agent bootstrapping (and, in
+	// Mode I, spawning the Hadoop/Spark cluster).
+	PilotAgentStarting
+	// PilotActive: the agent accepts Compute-Units.
+	PilotActive
+	// PilotDone: the pilot terminated normally.
+	PilotDone
+	// PilotCanceled: the pilot was canceled.
+	PilotCanceled
+	// PilotFailed: the placeholder job failed (e.g. walltime).
+	PilotFailed
+)
+
+// String returns the RADICAL-Pilot-style state name.
+func (s PilotState) String() string {
+	switch s {
+	case PilotNew:
+		return "NEW"
+	case PilotLaunching:
+		return "PMGR_LAUNCHING"
+	case PilotPending:
+		return "PMGR_ACTIVE_PENDING"
+	case PilotAgentStarting:
+		return "AGENT_STARTING"
+	case PilotActive:
+		return "PMGR_ACTIVE"
+	case PilotDone:
+		return "DONE"
+	case PilotCanceled:
+		return "CANCELED"
+	case PilotFailed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("PilotState(%d)", int(s))
+	}
+}
+
+// Final reports whether the state is terminal.
+func (s PilotState) Final() bool {
+	return s == PilotDone || s == PilotCanceled || s == PilotFailed
+}
+
+// UnitState follows the RADICAL-Pilot Compute-Unit state model.
+type UnitState int
+
+// Unit states in lifecycle order.
+const (
+	UnitNew UnitState = iota
+	// UnitSchedulingUM: held by the Unit-Manager, selecting a pilot.
+	UnitSchedulingUM
+	// UnitPendingAgent: queued in the coordination store for the agent.
+	UnitPendingAgent
+	// UnitSchedulingAgent: the agent scheduler is finding a slot.
+	UnitSchedulingAgent
+	// UnitStagingInput: input files are staged into the sandbox.
+	UnitStagingInput
+	// UnitExecuting: the executable runs.
+	UnitExecuting
+	// UnitStagingOutput: output files are staged out.
+	UnitStagingOutput
+	// UnitDone: finished successfully.
+	UnitDone
+	// UnitCanceled: canceled.
+	UnitCanceled
+	// UnitFailed: the executable or its launch failed.
+	UnitFailed
+)
+
+// String returns the RADICAL-Pilot-style state name.
+func (s UnitState) String() string {
+	switch s {
+	case UnitNew:
+		return "NEW"
+	case UnitSchedulingUM:
+		return "UMGR_SCHEDULING"
+	case UnitPendingAgent:
+		return "AGENT_STAGING_INPUT_PENDING"
+	case UnitSchedulingAgent:
+		return "AGENT_SCHEDULING"
+	case UnitStagingInput:
+		return "AGENT_STAGING_INPUT"
+	case UnitExecuting:
+		return "AGENT_EXECUTING"
+	case UnitStagingOutput:
+		return "AGENT_STAGING_OUTPUT"
+	case UnitDone:
+		return "DONE"
+	case UnitCanceled:
+		return "CANCELED"
+	case UnitFailed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("UnitState(%d)", int(s))
+	}
+}
+
+// Final reports whether the state is terminal.
+func (s UnitState) Final() bool {
+	return s == UnitDone || s == UnitCanceled || s == UnitFailed
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Unit is a Compute-Unit: a self-contained piece of work submitted
+// through the Unit-Manager and executed by a Pilot-Agent.
+type Unit struct {
+	ID      string
+	Desc    ComputeUnitDescription
+	session *Session
+
+	state      UnitState
+	stateEv    map[UnitState]*sim.Event
+	Timestamps map[UnitState]sim.Duration
+
+	// Pilot is the pilot the Unit-Manager bound this unit to.
+	Pilot *Pilot
+	// Err records the failure cause for UnitFailed.
+	Err error
+}
+
+// State returns the unit state.
+func (u *Unit) State() UnitState { return u.state }
+
+// Wait blocks p until the unit reaches a final state.
+func (u *Unit) Wait(p *sim.Proc) UnitState {
+	for !u.state.Final() {
+		p.Wait(u.ev(u.state + 1))
+	}
+	return u.state
+}
+
+// StartupTime is the paper's Figure 5 inset metric: submission to
+// executable start. Valid once the unit has reached UnitExecuting.
+func (u *Unit) StartupTime() sim.Duration {
+	return u.Timestamps[UnitExecuting] - u.Timestamps[UnitSchedulingUM]
+}
+
+// TimeToCompletion is submission to final state.
+func (u *Unit) TimeToCompletion() sim.Duration {
+	for _, st := range []UnitState{UnitDone, UnitCanceled, UnitFailed} {
+		if ts, ok := u.Timestamps[st]; ok {
+			return ts - u.Timestamps[UnitSchedulingUM]
+		}
+	}
+	return 0
+}
+
+func (u *Unit) ev(st UnitState) *sim.Event {
+	e := u.stateEv[st]
+	if e == nil {
+		e = sim.NewEvent(u.session.eng)
+		u.stateEv[st] = e
+	}
+	return e
+}
+
+// advance moves the unit into st (skipping forward is allowed on failure
+// paths; moving backwards or past a final state is not). Waiters parked
+// on skipped states are woken; only the reached state gets a timestamp.
+func (u *Unit) advance(st UnitState) {
+	if u.state.Final() || st <= u.state {
+		return
+	}
+	old := u.state
+	u.state = st
+	u.Timestamps[st] = u.session.eng.Now()
+	for s := old + 1; s <= st; s++ {
+		u.ev(s).Trigger()
+	}
+	u.session.eng.Tracef("unit %s -> %s", u.ID, st)
+}
+
+// fail moves the unit to UnitFailed with a cause.
+func (u *Unit) fail(err error) {
+	if u.state.Final() {
+		return
+	}
+	u.Err = err
+	u.state = UnitFailed
+	u.Timestamps[UnitFailed] = u.session.eng.Now()
+	u.ev(UnitFailed).Trigger()
+	// Release waiters parked on intermediate states.
+	for s := UnitSchedulingAgent; s <= UnitStagingOutput; s++ {
+		u.ev(s).Trigger()
+	}
+	u.ev(UnitDone).Trigger()
+	u.session.eng.Tracef("unit %s -> FAILED: %v", u.ID, err)
+}
+
+// cancel moves the unit to UnitCanceled.
+func (u *Unit) cancel() {
+	if u.state.Final() {
+		return
+	}
+	u.state = UnitCanceled
+	u.Timestamps[UnitCanceled] = u.session.eng.Now()
+	u.ev(UnitCanceled).Trigger()
+	for s := UnitSchedulingAgent; s <= UnitDone; s++ {
+		u.ev(s).Trigger()
+	}
+	u.session.eng.Tracef("unit %s -> CANCELED", u.ID)
+}
+
+// UnitManager binds Compute-Units to pilots and dispatches them through
+// the coordination store (paper Figure 3, steps U.1–U.7).
+type UnitManager struct {
+	session *Session
+	pilots  []*Pilot
+	rr      int
+}
+
+// NewUnitManager creates a unit manager on the session.
+func NewUnitManager(s *Session) *UnitManager {
+	return &UnitManager{session: s}
+}
+
+// AddPilot registers a pilot as an execution target.
+func (um *UnitManager) AddPilot(pl *Pilot) error {
+	if pl == nil {
+		return fmt.Errorf("core: nil pilot")
+	}
+	for _, q := range um.pilots {
+		if q == pl {
+			return fmt.Errorf("core: pilot %s already added", pl.ID)
+		}
+	}
+	um.pilots = append(um.pilots, pl)
+	return nil
+}
+
+// Submit schedules units round-robin over the manager's pilots and queues
+// them in the coordination store for the agents (steps U.1–U.2). It
+// blocks p for the store round trips.
+func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*Unit, error) {
+	if len(um.pilots) == 0 {
+		return nil, fmt.Errorf("core: unit manager has no pilots")
+	}
+	units := make([]*Unit, 0, len(descs))
+	for _, d := range descs {
+		um.session.nextUnit++
+		u := &Unit{
+			ID:         fmt.Sprintf("unit.%06d", um.session.nextUnit),
+			Desc:       d.withDefaults(),
+			session:    um.session,
+			stateEv:    make(map[UnitState]*sim.Event),
+			Timestamps: make(map[UnitState]sim.Duration),
+		}
+		u.Timestamps[UnitNew] = um.session.eng.Now()
+		u.advance(UnitSchedulingUM)
+		pl := um.pilots[um.rr%len(um.pilots)]
+		um.rr++
+		if pl.State().Final() {
+			u.fail(fmt.Errorf("core: pilot %s is %s", pl.ID, pl.State()))
+			units = append(units, u)
+			continue
+		}
+		u.Pilot = pl
+		u.advance(UnitPendingAgent)
+		um.session.store.Push(p, pl.queueName, u)
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// WaitAll blocks until every unit reaches a final state.
+func (um *UnitManager) WaitAll(p *sim.Proc, units []*Unit) {
+	for _, u := range units {
+		u.Wait(p)
+	}
+}

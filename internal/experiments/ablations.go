@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kmeans"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// ShuffleAblationRow compares shuffle-storage targets for plain
+// RADICAL-Pilot: the paper attributes RP-YARN's advantage to node-local
+// shuffle storage; this ablation isolates that factor from the YARN
+// protocol overheads by running the identical plain-RP workload with the
+// sandbox forced onto node-local disks.
+type ShuffleAblationRow struct {
+	Machine MachineName
+	Tasks   int
+	// LustreRuntime is the default (shared-filesystem sandbox) runtime;
+	// LocalRuntime uses node-local sandboxes.
+	LustreRuntime time.Duration
+	LocalRuntime  time.Duration
+}
+
+// RunShuffleAblation runs the 1M-points scenario across task counts on
+// both machines with both sandbox placements.
+func RunShuffleAblation(seed int64) ([]*ShuffleAblationRow, error) {
+	scn := kmeans.PaperScenarios[2] // 1,000,000 points / 50 clusters
+	model := kmeans.DefaultCostModel()
+	var rows []*ShuffleAblationRow
+	for _, machine := range []MachineName{Stampede, Wrangler} {
+		for _, tc := range kmeans.PaperTaskCounts {
+			row := &ShuffleAblationRow{Machine: machine, Tasks: tc.Tasks}
+			for _, local := range []bool{false, true} {
+				env, err := NewEnv(machine, tc.Nodes+1, seed)
+				if err != nil {
+					return nil, err
+				}
+				var runErr error
+				dur := time.Duration(0)
+				local := local
+				env.Eng.Spawn("driver", func(p *sim.Proc) {
+					pm := core.NewPilotManager(env.Session)
+					desc := pilotDesc(RP, machine, tc.Nodes)
+					desc.LocalSandbox = local
+					pl, err := pm.Submit(p, desc)
+					if err != nil {
+						runErr = err
+						return
+					}
+					if !pl.WaitState(p, core.PilotActive) {
+						runErr = fmt.Errorf("pilot ended %v", pl.State())
+						return
+					}
+					um := core.NewUnitManager(env.Session)
+					um.AddPilot(pl)
+					rng := sim.SubRNG(seed, fmt.Sprintf("ablate:%s:%d:%v", machine, tc.Tasks, local))
+					res, err := kmeans.RunWorkload(p, um, scn, tc.Tasks, model, rng)
+					if err != nil {
+						runErr = err
+						return
+					}
+					dur = res.Makespan
+					pl.Cancel()
+				})
+				env.Eng.Run()
+				env.Close()
+				if runErr != nil {
+					return nil, fmt.Errorf("shuffle ablation %s/%d/local=%v: %w", machine, tc.Tasks, local, runErr)
+				}
+				if local {
+					row.LocalRuntime = dur
+				} else {
+					row.LustreRuntime = dur
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteShuffleAblation renders the ablation table.
+func WriteShuffleAblation(w io.Writer, rows []*ShuffleAblationRow) {
+	fmt.Fprintln(w, "Ablation A: shuffle storage target, plain RADICAL-Pilot, 1M points / 50 clusters")
+	t := metrics.NewTable("machine", "tasks", "lustre sandbox (s)", "local sandbox (s)", "local gain")
+	for _, r := range rows {
+		gain := 1 - r.LocalRuntime.Seconds()/r.LustreRuntime.Seconds()
+		t.AddRow(string(r.Machine), fmt.Sprintf("%d", r.Tasks),
+			metrics.Seconds(r.LustreRuntime), metrics.Seconds(r.LocalRuntime),
+			fmt.Sprintf("%.0f%%", gain*100))
+	}
+	t.Write(w)
+}
+
+// AMReuseRow compares per-unit YARN applications (the paper's
+// implementation) against the pilot-wide persistent Application Master
+// (the paper's named future-work optimization).
+type AMReuseRow struct {
+	Machine MachineName
+	// PerUnitStartup and ReuseStartup are mean unit startup times.
+	PerUnitStartup time.Duration
+	ReuseStartup   time.Duration
+}
+
+// RunAMReuseAblation measures CU startup with and without AM reuse on
+// both machines (16 probe units each).
+func RunAMReuseAblation(seed int64) ([]*AMReuseRow, error) {
+	var rows []*AMReuseRow
+	for _, machine := range []MachineName{Stampede, Wrangler} {
+		row := &AMReuseRow{Machine: machine}
+		for _, reuse := range []bool{false, true} {
+			env, err := NewEnv(machine, 3, seed)
+			if err != nil {
+				return nil, err
+			}
+			var runErr error
+			var mean time.Duration
+			reuse := reuse
+			env.Eng.Spawn("driver", func(p *sim.Proc) {
+				pm := core.NewPilotManager(env.Session)
+				desc := pilotDesc(RPYARN, machine, 2)
+				desc.ReuseAM = reuse
+				pl, err := pm.Submit(p, desc)
+				if err != nil {
+					runErr = err
+					return
+				}
+				if !pl.WaitState(p, core.PilotActive) {
+					runErr = fmt.Errorf("pilot ended %v", pl.State())
+					return
+				}
+				um := core.NewUnitManager(env.Session)
+				um.AddPilot(pl)
+				var descs []core.ComputeUnitDescription
+				for i := 0; i < 16; i++ {
+					descs = append(descs, core.ComputeUnitDescription{Executable: "/bin/date"})
+				}
+				units, err := um.Submit(p, descs)
+				if err != nil {
+					runErr = err
+					return
+				}
+				um.WaitAll(p, units)
+				var s metrics.Sample
+				for _, u := range units {
+					if u.State() != core.UnitDone {
+						runErr = fmt.Errorf("unit %s: %v (%v)", u.ID, u.State(), u.Err)
+						return
+					}
+					s.Add(u.StartupTime())
+				}
+				mean = s.Mean()
+				pl.Cancel()
+			})
+			env.Eng.Run()
+			env.Close()
+			if runErr != nil {
+				return nil, fmt.Errorf("AM reuse ablation %s/reuse=%v: %w", machine, reuse, runErr)
+			}
+			if reuse {
+				row.ReuseStartup = mean
+			} else {
+				row.PerUnitStartup = mean
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteAMReuseAblation renders the ablation table.
+func WriteAMReuseAblation(w io.Writer, rows []*AMReuseRow) {
+	fmt.Fprintln(w, "Ablation B: Application Master reuse (paper future work), mean CU startup, 16 units")
+	t := metrics.NewTable("machine", "per-unit AM (s)", "reused AM (s)", "improvement")
+	for _, r := range rows {
+		imp := 1 - r.ReuseStartup.Seconds()/r.PerUnitStartup.Seconds()
+		t.AddRow(string(r.Machine),
+			metrics.Seconds(r.PerUnitStartup), metrics.Seconds(r.ReuseStartup),
+			fmt.Sprintf("%.0f%%", imp*100))
+	}
+	t.Write(w)
+}

@@ -1,0 +1,137 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section IV) on the simulated Stampede and Wrangler machines: Figure 5
+// (pilot and Compute-Unit startup), Figure 6 (K-Means time-to-completion
+// across three scenarios and three task configurations), the speedup
+// numbers quoted in the text, and two ablations (shuffle storage target;
+// Application-Master reuse). See EXPERIMENTS.md for paper-vs-measured
+// discussion.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/hpc"
+	"repro/internal/sim"
+	"repro/internal/yarn"
+)
+
+// Env is one self-contained simulated machine environment. Every
+// measurement trial builds a fresh Env so trials are independent and
+// deterministic in the seed.
+type Env struct {
+	Eng     *sim.Engine
+	Machine *cluster.Machine
+	Batch   *hpc.Batch
+	Session *core.Session
+	Res     *core.Resource
+}
+
+// MachineName selects a machine profile.
+type MachineName string
+
+// The two evaluation machines.
+const (
+	Stampede MachineName = "stampede"
+	Wrangler MachineName = "wrangler"
+)
+
+// NewEnv builds a machine environment with the given number of nodes
+// available to the batch system. Wrangler additionally gets a dedicated
+// Hadoop environment (its data-portal reservation) so Mode II pilots can
+// connect.
+func NewEnv(name MachineName, nodes int, seed int64) (*Env, error) {
+	profile, ok := cluster.Profiles[string(name)]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown machine %q", name)
+	}
+	eng := sim.NewEngine()
+	m := cluster.New(eng, profile(nodes))
+	batchCfg := hpc.DefaultConfig()
+	batchCfg.Seed = seed
+	// Idle development-queue behaviour: short dispatch floor, regular
+	// scheduling cycles.
+	batchCfg.MinQueueWait = 10e9 // 10s
+	batchCfg.SchedCycle = 30e9   // 30s
+	batchCfg.Prolog = 8e9        // 8s
+	batchCfg.DefaultWallTime = 8 * 3600e9
+	b := hpc.NewBatch(m, batchCfg)
+	session := core.NewSession(eng, core.DefaultProfile(), seed)
+	res := &core.Resource{
+		Name:    string(name),
+		URL:     "slurm://" + string(name),
+		Machine: m,
+		Batch:   b,
+	}
+	if name == Wrangler {
+		fs, err := hdfs.New(eng, hdfs.DefaultConfig(), m.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		ycfg := yarn.DefaultConfig()
+		ycfg.Seed = seed
+		ycfg.Fetcher = yarn.VolumeFetcher{Volume: m.Lustre}
+		rm, err := yarn.NewResourceManager(eng, ycfg, m.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		res.DedicatedYARN = rm
+		res.DedicatedHDFS = fs
+	}
+	if err := session.AddResource(res); err != nil {
+		return nil, err
+	}
+	return &Env{Eng: eng, Machine: m, Batch: b, Session: session, Res: res}, nil
+}
+
+// Close tears the environment down, reaping daemon processes.
+func (e *Env) Close() { e.Eng.Close() }
+
+// System identifies the middleware variant under test.
+type System string
+
+// The systems compared in the figures.
+const (
+	RP           System = "RADICAL-Pilot"
+	RPYARN       System = "RADICAL-Pilot-YARN"           // Mode I
+	RPYARNModeII System = "RADICAL-Pilot-YARN (Mode II)" // dedicated cluster
+)
+
+// pilotDesc builds the pilot description for a system.
+func pilotDesc(sys System, machine MachineName, nodes int) core.PilotDescription {
+	d := core.PilotDescription{
+		Resource: string(machine),
+		Nodes:    nodes,
+		Runtime:  6 * 3600e9, // 6h walltime
+		Queue:    "development",
+	}
+	switch sys {
+	case RPYARN:
+		d.Mode = core.ModeYARN
+	case RPYARNModeII:
+		d.Mode = core.ModeYARN
+		d.ConnectDedicated = true
+	}
+	return d
+}
+
+// startPilot submits a pilot and waits until it is active, returning it
+// with its manager. The driver process p blocks meanwhile.
+func startPilot(p *sim.Proc, env *Env, sys System, machine MachineName, nodes int) (*core.Pilot, *core.UnitManager, error) {
+	pm := core.NewPilotManager(env.Session)
+	desc := pilotDesc(sys, machine, nodes)
+	pl, err := pm.Submit(p, desc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !pl.WaitState(p, core.PilotActive) {
+		return nil, nil, fmt.Errorf("experiments: pilot on %s (%s) ended %v", machine, sys, pl.State())
+	}
+	um := core.NewUnitManager(env.Session)
+	if err := um.AddPilot(pl); err != nil {
+		return nil, nil, err
+	}
+	return pl, um, nil
+}

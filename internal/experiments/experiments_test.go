@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/kmeans"
+)
+
+// TestFig5Shapes asserts the paper's Figure 5 claims:
+//   - Mode I startup exceeds plain RP startup on both machines;
+//   - the Mode I Hadoop-spawn overhead is in the 50–85 s band;
+//   - Mode II startup is comparable to plain RP startup (no cluster
+//     spawn);
+//   - unit startup under YARN is tens of seconds vs ~1 s natively.
+func TestFig5Shapes(t *testing.T) {
+	res, err := RunFig5(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(m MachineName, s System) *Fig5Row {
+		for _, r := range res.Rows {
+			if r.Machine == m && r.System == s {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", m, s)
+		return nil
+	}
+	for _, m := range []MachineName{Stampede, Wrangler} {
+		rp := get(m, RP).Startup.Mean()
+		modeI := get(m, RPYARN).Startup.Mean()
+		if modeI <= rp {
+			t.Errorf("%s: Mode I startup (%v) not above plain RP (%v)", m, modeI, rp)
+		}
+		spawn := get(m, RPYARN).HadoopSpawn.Mean()
+		if spawn < 40*time.Second || spawn > 100*time.Second {
+			t.Errorf("%s: Hadoop spawn = %v, want in the paper's 50-85s band (±tolerance)", m, spawn)
+		}
+	}
+	rpW := get(Wrangler, RP).Startup.Mean()
+	modeII := get(Wrangler, RPYARNModeII).Startup.Mean()
+	ratio := modeII.Seconds() / rpW.Seconds()
+	if ratio < 0.7 || ratio > 1.5 {
+		t.Errorf("Mode II startup (%v) not comparable to plain RP (%v)", modeII, rpW)
+	}
+
+	var insetRP, insetYARN time.Duration
+	for _, r := range res.InsetRows {
+		switch r.System {
+		case RP:
+			insetRP = r.Startup.Mean()
+		case RPYARN:
+			insetYARN = r.Startup.Mean()
+		}
+	}
+	if insetRP > 5*time.Second {
+		t.Errorf("RP unit startup = %v, want ~1s", insetRP)
+	}
+	if insetYARN < 15*time.Second || insetYARN > 60*time.Second {
+		t.Errorf("YARN unit startup = %v, want tens of seconds", insetYARN)
+	}
+
+	var buf bytes.Buffer
+	res.Write(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty rendering")
+	}
+}
+
+// TestFig6ShapesLargeScenario runs the 1M-points scenario, which carries
+// the paper's headline claims:
+//   - runtimes decrease with task count for both systems;
+//   - RP-YARN beats plain RP at 16 and 32 tasks (local-disk shuffle
+//     beats the shared filesystem once I/O matters);
+//   - Wrangler is faster than Stampede for matching configurations;
+//   - on Wrangler, RP-YARN's 32-task speedup exceeds plain RP's
+//     (paper: 3.2 vs 2.4).
+func TestFig6ShapesLargeScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 is a full workload sweep")
+	}
+	res := runFig6Scenario(t, 2) // 1M points
+	byKey := func(m MachineName, tasks int, sys System) *Fig6Cell {
+		c := res.Cell(m, 2, tasks, sys)
+		if c == nil {
+			t.Fatalf("missing cell %s/%d/%s", m, tasks, sys)
+		}
+		return c
+	}
+	for _, m := range []MachineName{Stampede, Wrangler} {
+		for _, sys := range []System{RP, RPYARN} {
+			t8 := byKey(m, 8, sys).Runtime
+			t16 := byKey(m, 16, sys).Runtime
+			t32 := byKey(m, 32, sys).Runtime
+			if !(t8 > t16 && t16 > t32) {
+				t.Errorf("%s/%s: runtimes not decreasing: %v %v %v", m, sys, t8, t16, t32)
+			}
+		}
+		for _, tasks := range []int{16, 32} {
+			yarnT, rpT := byKey(m, tasks, RPYARN).Runtime, byKey(m, tasks, RP).Runtime
+			if yarnT >= rpT {
+				t.Errorf("%s: RP-YARN at %d tasks (%v) not faster than RP (%v)", m, tasks, yarnT, rpT)
+			}
+		}
+	}
+	for _, sys := range []System{RP, RPYARN} {
+		for _, tasks := range []int{8, 16, 32} {
+			st := byKey(Stampede, tasks, sys).Runtime
+			wr := byKey(Wrangler, tasks, sys).Runtime
+			if wr >= st {
+				t.Errorf("%s/%d tasks: Wrangler (%v) not faster than Stampede (%v)", sys, tasks, wr, st)
+			}
+		}
+	}
+	// Headline speedups: RP-YARN ≈ 3.2 vs RP ≈ 2.4 on Wrangler at 32
+	// tasks (±25% band).
+	sp := func(sys System) float64 {
+		return byKey(Wrangler, 8, sys).Runtime.Seconds() / byKey(Wrangler, 32, sys).Runtime.Seconds()
+	}
+	rpSp, yarnSp := sp(RP), sp(RPYARN)
+	if yarnSp <= rpSp {
+		t.Errorf("Wrangler 1M: YARN speedup (%.2f) not above RP speedup (%.2f)", yarnSp, rpSp)
+	}
+	if rpSp < 1.8 || rpSp > 3.0 {
+		t.Errorf("Wrangler RP speedup = %.2f, paper reports 2.4", rpSp)
+	}
+	if yarnSp < 2.5 || yarnSp > 4.0 {
+		t.Errorf("Wrangler YARN speedup = %.2f, paper reports 3.2", yarnSp)
+	}
+}
+
+// TestFig6ShapesSmallScenario runs the 10k-points scenario, where
+// communication is negligible and the pure YARN overhead shows: plain RP
+// must win at the 8-task base case ("for the 8 task scenarios the
+// overhead of YARN is visible").
+func TestFig6ShapesSmallScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 is a full workload sweep")
+	}
+	res := runFig6Scenario(t, 0) // 10k points
+	for _, m := range []MachineName{Stampede, Wrangler} {
+		rp8 := res.Cell(m, 0, 8, RP)
+		yarn8 := res.Cell(m, 0, 8, RPYARN)
+		if rp8 == nil || yarn8 == nil {
+			t.Fatal("missing cells")
+		}
+		if yarn8.Runtime <= rp8.Runtime {
+			t.Errorf("%s 10k: RP-YARN at 8 tasks (%v) should show its overhead vs RP (%v)",
+				m, yarn8.Runtime, rp8.Runtime)
+		}
+	}
+}
+
+// runFig6Scenario runs all task counts and systems for one scenario on
+// both machines.
+func runFig6Scenario(t *testing.T, scenarioIdx int) *Fig6Result {
+	t.Helper()
+	res := &Fig6Result{}
+	model := kmeans.DefaultCostModel()
+	for _, machine := range []MachineName{Stampede, Wrangler} {
+		for _, tc := range kmeans.PaperTaskCounts {
+			for _, sys := range []System{RP, RPYARN} {
+				cell, err := runFig6Cell(machine, kmeans.PaperScenarios[scenarioIdx], tc.Tasks, tc.Nodes, sys, model, 11)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	if len(res.Cells) != 12 {
+		t.Fatalf("scenario sweep produced %d cells, want 12", len(res.Cells))
+	}
+	return res
+}
+
+func TestShuffleAblationLocalWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload sweep")
+	}
+	rows, err := RunShuffleAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.LocalRuntime >= r.LustreRuntime {
+			t.Errorf("%s/%d tasks: local sandbox (%v) not faster than Lustre (%v)",
+				r.Machine, r.Tasks, r.LocalRuntime, r.LustreRuntime)
+		}
+	}
+	var buf bytes.Buffer
+	WriteShuffleAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty rendering")
+	}
+}
+
+func TestAMReuseReducesStartup(t *testing.T) {
+	rows, err := RunAMReuseAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ReuseStartup >= r.PerUnitStartup {
+			t.Errorf("%s: reused AM startup (%v) not below per-unit AM (%v)",
+				r.Machine, r.ReuseStartup, r.PerUnitStartup)
+		}
+	}
+	var buf bytes.Buffer
+	WriteAMReuseAblation(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty rendering")
+	}
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	if _, err := NewEnv("nonsense", 2, 1); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Fig5Row is one bar of Figure 5 (main): agent startup time per machine
+// and system.
+type Fig5Row struct {
+	Machine MachineName
+	System  System
+	Startup metrics.Sample
+	// HadoopSpawn isolates the Mode I cluster-spawn portion.
+	HadoopSpawn metrics.Sample
+}
+
+// Fig5Result holds both the main figure and the inset.
+type Fig5Result struct {
+	Rows []*Fig5Row
+	// InsetRows are the Compute-Unit startup bars (Figure 5 inset),
+	// measured on Stampede as in the paper.
+	InsetRows []*Fig5InsetRow
+}
+
+// Fig5InsetRow is one bar of the inset: unit startup per system.
+type Fig5InsetRow struct {
+	System  System
+	Startup metrics.Sample
+}
+
+// fig5Cases mirrors the figure: Stampede RP and RP-YARN Mode I; Wrangler
+// RP, Mode I, and Mode II (the dedicated Hadoop environment).
+var fig5Cases = []struct {
+	machine MachineName
+	system  System
+}{
+	{Stampede, RP},
+	{Stampede, RPYARN},
+	{Wrangler, RP},
+	{Wrangler, RPYARN},
+	{Wrangler, RPYARNModeII},
+}
+
+// RunFig5 reproduces Figure 5: trials independent pilot launches per
+// (machine, system) pair for the main plot, plus single-unit startup
+// probes for the inset.
+func RunFig5(trials int, seed int64) (*Fig5Result, error) {
+	if trials <= 0 {
+		trials = 3
+	}
+	res := &Fig5Result{}
+	for _, cse := range fig5Cases {
+		row := &Fig5Row{Machine: cse.machine, System: cse.system}
+		for trial := 0; trial < trials; trial++ {
+			env, err := NewEnv(cse.machine, 4, seed+int64(trial))
+			if err != nil {
+				return nil, err
+			}
+			var runErr error
+			env.Eng.Spawn("driver", func(p *sim.Proc) {
+				pl, _, err := startPilot(p, env, cse.system, cse.machine, 1)
+				if err != nil {
+					runErr = err
+					return
+				}
+				row.Startup.Add(pl.AgentStartup())
+				row.HadoopSpawn.Add(pl.HadoopSpawnTime)
+				pl.Cancel()
+			})
+			env.Eng.Run()
+			env.Close()
+			if runErr != nil {
+				return nil, fmt.Errorf("fig5 %s/%s trial %d: %w", cse.machine, cse.system, trial, runErr)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Inset: unit startup on Stampede, RP vs RP-YARN, one /bin/date-like
+	// probe unit per trial.
+	for _, sys := range []System{RP, RPYARN} {
+		row := &Fig5InsetRow{System: sys}
+		for trial := 0; trial < trials; trial++ {
+			env, err := NewEnv(Stampede, 4, seed+100+int64(trial))
+			if err != nil {
+				return nil, err
+			}
+			var runErr error
+			env.Eng.Spawn("driver", func(p *sim.Proc) {
+				pl, um, err := startPilot(p, env, sys, Stampede, 1)
+				if err != nil {
+					runErr = err
+					return
+				}
+				units, err := um.Submit(p, []core.ComputeUnitDescription{{
+					Executable: "/bin/date",
+				}})
+				if err != nil {
+					runErr = err
+					return
+				}
+				um.WaitAll(p, units)
+				if units[0].State() != core.UnitDone {
+					runErr = fmt.Errorf("probe unit %v: %v", units[0].State(), units[0].Err)
+					return
+				}
+				row.Startup.Add(units[0].StartupTime())
+				pl.Cancel()
+			})
+			env.Eng.Run()
+			env.Close()
+			if runErr != nil {
+				return nil, fmt.Errorf("fig5 inset %s trial %d: %w", sys, trial, runErr)
+			}
+		}
+		res.InsetRows = append(res.InsetRows, row)
+	}
+	return res, nil
+}
+
+// Write renders the figure as the paper reports it.
+func (r *Fig5Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: Pilot startup time (agent start -> ready for first CU)")
+	t := metrics.NewTable("machine", "system", "startup mean (s)", "std (s)", "hadoop spawn (s)")
+	for _, row := range r.Rows {
+		t.AddRow(
+			string(row.Machine), string(row.System),
+			metrics.Seconds(row.Startup.Mean()), metrics.Seconds(row.Startup.Std()),
+			metrics.Seconds(row.HadoopSpawn.Mean()),
+		)
+	}
+	t.Write(w)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 5 (inset): Compute-Unit startup time on Stampede")
+	ti := metrics.NewTable("system", "unit startup mean (s)", "std (s)")
+	for _, row := range r.InsetRows {
+		ti.AddRow(string(row.System), metrics.Seconds(row.Startup.Mean()), metrics.Seconds(row.Startup.Std()))
+	}
+	ti.Write(w)
+}

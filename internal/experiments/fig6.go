@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/kmeans"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Fig6Cell is one bar of Figure 6: a (machine, scenario, tasks, system)
+// combination.
+type Fig6Cell struct {
+	Machine  MachineName
+	Scenario kmeans.Scenario
+	Tasks    int
+	Nodes    int
+	System   System
+	// Runtime is the time to completion. For RP-YARN it includes the
+	// YARN cluster download/spawn time, as in the paper.
+	Runtime time.Duration
+	// Workload is the pure workload makespan (excluding cluster spawn).
+	Workload time.Duration
+	// MeanUnitStartup averages the per-unit startup times of the run.
+	MeanUnitStartup time.Duration
+}
+
+// Fig6Result is the full figure.
+type Fig6Result struct {
+	Cells []*Fig6Cell
+}
+
+// RunFig6 reproduces Figure 6: K-Means time-to-completion for the three
+// scenarios and three task/node configurations on both machines, for
+// plain RADICAL-Pilot and RADICAL-Pilot-YARN (Mode I).
+func RunFig6(seed int64) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	model := kmeans.DefaultCostModel()
+	for _, machine := range []MachineName{Stampede, Wrangler} {
+		for _, scn := range kmeans.PaperScenarios {
+			for _, tc := range kmeans.PaperTaskCounts {
+				for _, sys := range []System{RP, RPYARN} {
+					cell, err := runFig6Cell(machine, scn, tc.Tasks, tc.Nodes, sys, model, seed)
+					if err != nil {
+						return nil, err
+					}
+					res.Cells = append(res.Cells, cell)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func runFig6Cell(machine MachineName, scn kmeans.Scenario, tasks, nodes int, sys System, model kmeans.CostModel, seed int64) (*Fig6Cell, error) {
+	env, err := NewEnv(machine, nodes+1, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	cell := &Fig6Cell{Machine: machine, Scenario: scn, Tasks: tasks, Nodes: nodes, System: sys}
+	rng := sim.SubRNG(seed, fmt.Sprintf("fig6:%s:%s:%d:%s", machine, scn.Name, tasks, sys))
+	var runErr error
+	env.Eng.Spawn("driver", func(p *sim.Proc) {
+		pl, um, err := startPilot(p, env, sys, machine, nodes)
+		if err != nil {
+			runErr = err
+			return
+		}
+		result, err := kmeans.RunWorkload(p, um, scn, tasks, model, rng)
+		if err != nil {
+			runErr = err
+			return
+		}
+		cell.Workload = result.Makespan
+		cell.Runtime = result.Makespan + pl.HadoopSpawnTime
+		var su metrics.Sample
+		for _, s := range result.UnitStartups {
+			su.Add(s)
+		}
+		cell.MeanUnitStartup = su.Mean()
+		pl.Cancel()
+	})
+	env.Eng.Run()
+	if runErr != nil {
+		return nil, fmt.Errorf("fig6 %s/%s/%d tasks/%s: %w", machine, scn.Name, tasks, sys, runErr)
+	}
+	return cell, nil
+}
+
+// Write renders the figure as a table, one row per bar.
+func (r *Fig6Result) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: K-Means time-to-completion (2 iterations; RP-YARN runtimes include cluster spawn)")
+	t := metrics.NewTable("machine", "scenario", "tasks", "system", "runtime (s)", "workload (s)", "unit startup (s)")
+	for _, c := range r.Cells {
+		t.AddRow(
+			string(c.Machine), c.Scenario.Name, fmt.Sprintf("%d", c.Tasks), string(c.System),
+			metrics.Seconds(c.Runtime), metrics.Seconds(c.Workload), metrics.Seconds(c.MeanUnitStartup),
+		)
+	}
+	t.Write(w)
+}
+
+// Cell finds a specific bar.
+func (r *Fig6Result) Cell(machine MachineName, scenarioIdx, tasks int, sys System) *Fig6Cell {
+	scn := kmeans.PaperScenarios[scenarioIdx]
+	for _, c := range r.Cells {
+		if c.Machine == machine && c.Scenario.Name == scn.Name && c.Tasks == tasks && c.System == sys {
+			return c
+		}
+	}
+	return nil
+}
+
+// Speedups derives the speedup table the paper quotes in Section IV-B
+// (speedup of each configuration relative to the 8-task base case of the
+// same machine, scenario and system).
+type SpeedupRow struct {
+	Machine  MachineName
+	Scenario string
+	System   System
+	Tasks    int
+	Speedup  float64
+}
+
+// Speedups computes all speedup rows from the figure data.
+func (r *Fig6Result) Speedups() []SpeedupRow {
+	var rows []SpeedupRow
+	for _, base := range r.Cells {
+		if base.Tasks != 8 {
+			continue
+		}
+		for _, c := range r.Cells {
+			if c.Machine == base.Machine && c.Scenario.Name == base.Scenario.Name &&
+				c.System == base.System && c.Tasks != 8 {
+				rows = append(rows, SpeedupRow{
+					Machine: c.Machine, Scenario: c.Scenario.Name, System: c.System,
+					Tasks:   c.Tasks,
+					Speedup: base.Runtime.Seconds() / c.Runtime.Seconds(),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// WriteSpeedups renders the speedup table.
+func (r *Fig6Result) WriteSpeedups(w io.Writer) {
+	fmt.Fprintln(w, "Speedups vs 8-task base case (Section IV-B)")
+	t := metrics.NewTable("machine", "scenario", "system", "tasks", "speedup")
+	for _, row := range r.Speedups() {
+		t.AddRow(string(row.Machine), row.Scenario, string(row.System),
+			fmt.Sprintf("%d", row.Tasks), fmt.Sprintf("%.2f", row.Speedup))
+	}
+	t.Write(w)
+}

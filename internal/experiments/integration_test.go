@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hpc"
+	"repro/internal/kmeans"
+	"repro/internal/sim"
+)
+
+// TestFig6CellDeterministic re-runs one full Figure 6 cell with the same
+// seed and demands bit-identical timing — the property the whole
+// evaluation's reproducibility rests on.
+func TestFig6CellDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		cell, err := runFig6Cell(Wrangler, kmeans.PaperScenarios[1], 16, 2, RPYARN,
+			kmeans.DefaultCostModel(), 123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cell.Runtime
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed runs diverged: %v vs %v", a, b)
+	}
+	c, err := runFig6Cell(Wrangler, kmeans.PaperScenarios[1], 16, 2, RPYARN,
+		kmeans.DefaultCostModel(), 124)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Runtime == a {
+		t.Fatalf("different seeds produced identical runtimes (%v); jitter not applied", a)
+	}
+}
+
+// TestKMeansOnSparkPilot runs the K-Means workload through a ModeSpark
+// pilot: the third integration path the paper's design supports.
+func TestKMeansOnSparkPilot(t *testing.T) {
+	env, err := NewEnv(Wrangler, 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	var makespan time.Duration
+	env.Eng.Spawn("driver", func(p *sim.Proc) {
+		pm := core.NewPilotManager(env.Session)
+		pl, err := pm.Submit(p, core.PilotDescription{
+			Resource: "wrangler", Nodes: 2, Runtime: 4 * time.Hour, Mode: core.ModeSpark,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !pl.WaitState(p, core.PilotActive) {
+			t.Errorf("pilot %v", pl.State())
+			return
+		}
+		um := core.NewUnitManager(env.Session)
+		um.AddPilot(pl)
+		res, err := kmeans.RunWorkload(p, um, kmeans.PaperScenarios[0], 16,
+			kmeans.DefaultCostModel(), sim.NewRNG(31))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		makespan = res.Makespan
+		pl.Cancel()
+	})
+	env.Eng.Run()
+	if makespan <= 0 {
+		t.Fatal("workload did not run")
+	}
+	// Spark executors avoid both the per-unit YARN startup and the fork
+	// path's Lustre sandbox: makespan should be in the same band as the
+	// compute time (2 iterations × ~231 s at Wrangler rate for 16
+	// tasks of the 10k scenario).
+	if makespan < 6*time.Minute || makespan > 14*time.Minute {
+		t.Fatalf("spark-pilot makespan = %v, outside the plausible band", makespan)
+	}
+}
+
+// TestPilotWalltimeDuringWorkload kills the pilot mid-K-Means and checks
+// clean failure semantics end to end: the workload reports an error, and
+// units end canceled or failed rather than hanging.
+func TestPilotWalltimeDuringWorkload(t *testing.T) {
+	env, err := NewEnv(Stampede, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	var workloadErr error
+	env.Eng.Spawn("driver", func(p *sim.Proc) {
+		pm := core.NewPilotManager(env.Session)
+		// Walltime far shorter than the workload needs.
+		pl, err := pm.Submit(p, core.PilotDescription{
+			Resource: "stampede", Nodes: 1, Runtime: 5 * time.Minute, Mode: core.ModeHPC,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !pl.WaitState(p, core.PilotActive) {
+			t.Errorf("pilot %v", pl.State())
+			return
+		}
+		um := core.NewUnitManager(env.Session)
+		um.AddPilot(pl)
+		_, workloadErr = kmeans.RunWorkload(p, um, kmeans.PaperScenarios[2], 8,
+			kmeans.DefaultCostModel(), sim.NewRNG(17))
+		pilotState := pl.Wait(p)
+		if pilotState != core.PilotFailed {
+			t.Errorf("pilot state = %v, want FAILED (walltime)", pilotState)
+		}
+	})
+	env.Eng.Run()
+	if workloadErr == nil {
+		t.Fatal("workload should have failed when the pilot hit its walltime")
+	}
+}
+
+// TestBusyMachineDelaysPilot runs Figure 5's pilot launch against a
+// machine under synthetic background load: queue wait grows, agent
+// startup stays the same — the decomposition the pilot abstraction
+// makes visible.
+func TestBusyMachineDelaysPilot(t *testing.T) {
+	launch := func(load bool) (queue, startup time.Duration) {
+		env, err := NewEnv(Stampede, 4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer env.Close()
+		if load {
+			if err := env.Batch.GenerateLoad(loadSpec(), 11); err != nil {
+				t.Fatal(err)
+			}
+		}
+		env.Eng.Spawn("driver", func(p *sim.Proc) {
+			p.Sleep(10 * time.Minute) // submit into the backlog
+			pm := core.NewPilotManager(env.Session)
+			pl, err := pm.Submit(p, core.PilotDescription{
+				Resource: "stampede", Nodes: 2, Runtime: time.Hour, Mode: core.ModeHPC,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !pl.WaitState(p, core.PilotActive) {
+				t.Errorf("pilot %v", pl.State())
+				return
+			}
+			queue, startup = pl.QueueWait(), pl.AgentStartup()
+			pl.Cancel()
+		})
+		env.Eng.Run()
+		return queue, startup
+	}
+	idleQ, idleS := launch(false)
+	busyQ, busyS := launch(true)
+	if busyQ <= idleQ {
+		t.Fatalf("busy queue wait (%v) not above idle (%v)", busyQ, idleQ)
+	}
+	ratio := busyS.Seconds() / idleS.Seconds()
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Fatalf("agent startup changed with load: %v vs %v", busyS, idleS)
+	}
+}
+
+func loadSpec() hpc.LoadSpec {
+	return hpc.LoadSpec{
+		MeanInterarrival: 45 * time.Second,
+		MeanRuntime:      12 * time.Minute,
+		MaxNodes:         3,
+		Window:           time.Hour,
+	}
+}

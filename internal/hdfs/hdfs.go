@@ -1,0 +1,344 @@
+// Package hdfs models the Hadoop Distributed File System as deployed
+// inside an HPC allocation (Mode I) or on a dedicated Hadoop environment
+// (Mode II): a NameNode holding the namespace and block map, DataNodes
+// co-located with compute nodes writing to their local disks, pipelined
+// replication, and locality-aware reads.
+//
+// The model captures what the paper's evaluation depends on: block
+// placement determines data locality for YARN/MapReduce tasks, and reads
+// and writes consume node-local disk bandwidth instead of the shared
+// parallel filesystem.
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Config tunes the filesystem.
+type Config struct {
+	// BlockSize is the HDFS block size in bytes (default 128 MB).
+	BlockSize int64
+	// Replication is the target replica count (default 3, capped at the
+	// number of DataNodes).
+	Replication int
+	// NameNodeLatency is the client RPC round trip to the NameNode.
+	NameNodeLatency sim.Duration
+}
+
+// DefaultConfig mirrors Hadoop 2.x defaults.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:       128 << 20,
+		Replication:     3,
+		NameNodeLatency: 2e6, // 2ms
+	}
+}
+
+func (c *Config) fill() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 128 << 20
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+}
+
+// Block is one replicated block of a file.
+type Block struct {
+	ID       int
+	Size     int64
+	Replicas []*DataNode
+}
+
+// file is the NameNode-side metadata of one file.
+type file struct {
+	path   string
+	size   int64
+	blocks []*Block
+}
+
+// DataNode serves block data from one compute node's local disk.
+type DataNode struct {
+	Node *cluster.Node
+	used int64
+}
+
+// Used returns the bytes stored on this DataNode.
+func (d *DataNode) Used() int64 { return d.used }
+
+// FileSystem is a deployed HDFS instance: one NameNode plus DataNodes on
+// the given compute nodes. The first node hosts the NameNode (as the
+// paper's LRM does: "the node that is running the Agent [runs] the HDFS
+// Namenode").
+type FileSystem struct {
+	eng  *sim.Engine
+	cfg  Config
+	dns  []*DataNode
+	byID map[int]*DataNode // cluster node ID -> DataNode
+	// nn guards namespace metadata operations; a single NameNode
+	// serializes them.
+	nn      *sim.Resource
+	files   map[string]*file
+	nextBlk int
+
+	// Locality counters for evaluation.
+	localReads  int
+	remoteReads int
+}
+
+// New deploys HDFS over the given nodes. All nodes run DataNodes; node[0]
+// additionally hosts the NameNode.
+func New(e *sim.Engine, cfg Config, nodes []*cluster.Node) (*FileSystem, error) {
+	cfg.fill()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("hdfs: need at least one node")
+	}
+	fs := &FileSystem{
+		eng:   e,
+		cfg:   cfg,
+		nn:    sim.NewResource(e, 1),
+		files: make(map[string]*file),
+		byID:  make(map[int]*DataNode),
+	}
+	for _, n := range nodes {
+		dn := &DataNode{Node: n}
+		fs.dns = append(fs.dns, dn)
+		fs.byID[n.ID] = dn
+	}
+	return fs, nil
+}
+
+// Config returns the filesystem configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// DataNodes returns the DataNodes in deployment order.
+func (fs *FileSystem) DataNodes() []*DataNode { return fs.dns }
+
+// LocalReads and RemoteReads report block-read locality counters.
+func (fs *FileSystem) LocalReads() int  { return fs.localReads }
+func (fs *FileSystem) RemoteReads() int { return fs.remoteReads }
+
+// nnOp performs one NameNode metadata operation (RPC + serialized
+// handling).
+func (fs *FileSystem) nnOp(p *sim.Proc) {
+	p.Sleep(fs.cfg.NameNodeLatency)
+	fs.nn.Acquire(p, 1)
+	p.Sleep(200e3) // 200µs namespace handling
+	fs.nn.Release(1)
+}
+
+// Exists reports whether path exists (one NameNode op).
+func (fs *FileSystem) Exists(p *sim.Proc, path string) bool {
+	fs.nnOp(p)
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Size returns the size of the file at path.
+func (fs *FileSystem) Size(p *sim.Proc, path string) (int64, error) {
+	fs.nnOp(p)
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("hdfs: %s: no such file", path)
+	}
+	return f.size, nil
+}
+
+// Delete removes a file and frees its replicas' space.
+func (fs *FileSystem) Delete(p *sim.Proc, path string) error {
+	fs.nnOp(p)
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("hdfs: %s: no such file", path)
+	}
+	for _, b := range f.blocks {
+		for _, dn := range b.Replicas {
+			dn.used -= b.Size
+		}
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// placeReplicas chooses target DataNodes for one block: the writer's
+// local DataNode first (HDFS write affinity), then the least-used other
+// nodes, ties broken by node ID for determinism.
+func (fs *FileSystem) placeReplicas(writer *cluster.Node) []*DataNode {
+	n := fs.cfg.Replication
+	if n > len(fs.dns) {
+		n = len(fs.dns)
+	}
+	var chosen []*DataNode
+	if local, ok := fs.byID[writer.ID]; ok {
+		chosen = append(chosen, local)
+	}
+	rest := make([]*DataNode, 0, len(fs.dns))
+	for _, dn := range fs.dns {
+		if len(chosen) > 0 && dn == chosen[0] {
+			continue
+		}
+		rest = append(rest, dn)
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].used != rest[j].used {
+			return rest[i].used < rest[j].used
+		}
+		return rest[i].Node.ID < rest[j].Node.ID
+	})
+	for _, dn := range rest {
+		if len(chosen) == n {
+			break
+		}
+		chosen = append(chosen, dn)
+	}
+	return chosen
+}
+
+// Write creates a file of the given size written from node writer. Blocks
+// are written sequentially (single writer stream); each block's replica
+// pipeline overlaps network hops and disk writes. Returns an error if the
+// file exists.
+func (fs *FileSystem) Write(p *sim.Proc, path string, size int64, writer *cluster.Node) error {
+	if size < 0 {
+		return fmt.Errorf("hdfs: negative size %d for %s", size, path)
+	}
+	fs.nnOp(p)
+	if _, ok := fs.files[path]; ok {
+		return fmt.Errorf("hdfs: %s: file exists", path)
+	}
+	f := &file{path: path, size: size}
+	fs.files[path] = f
+	m := writer.Machine()
+	remaining := size
+	for remaining > 0 || len(f.blocks) == 0 {
+		bs := fs.cfg.BlockSize
+		if remaining < bs {
+			bs = remaining
+		}
+		fs.nextBlk++
+		blk := &Block{ID: fs.nextBlk, Size: bs}
+		blk.Replicas = fs.placeReplicas(writer)
+		f.blocks = append(f.blocks, blk)
+
+		// Replication pipeline: the client streams to the first
+		// replica, which streams to the second, and so on. In the fluid
+		// model the hops and disk writes proceed concurrently and the
+		// block completes when the slowest leg finishes.
+		var legs []*sim.Event
+		prev := writer
+		for _, dn := range blk.Replicas {
+			if dn.Node != prev {
+				legs = append(legs, startNetTransfer(m, prev, dn.Node, bs))
+			}
+			dn.Node.Disk.Touch(p)
+			legs = append(legs, dn.Node.Disk.StartWrite(bs))
+			dn.used += bs
+			prev = dn.Node
+		}
+		for _, ev := range legs {
+			p.Wait(ev)
+		}
+		remaining -= bs
+		if bs == 0 {
+			break
+		}
+	}
+	return nil
+}
+
+// Read reads the whole file from node reader, preferring local replicas.
+func (fs *FileSystem) Read(p *sim.Proc, path string, reader *cluster.Node) error {
+	fs.nnOp(p)
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("hdfs: %s: no such file", path)
+	}
+	for _, blk := range f.blocks {
+		fs.readBlock(p, blk, reader)
+	}
+	return nil
+}
+
+// ReadBlock reads one block of a file from the given node (used by
+// MapReduce tasks that process a single split).
+func (fs *FileSystem) ReadBlock(p *sim.Proc, path string, idx int, reader *cluster.Node) error {
+	fs.nnOp(p)
+	f, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("hdfs: %s: no such file", path)
+	}
+	if idx < 0 || idx >= len(f.blocks) {
+		return fmt.Errorf("hdfs: %s: block %d out of range [0,%d)", path, idx, len(f.blocks))
+	}
+	fs.readBlock(p, f.blocks[idx], reader)
+	return nil
+}
+
+func (fs *FileSystem) readBlock(p *sim.Proc, blk *Block, reader *cluster.Node) {
+	// Prefer a replica on the reading node.
+	for _, dn := range blk.Replicas {
+		if dn.Node == reader {
+			fs.localReads++
+			dn.Node.Disk.Read(p, blk.Size)
+			return
+		}
+	}
+	// Remote read: pick the least-loaded replica deterministically,
+	// stream disk → network concurrently (slowest leg dominates), after
+	// paying the connection setup to the remote DataNode.
+	fs.remoteReads++
+	src := blk.Replicas[0]
+	for _, dn := range blk.Replicas[1:] {
+		if dn.used < src.used || (dn.used == src.used && dn.Node.ID < src.Node.ID) {
+			src = dn
+		}
+	}
+	p.Sleep(time.Millisecond) // DataTransferProtocol connection setup
+	src.Node.Disk.Touch(p)
+	legDisk := src.Node.Disk.StartRead(blk.Size)
+	legNet := startNetTransfer(reader.Machine(), src.Node, reader, blk.Size)
+	p.Wait(legDisk)
+	p.Wait(legNet)
+}
+
+// Locations returns the nodes holding each block of the file, in block
+// order — the information MapReduce uses to place map tasks.
+func (fs *FileSystem) Locations(p *sim.Proc, path string) ([][]*cluster.Node, error) {
+	fs.nnOp(p)
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: %s: no such file", path)
+	}
+	locs := make([][]*cluster.Node, len(f.blocks))
+	for i, blk := range f.blocks {
+		for _, dn := range blk.Replicas {
+			locs[i] = append(locs[i], dn.Node)
+		}
+	}
+	return locs, nil
+}
+
+// startNetTransfer launches the three legs of a node-to-node transfer and
+// returns an event that triggers when the slowest leg finishes.
+func startNetTransfer(m *cluster.Machine, src, dst *cluster.Node, bytes int64) *sim.Event {
+	done := sim.NewEvent(m.Engine)
+	if src == dst || bytes <= 0 {
+		done.Trigger()
+		return done
+	}
+	evSrc := src.NIC.StartTransfer(bytes)
+	evFab := m.Fabric.StartTransfer(bytes)
+	evDst := dst.NIC.StartTransfer(bytes)
+	m.Engine.Spawn("hdfs:xfer", func(p *sim.Proc) {
+		p.Wait(evSrc)
+		p.Wait(evFab)
+		p.Wait(evDst)
+		done.Trigger()
+	})
+	return done
+}

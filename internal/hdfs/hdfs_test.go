@@ -1,0 +1,308 @@
+package hdfs
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func testMachine(e *sim.Engine, nodes int) *cluster.Machine {
+	return cluster.New(e, cluster.MachineSpec{
+		Name:  "tm",
+		Nodes: nodes,
+		Node: cluster.NodeSpec{
+			Cores: 4, MemoryMB: 4096, DiskBW: 100e6, NICBW: 1e9,
+		},
+		FabricBW:  10e9,
+		Lustre:    storage.LustreSpec{AggregateBW: 1e9, MDSServers: 2},
+		CPUFactor: 1,
+	})
+}
+
+func deploy(t *testing.T, e *sim.Engine, m *cluster.Machine, cfg Config) *FileSystem {
+	t.Helper()
+	fs, err := New(e, cfg, m.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestWriteReadRoundtrip(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 3)
+	fs := deploy(t, e, m, DefaultConfig())
+	e.Spawn("client", func(p *sim.Proc) {
+		if err := fs.Write(p, "/data/input", 300<<20, m.Nodes[0]); err != nil {
+			t.Error(err)
+		}
+		if !fs.Exists(p, "/data/input") {
+			t.Error("file missing after write")
+		}
+		sz, err := fs.Size(p, "/data/input")
+		if err != nil || sz != 300<<20 {
+			t.Errorf("size = %d (%v), want 300MB", sz, err)
+		}
+		if err := fs.Read(p, "/data/input", m.Nodes[1]); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestBlockCountAndPlacement(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 3)
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	fs := deploy(t, e, m, cfg)
+	e.Spawn("client", func(p *sim.Proc) {
+		// 300 MB / 128 MB blocks → 3 blocks (128+128+44).
+		if err := fs.Write(p, "/f", 300<<20, m.Nodes[1]); err != nil {
+			t.Error(err)
+		}
+		locs, err := fs.Locations(p, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(locs) != 3 {
+			t.Fatalf("blocks = %d, want 3", len(locs))
+		}
+		for i, l := range locs {
+			if len(l) != 2 {
+				t.Fatalf("block %d has %d replicas, want 2", i, len(l))
+			}
+			// Write affinity: first replica on the writer's node.
+			if l[0] != m.Nodes[1] {
+				t.Fatalf("block %d first replica on %s, want writer node", i, l[0].Name)
+			}
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestReplicationCappedAtClusterSize(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	fs := deploy(t, e, m, DefaultConfig()) // replication 3 > 2 nodes
+	e.Spawn("client", func(p *sim.Proc) {
+		if err := fs.Write(p, "/f", 10<<20, m.Nodes[0]); err != nil {
+			t.Error(err)
+		}
+		locs, _ := fs.Locations(p, "/f")
+		if len(locs[0]) != 2 {
+			t.Fatalf("replicas = %d, want 2 (capped)", len(locs[0]))
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestLocalReadFasterThanRemote(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 3)
+	cfg := DefaultConfig()
+	cfg.Replication = 1 // single replica on the writer's node
+	fs := deploy(t, e, m, cfg)
+	var localT, remoteT time.Duration
+	e.Spawn("client", func(p *sim.Proc) {
+		if err := fs.Write(p, "/f", 100<<20, m.Nodes[0]); err != nil {
+			t.Error(err)
+		}
+		t0 := p.Now()
+		if err := fs.Read(p, "/f", m.Nodes[0]); err != nil {
+			t.Error(err)
+		}
+		localT = p.Now() - t0
+		t0 = p.Now()
+		if err := fs.Read(p, "/f", m.Nodes[2]); err != nil {
+			t.Error(err)
+		}
+		remoteT = p.Now() - t0
+	})
+	e.Run()
+	e.Close()
+	if localT >= remoteT {
+		t.Fatalf("local read %v not faster than remote %v", localT, remoteT)
+	}
+	if fs.LocalReads() != 1 || fs.RemoteReads() != 1 {
+		t.Fatalf("locality counters local=%d remote=%d, want 1/1", fs.LocalReads(), fs.RemoteReads())
+	}
+}
+
+func TestPlacementBalancesAcrossDataNodes(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 4)
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	cfg.BlockSize = 64 << 20
+	fs := deploy(t, e, m, cfg)
+	e.Spawn("client", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			path := "/f" + string(rune('a'+i))
+			if err := fs.Write(p, path, 64<<20, m.Nodes[0]); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	e.Run()
+	e.Close()
+	// Writer node holds one replica of everything (8 blocks); the other
+	// 8 replicas must spread over the remaining three nodes.
+	var others []int64
+	for _, dn := range fs.DataNodes()[1:] {
+		others = append(others, dn.Used())
+	}
+	for _, u := range others {
+		if u == 0 {
+			t.Fatalf("unbalanced placement: %v", others)
+		}
+	}
+}
+
+func TestWriteExistingFileFails(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	fs := deploy(t, e, m, DefaultConfig())
+	e.Spawn("client", func(p *sim.Proc) {
+		if err := fs.Write(p, "/f", 1<<20, m.Nodes[0]); err != nil {
+			t.Error(err)
+		}
+		if err := fs.Write(p, "/f", 1<<20, m.Nodes[0]); err == nil {
+			t.Error("overwrite silently accepted")
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestDeleteFreesSpace(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	fs := deploy(t, e, m, DefaultConfig())
+	e.Spawn("client", func(p *sim.Proc) {
+		if err := fs.Write(p, "/f", 50<<20, m.Nodes[0]); err != nil {
+			t.Error(err)
+		}
+		if err := fs.Delete(p, "/f"); err != nil {
+			t.Error(err)
+		}
+		if fs.Exists(p, "/f") {
+			t.Error("file exists after delete")
+		}
+		if err := fs.Delete(p, "/f"); err == nil {
+			t.Error("double delete accepted")
+		}
+	})
+	e.Run()
+	e.Close()
+	for _, dn := range fs.DataNodes() {
+		if dn.Used() != 0 {
+			t.Fatalf("space leaked on %s: %d", dn.Node.Name, dn.Used())
+		}
+	}
+}
+
+func TestReadMissingFileFails(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	fs := deploy(t, e, m, DefaultConfig())
+	e.Spawn("client", func(p *sim.Proc) {
+		if err := fs.Read(p, "/nope", m.Nodes[0]); err == nil {
+			t.Error("read of missing file succeeded")
+		}
+		if err := fs.ReadBlock(p, "/nope", 0, m.Nodes[0]); err == nil {
+			t.Error("block read of missing file succeeded")
+		}
+		if _, err := fs.Size(p, "/nope"); err == nil {
+			t.Error("size of missing file succeeded")
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestReadBlockOutOfRange(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	fs := deploy(t, e, m, DefaultConfig())
+	e.Spawn("client", func(p *sim.Proc) {
+		fs.Write(p, "/f", 10<<20, m.Nodes[0])
+		if err := fs.ReadBlock(p, "/f", 5, m.Nodes[0]); err == nil {
+			t.Error("out-of-range block read succeeded")
+		}
+		if err := fs.ReadBlock(p, "/f", 0, m.Nodes[0]); err != nil {
+			t.Errorf("valid block read failed: %v", err)
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestZeroByteFile(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	fs := deploy(t, e, m, DefaultConfig())
+	e.Spawn("client", func(p *sim.Proc) {
+		if err := fs.Write(p, "/empty", 0, m.Nodes[0]); err != nil {
+			t.Error(err)
+		}
+		sz, err := fs.Size(p, "/empty")
+		if err != nil || sz != 0 {
+			t.Errorf("size = %d (%v)", sz, err)
+		}
+		if err := fs.Read(p, "/empty", m.Nodes[1]); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+// Property: for any write workload, per-DataNode used bytes equal the sum
+// of replica sizes, and total replicas per block = min(replication, #dn).
+func TestSpaceAccountingProperty(t *testing.T) {
+	prop := func(seed int64, nFiles uint8) bool {
+		e := sim.NewEngine()
+		m := testMachine(e, 3)
+		cfg := DefaultConfig()
+		cfg.BlockSize = 32 << 20
+		fs, _ := New(e, cfg, m.Nodes)
+		rng := sim.NewRNG(seed)
+		n := int(nFiles%6) + 1
+		var totalBytes int64
+		ok := true
+		e.Spawn("client", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				size := int64(rng.Intn(100)+1) << 20
+				writer := m.Nodes[rng.Intn(3)]
+				path := "/p" + string(rune('a'+i))
+				if err := fs.Write(p, path, size, writer); err != nil {
+					ok = false
+					return
+				}
+				// 3 replicas (capped at 3 nodes): every block is on all
+				// nodes, so total used = 3 * ceil-block-sum.
+				nblocks := (size + cfg.BlockSize - 1) / cfg.BlockSize
+				_ = nblocks
+				totalBytes += size
+			}
+		})
+		e.Run()
+		e.Close()
+		var used int64
+		for _, dn := range fs.DataNodes() {
+			used += dn.Used()
+		}
+		return ok && used == 3*totalBytes
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

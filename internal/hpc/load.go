@@ -1,0 +1,67 @@
+package hpc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// LoadSpec configures a synthetic background workload: the jobs of other
+// users sharing the machine, which create realistic queue waits for
+// pilot jobs (production machines are rarely idle).
+type LoadSpec struct {
+	// MeanInterarrival is the mean time between submissions
+	// (exponentially distributed).
+	MeanInterarrival sim.Duration
+	// MeanRuntime is the mean job runtime (exponential, walltime 2x).
+	MeanRuntime sim.Duration
+	// MaxNodes caps the per-job node request (uniform in [1, MaxNodes]).
+	MaxNodes int
+	// Window bounds the generation period; submissions stop afterwards
+	// (running jobs drain naturally). Must be positive: unbounded
+	// generation would keep the simulation alive forever.
+	Window sim.Duration
+}
+
+// GenerateLoad starts a background submission process. It returns an
+// error for invalid specs.
+func (b *Batch) GenerateLoad(spec LoadSpec, seed int64) error {
+	if spec.Window <= 0 {
+		return fmt.Errorf("hpc: load window must be positive (unbounded load never quiesces)")
+	}
+	if spec.MeanInterarrival <= 0 || spec.MeanRuntime <= 0 {
+		return fmt.Errorf("hpc: load needs positive interarrival and runtime means")
+	}
+	if spec.MaxNodes <= 0 || spec.MaxNodes > len(b.machine.Nodes) {
+		return fmt.Errorf("hpc: load MaxNodes %d invalid for a %d-node machine", spec.MaxNodes, len(b.machine.Nodes))
+	}
+	rng := sim.SubRNG(seed, "hpc-load:"+b.machine.Spec.Name)
+	b.eng.SpawnDaemon("hpc-load:"+b.machine.Spec.Name, func(p *sim.Proc) {
+		deadline := p.Now() + spec.Window
+		for i := 0; ; i++ {
+			p.Sleep(sim.ExpDuration(rng, spec.MeanInterarrival))
+			if p.Now() >= deadline {
+				return
+			}
+			runtime := sim.ExpDuration(rng, spec.MeanRuntime)
+			if runtime < sim.Duration(1e9) {
+				runtime = 1e9 // at least a second
+			}
+			nodes := rng.Intn(spec.MaxNodes) + 1
+			_, err := b.Submit(JobSpec{
+				Name:     fmt.Sprintf("bg-%04d", i),
+				Nodes:    nodes,
+				WallTime: 2 * runtime,
+				Queue:    "normal",
+				Run: func(jp *sim.Proc, _ *Allocation) {
+					jp.Sleep(runtime)
+				},
+			})
+			if err != nil {
+				// Machine shrank or misconfiguration: stop generating.
+				return
+			}
+		}
+	})
+	return nil
+}

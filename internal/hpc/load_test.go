@@ -1,0 +1,94 @@
+package hpc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestGenerateLoadValidation(t *testing.T) {
+	e := sim.NewEngine()
+	b := NewBatch(testMachine(e, 4), fastConfig())
+	bad := []LoadSpec{
+		{MeanInterarrival: time.Minute, MeanRuntime: time.Minute, MaxNodes: 2},              // no window
+		{MeanInterarrival: 0, MeanRuntime: time.Minute, MaxNodes: 2, Window: time.Hour},     // no arrivals
+		{MeanInterarrival: time.Minute, MeanRuntime: time.Minute, MaxNodes: 0, Window: 1e9}, // no nodes
+		{MeanInterarrival: time.Minute, MeanRuntime: time.Minute, MaxNodes: 9, Window: 1e9}, // too many nodes
+	}
+	for i, spec := range bad {
+		if err := b.GenerateLoad(spec, 1); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	e.Close()
+}
+
+func TestBackgroundLoadCreatesQueueWait(t *testing.T) {
+	queueWait := func(withLoad bool) time.Duration {
+		e := sim.NewEngine()
+		b := NewBatch(testMachine(e, 4), fastConfig())
+		if withLoad {
+			if err := b.GenerateLoad(LoadSpec{
+				MeanInterarrival: 30 * time.Second,
+				MeanRuntime:      10 * time.Minute,
+				MaxNodes:         3,
+				Window:           time.Hour,
+			}, 9); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wait time.Duration
+		// Submit the probe job after the machine has filled up.
+		e.Spawn("probe", func(p *sim.Proc) {
+			p.Sleep(10 * time.Minute)
+			j, err := b.Submit(JobSpec{
+				Name: "probe", Nodes: 2, WallTime: time.Hour,
+				Run: func(jp *sim.Proc, _ *Allocation) { jp.Sleep(time.Minute) },
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Wait(j.Done)
+			wait = j.QueueWait()
+		})
+		e.Run()
+		e.Close()
+		return wait
+	}
+	idle := queueWait(false)
+	busy := queueWait(true)
+	if busy <= idle {
+		t.Fatalf("queue wait under load (%v) not above idle wait (%v)", busy, idle)
+	}
+	if busy < time.Minute {
+		t.Fatalf("queue wait under load = %v, expected minutes-scale contention", busy)
+	}
+}
+
+func TestLoadDrainsAndSimulationEnds(t *testing.T) {
+	// The load window bounds generation, so Run must terminate once the
+	// (normal-process) workload payloads drain. A driver keeps the
+	// simulation alive through the generation window, as a real
+	// experiment process would.
+	e := sim.NewEngine()
+	b := NewBatch(testMachine(e, 4), fastConfig())
+	if err := b.GenerateLoad(LoadSpec{
+		MeanInterarrival: time.Minute,
+		MeanRuntime:      5 * time.Minute,
+		MaxNodes:         2,
+		Window:           30 * time.Minute,
+	}, 4); err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("driver", func(p *sim.Proc) { p.Sleep(30 * time.Minute) })
+	e.Run() // must return despite the generator daemon
+	e.Close()
+	if b.RunningJobs() != 0 || b.QueueLength() != 0 {
+		t.Fatalf("load did not drain: running=%d queued=%d", b.RunningJobs(), b.QueueLength())
+	}
+	if b.CompletedJobs() == 0 {
+		t.Fatal("no background jobs ran")
+	}
+}

@@ -1,0 +1,241 @@
+// Package kmeans provides the paper's evaluation workload: K-Means
+// clustering over three-dimensional points (Section IV-B). It contains
+// two planes:
+//
+//   - A real, executable K-Means (this file): Lloyd's algorithm with
+//     k-means++ seeding, used by the examples and validated by property
+//     tests.
+//
+//   - A calibrated workload model (model.go, workload.go) that drives
+//     the same partitioning through the simulated middleware, so that
+//     Figure 6's scenarios run against simulated Stampede/Wrangler
+//     hardware with the paper's Python-era task costs.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a point in R^3, matching the paper's three-dimensional space.
+type Point [3]float64
+
+// Dist2 returns the squared Euclidean distance to q.
+func (p Point) Dist2(q Point) float64 {
+	dx := p[0] - q[0]
+	dy := p[1] - q[1]
+	dz := p[2] - q[2]
+	return dx*dx + dy*dy + dz*dz
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p[0] + q[0], p[1] + q[1], p[2] + q[2]} }
+
+// Scale returns p * s.
+func (p Point) Scale(s float64) Point { return Point{p[0] * s, p[1] * s, p[2] * s} }
+
+// Result is the outcome of a K-Means run.
+type Result struct {
+	Centroids  []Point
+	Assignment []int
+	// Inertia is the sum of squared distances to assigned centroids.
+	Inertia float64
+	// Iterations actually performed.
+	Iterations int
+	// Converged reports whether assignments stabilized before the
+	// iteration limit.
+	Converged bool
+}
+
+// SeedPlusPlus picks k initial centroids with the k-means++ heuristic.
+func SeedPlusPlus(points []Point, k int, rng *rand.Rand) ([]Point, error) {
+	if k <= 0 || k > len(points) {
+		return nil, fmt.Errorf("kmeans: k=%d invalid for %d points", k, len(points))
+	}
+	centroids := make([]Point, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))])
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		sum := 0.0
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := p.Dist2(c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			// All remaining points coincide with centroids; fill
+			// deterministically.
+			centroids = append(centroids, points[len(centroids)%len(points)])
+			continue
+		}
+		r := rng.Float64() * sum
+		acc := 0.0
+		idx := len(points) - 1
+		for i, d := range d2 {
+			acc += d
+			if acc >= r {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, points[idx])
+	}
+	return centroids, nil
+}
+
+// Run executes Lloyd's algorithm for at most maxIter iterations starting
+// from the given centroids (which are not mutated).
+func Run(points []Point, centroids []Point, maxIter int) (*Result, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("kmeans: no points")
+	}
+	if len(centroids) == 0 || len(centroids) > len(points) {
+		return nil, fmt.Errorf("kmeans: %d centroids invalid for %d points", len(centroids), len(points))
+	}
+	if maxIter <= 0 {
+		return nil, fmt.Errorf("kmeans: maxIter must be positive, got %d", maxIter)
+	}
+	k := len(centroids)
+	cur := append([]Point(nil), centroids...)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	res := &Result{}
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := 0
+		sums := make([]Point, k)
+		counts := make([]int, k)
+		inertia := 0.0
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range cur {
+				if d := p.Dist2(cur[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				changed++
+				assign[i] = best
+			}
+			sums[best] = sums[best].Add(p)
+			counts[best]++
+			inertia += bestD
+		}
+		for c := range cur {
+			if counts[c] > 0 {
+				cur[c] = sums[c].Scale(1 / float64(counts[c]))
+			}
+		}
+		res.Inertia = inertia
+		if changed == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Centroids = cur
+	res.Assignment = assign
+	return res, nil
+}
+
+// PartialSums is the per-task map output of distributed K-Means: for
+// each cluster, the vector sum and count of the points assigned to it.
+// Merging partials and dividing yields the next centroids — the reduce
+// step.
+type PartialSums struct {
+	Sums   []Point
+	Counts []int
+}
+
+// AssignPartial computes the partial sums of one partition against the
+// given centroids (the map task's work).
+func AssignPartial(points []Point, centroids []Point) PartialSums {
+	ps := PartialSums{
+		Sums:   make([]Point, len(centroids)),
+		Counts: make([]int, len(centroids)),
+	}
+	for _, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c := range centroids {
+			if d := p.Dist2(centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		ps.Sums[best] = ps.Sums[best].Add(p)
+		ps.Counts[best]++
+	}
+	return ps
+}
+
+// MergePartials combines per-task partials into the next centroids (the
+// reduce step). Clusters with no points keep their previous centroid.
+func MergePartials(prev []Point, parts []PartialSums) ([]Point, error) {
+	k := len(prev)
+	sums := make([]Point, k)
+	counts := make([]int, k)
+	for _, ps := range parts {
+		if len(ps.Sums) != k || len(ps.Counts) != k {
+			return nil, fmt.Errorf("kmeans: partial has %d clusters, want %d", len(ps.Sums), k)
+		}
+		for c := 0; c < k; c++ {
+			sums[c] = sums[c].Add(ps.Sums[c])
+			counts[c] += ps.Counts[c]
+		}
+	}
+	next := make([]Point, k)
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			next[c] = sums[c].Scale(1 / float64(counts[c]))
+		} else {
+			next[c] = prev[c]
+		}
+	}
+	return next, nil
+}
+
+// GenerateBlobs draws n points from k Gaussian blobs with the given
+// spread, deterministically for a seed. It returns the points and the
+// true centers.
+func GenerateBlobs(n, k int, spread float64, rng *rand.Rand) ([]Point, []Point) {
+	centers := make([]Point, k)
+	for i := range centers {
+		centers[i] = Point{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+	}
+	points := make([]Point, n)
+	for i := range points {
+		c := centers[i%k]
+		points[i] = Point{
+			c[0] + rng.NormFloat64()*spread,
+			c[1] + rng.NormFloat64()*spread,
+			c[2] + rng.NormFloat64()*spread,
+		}
+	}
+	return points, centers
+}
+
+// Partition splits points into n nearly equal contiguous partitions.
+func Partition(points []Point, n int) [][]Point {
+	if n <= 0 {
+		return nil
+	}
+	parts := make([][]Point, 0, n)
+	per := (len(points) + n - 1) / n
+	for start := 0; start < len(points); start += per {
+		end := start + per
+		if end > len(points) {
+			end = len(points)
+		}
+		parts = append(parts, points[start:end])
+	}
+	for len(parts) < n {
+		parts = append(parts, nil)
+	}
+	return parts
+}

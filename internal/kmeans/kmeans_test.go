@@ -1,0 +1,190 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestRunConvergesOnBlobs(t *testing.T) {
+	rng := sim.NewRNG(7)
+	points, centers := GenerateBlobs(3000, 5, 1.0, rng)
+	seeds, err := SeedPlusPlus(points, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(points, seeds, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge on well-separated blobs")
+	}
+	// Every true center must be close to some found centroid.
+	for _, c := range centers {
+		best := math.Inf(1)
+		for _, f := range res.Centroids {
+			if d := c.Dist2(f); d < best {
+				best = d
+			}
+		}
+		if best > 4 { // within ~2 units of a spread-1 blob center
+			t.Fatalf("center %v unmatched (closest %.2f away)", c, math.Sqrt(best))
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pts := []Point{{1, 2, 3}, {4, 5, 6}}
+	if _, err := Run(nil, pts[:1], 5); err == nil {
+		t.Error("no points accepted")
+	}
+	if _, err := Run(pts, nil, 5); err == nil {
+		t.Error("no centroids accepted")
+	}
+	if _, err := Run(pts, []Point{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}}, 5); err == nil {
+		t.Error("more centroids than points accepted")
+	}
+	if _, err := Run(pts, pts[:1], 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := SeedPlusPlus(pts, 0, sim.NewRNG(1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := SeedPlusPlus(pts, 3, sim.NewRNG(1)); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestInertiaNonIncreasing(t *testing.T) {
+	rng := sim.NewRNG(11)
+	points, _ := GenerateBlobs(1000, 4, 5.0, rng)
+	seeds, _ := SeedPlusPlus(points, 4, rng)
+	prev := math.Inf(1)
+	cur := seeds
+	for i := 0; i < 10; i++ {
+		res, err := Run(points, cur, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Fatalf("inertia increased at step %d: %.4f -> %.4f", i, prev, res.Inertia)
+		}
+		prev = res.Inertia
+		cur = res.Centroids
+	}
+}
+
+// Property: distributed K-Means (partition → AssignPartial → Merge)
+// produces exactly the centroids of one sequential Lloyd iteration.
+func TestDistributedMatchesSequentialProperty(t *testing.T) {
+	prop := func(seed int64, nParts uint8) bool {
+		rng := sim.NewRNG(seed)
+		n := int(nParts%7) + 1
+		points, _ := GenerateBlobs(500, 3, 3.0, rng)
+		seeds, err := SeedPlusPlus(points, 3, rng)
+		if err != nil {
+			return false
+		}
+		// Sequential single iteration.
+		seq, err := Run(points, seeds, 1)
+		if err != nil {
+			return false
+		}
+		// Distributed single iteration.
+		var parts []PartialSums
+		for _, part := range Partition(points, n) {
+			parts = append(parts, AssignPartial(part, seeds))
+		}
+		merged, err := MergePartials(seeds, parts)
+		if err != nil {
+			return false
+		}
+		for c := range merged {
+			if merged[c].Dist2(seq.Centroids[c]) > 1e-18 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergePartialsValidation(t *testing.T) {
+	prev := []Point{{0, 0, 0}, {1, 1, 1}}
+	bad := PartialSums{Sums: make([]Point, 1), Counts: make([]int, 1)}
+	if _, err := MergePartials(prev, []PartialSums{bad}); err == nil {
+		t.Error("mismatched partial accepted")
+	}
+	// Empty cluster keeps its previous centroid.
+	empty := PartialSums{Sums: make([]Point, 2), Counts: make([]int, 2)}
+	empty.Sums[0] = Point{4, 4, 4}
+	empty.Counts[0] = 2
+	next, err := MergePartials(prev, []PartialSums{empty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next[0] != (Point{2, 2, 2}) {
+		t.Fatalf("cluster 0 = %v, want {2 2 2}", next[0])
+	}
+	if next[1] != prev[1] {
+		t.Fatalf("empty cluster moved: %v", next[1])
+	}
+}
+
+func TestPartition(t *testing.T) {
+	pts := make([]Point, 10)
+	parts := Partition(pts, 3)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != 10 {
+		t.Fatalf("partition lost points: %d", total)
+	}
+	if Partition(pts, 0) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	// More partitions than points: padded with empties.
+	parts = Partition(pts[:2], 4)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d, want 4", len(parts))
+	}
+}
+
+func TestCostModelShape(t *testing.T) {
+	m := DefaultCostModel()
+	// The paper's design: constant compute across scenarios, emission
+	// growing with points.
+	var computes []float64
+	var emits []int64
+	for _, s := range PaperScenarios {
+		c := m.TaskCostFor(s, 8)
+		computes = append(computes, c.ComputeSeconds)
+		emits = append(emits, c.EmitBytes)
+	}
+	for i := 1; i < len(computes); i++ {
+		ratio := computes[i] / computes[0]
+		if ratio < 0.99 || ratio > 1.01 {
+			t.Fatalf("compute not constant across scenarios: %v", computes)
+		}
+		if emits[i] <= emits[i-1] {
+			t.Fatalf("emission should grow with points: %v", emits)
+		}
+	}
+	// More tasks → less compute per task.
+	if m.TaskCostFor(PaperScenarios[2], 32).ComputeSeconds >= m.TaskCostFor(PaperScenarios[2], 8).ComputeSeconds {
+		t.Fatal("per-task compute must shrink with task count")
+	}
+	agg := m.AggregateCostFor(PaperScenarios[2])
+	if agg.ParseSeconds <= 0 || agg.ReadBytes != int64(PaperScenarios[2].Points)*m.RecordBytes {
+		t.Fatalf("aggregate cost wrong: %+v", agg)
+	}
+}

@@ -1,0 +1,110 @@
+package kmeans
+
+// Scenario is one Figure 6 workload configuration. The paper fixes the
+// points×clusters product (constant compute) while communication grows
+// with the number of points.
+type Scenario struct {
+	Name       string
+	Points     int
+	Clusters   int
+	Iterations int
+}
+
+// PaperScenarios are the three Section IV-B scenarios, two iterations
+// each.
+var PaperScenarios = []Scenario{
+	{Name: "10,000 points / 5,000 clusters", Points: 10_000, Clusters: 5_000, Iterations: 2},
+	{Name: "100,000 points / 500 clusters", Points: 100_000, Clusters: 500, Iterations: 2},
+	{Name: "1,000,000 points / 50 clusters", Points: 1_000_000, Clusters: 50, Iterations: 2},
+}
+
+// PaperTaskCounts are the evaluated task/node configurations: 8 tasks on
+// 1 node, 16 on 2, 32 on 3.
+var PaperTaskCounts = []struct {
+	Tasks int
+	Nodes int
+}{
+	{8, 1}, {16, 2}, {32, 3},
+}
+
+// CostModel calibrates the per-task costs of the paper's Python
+// implementation. Rates are for the Stampede baseline; the machine's
+// CPUFactor scales compute.
+type CostModel struct {
+	// PairsPerSecond is the rate of point×centroid distance evaluations
+	// of one task.
+	PairsPerSecond float64
+	// ComputeJitter is the relative run-to-run variation of task
+	// compute (stragglers).
+	ComputeJitter float64
+	// InputBytesPerPoint is the ASCII input record size read from the
+	// shared filesystem each iteration.
+	InputBytesPerPoint int64
+	// RecordBytes is the size of one emitted (cluster, point) record in
+	// the shuffle data; emission volume is proportional to points, as
+	// the paper states.
+	RecordBytes int64
+	// RecordsPerWrite models the Python writer's buffering: how many
+	// records one filesystem write operation carries.
+	RecordsPerWrite int
+	// ParseRecordsPerSecond is the aggregator's record parse rate (the
+	// reduce step runs as a single task per iteration).
+	ParseRecordsPerSecond float64
+}
+
+// DefaultCostModel returns the calibrated model (see EXPERIMENTS.md for
+// the calibration notes).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PairsPerSecond:        7_500,
+		ComputeJitter:         0.10,
+		InputBytesPerPoint:    60,
+		RecordBytes:           48,
+		RecordsPerWrite:       5,
+		ParseRecordsPerSecond: 250_000,
+	}
+}
+
+// TaskCost describes what one map task does in one iteration.
+type TaskCost struct {
+	// ComputeSeconds at the Stampede-baseline rate (before CPUFactor).
+	ComputeSeconds float64
+	// InputBytes read from the shared filesystem.
+	InputBytes int64
+	// EmitBytes written to the task sandbox, in EmitOps operations.
+	EmitBytes int64
+	EmitOps   int
+}
+
+// TaskCostFor computes the per-task iteration cost for a scenario split
+// into nTasks partitions.
+func (m CostModel) TaskCostFor(s Scenario, nTasks int) TaskCost {
+	pointsPer := (s.Points + nTasks - 1) / nTasks
+	pairs := float64(pointsPer) * float64(s.Clusters)
+	ops := (pointsPer + m.RecordsPerWrite - 1) / m.RecordsPerWrite
+	return TaskCost{
+		ComputeSeconds: pairs / m.PairsPerSecond,
+		InputBytes:     int64(pointsPer) * m.InputBytesPerPoint,
+		EmitBytes:      int64(pointsPer) * m.RecordBytes,
+		EmitOps:        ops,
+	}
+}
+
+// AggregateCost describes the per-iteration reduce step over all
+// emitted records.
+type AggregateCost struct {
+	// ParseSeconds at the Stampede-baseline rate.
+	ParseSeconds float64
+	// ReadBytes fetched from the shuffle stores.
+	ReadBytes int64
+	ReadOps   int
+}
+
+// AggregateCostFor computes the reduce-side cost for a scenario.
+func (m CostModel) AggregateCostFor(s Scenario) AggregateCost {
+	return AggregateCost{
+		ParseSeconds: float64(s.Points) / m.ParseRecordsPerSecond,
+		ReadBytes:    int64(s.Points) * m.RecordBytes,
+		ReadOps:      (s.Points + m.RecordsPerWrite - 1) / m.RecordsPerWrite,
+	}
+}

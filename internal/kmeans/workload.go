@@ -1,0 +1,133 @@
+package kmeans
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// emission records where one map task left its shuffle data.
+type emission struct {
+	node   *cluster.Node
+	volume storage.Volume
+	bytes  int64
+	ops    int
+}
+
+// RunResult is the outcome of one K-Means workload execution.
+type RunResult struct {
+	Scenario Scenario
+	Tasks    int
+	// Makespan is first-submission to last-aggregation (time to
+	// completion, as plotted in Figure 6).
+	Makespan sim.Duration
+	// IterTimes are per-iteration wall times (map wave + aggregation).
+	IterTimes []sim.Duration
+	// UnitStartups collects per-unit startup times for the Figure 5
+	// inset.
+	UnitStartups []sim.Duration
+}
+
+// RunWorkload executes the paper's K-Means workload through the Pilot layer: per
+// iteration one wave of map Compute-Units (each reading its input
+// partition from the shared filesystem, computing assignments, and
+// emitting shuffle records to its sandbox), followed by one aggregation
+// unit that gathers all emissions and produces the next centroids. The
+// unit sandbox volume — Lustre under plain RADICAL-Pilot, node-local
+// disk under RADICAL-Pilot-YARN — is decided by the pilot's launch
+// method, exactly as in the paper.
+func RunWorkload(p *sim.Proc, um *core.UnitManager, s Scenario, nTasks int, m CostModel, rng *rand.Rand) (*RunResult, error) {
+	if nTasks <= 0 {
+		return nil, fmt.Errorf("kmeans: task count must be positive, got %d", nTasks)
+	}
+	if s.Iterations <= 0 {
+		return nil, fmt.Errorf("kmeans: scenario needs at least one iteration")
+	}
+	res := &RunResult{Scenario: s, Tasks: nTasks}
+	start := p.Now()
+	taskCost := m.TaskCostFor(s, nTasks)
+	aggCost := m.AggregateCostFor(s)
+
+	for iter := 0; iter < s.Iterations; iter++ {
+		iterStart := p.Now()
+		emissions := make([]emission, 0, nTasks)
+
+		descs := make([]core.ComputeUnitDescription, nTasks)
+		for t := 0; t < nTasks; t++ {
+			jitter := 1 + m.ComputeJitter*(2*rng.Float64()-1)
+			compute := taskCost.ComputeSeconds * jitter
+			descs[t] = core.ComputeUnitDescription{
+				Name:       fmt.Sprintf("kmeans-map-i%d-t%d", iter, t),
+				Executable: "python kmeans_map.py",
+				Cores:      1,
+				MemoryMB:   2048,
+				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+					// Read the input partition (and current centroids)
+					// from the shared filesystem.
+					ctx.Shared.StreamRead(bp, taskCost.InputBytes, 1+int(taskCost.InputBytes>>20))
+					// Assign points to centroids.
+					ctx.Node.Compute(bp, compute)
+					// Emit shuffle records to the sandbox volume.
+					ctx.Sandbox.StreamWrite(bp, taskCost.EmitBytes, taskCost.EmitOps)
+					emissions = append(emissions, emission{
+						node:   ctx.Node,
+						volume: ctx.Sandbox,
+						bytes:  taskCost.EmitBytes,
+						ops:    taskCost.EmitOps,
+					})
+				},
+			}
+		}
+		units, err := um.Submit(p, descs)
+		if err != nil {
+			return nil, err
+		}
+		um.WaitAll(p, units)
+		for _, u := range units {
+			if u.State() != core.UnitDone {
+				return nil, fmt.Errorf("kmeans: map unit %s finished %v: %v", u.ID, u.State(), u.Err)
+			}
+			res.UnitStartups = append(res.UnitStartups, u.StartupTime())
+		}
+
+		// Reduce: one unit gathers every emission and computes the next
+		// centroids, writing them back to the shared filesystem.
+		aggDesc := core.ComputeUnitDescription{
+			Name:       fmt.Sprintf("kmeans-agg-i%d", iter),
+			Executable: "python kmeans_reduce.py",
+			Cores:      1,
+			MemoryMB:   2048,
+			Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+				for _, em := range emissions {
+					// Sequential buffered read-back: one open plus one
+					// operation per megabyte, far cheaper than the
+					// write side's per-record flushes.
+					readOps := 1 + int(em.bytes>>20)
+					em.volume.StreamRead(bp, em.bytes, readOps)
+					if em.node != nil && em.node != ctx.Node {
+						ctx.Machine.Transfer(bp, em.node, ctx.Node, em.bytes)
+					}
+				}
+				ctx.Node.Compute(bp, aggCost.ParseSeconds)
+				// New centroids back to the shared filesystem.
+				ctx.Shared.Write(bp, int64(s.Clusters)*3*8)
+			},
+		}
+		aggUnits, err := um.Submit(p, []core.ComputeUnitDescription{aggDesc})
+		if err != nil {
+			return nil, err
+		}
+		um.WaitAll(p, aggUnits)
+		if aggUnits[0].State() != core.UnitDone {
+			return nil, fmt.Errorf("kmeans: aggregation finished %v: %v", aggUnits[0].State(), aggUnits[0].Err)
+		}
+		res.UnitStartups = append(res.UnitStartups, aggUnits[0].StartupTime())
+		res.IterTimes = append(res.IterTimes, p.Now()-iterStart)
+	}
+	res.Makespan = p.Now() - start
+	return res, nil
+}

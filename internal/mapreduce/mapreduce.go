@@ -1,0 +1,310 @@
+// Package mapreduce implements Hadoop MapReduce on top of the simulated
+// YARN and HDFS substrates: an MR ApplicationMaster that schedules map
+// tasks against HDFS block locality, a shuffle phase through node-local
+// disks (or the shared filesystem, the trade-off the paper discusses),
+// and reduce tasks writing back to HDFS.
+//
+// Task behaviour is given as a cost model (CPU per byte, selectivity),
+// which is how the workload generators of the benchmark harness express
+// MapReduce applications.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/yarn"
+)
+
+// MapSpec is the map-task cost model.
+type MapSpec struct {
+	// CPUPerByte is compute-seconds per input byte (Stampede-baseline;
+	// scaled by the machine's CPU factor).
+	CPUPerByte float64
+	// Selectivity is map-output bytes per input byte.
+	Selectivity float64
+}
+
+// ReduceSpec is the reduce-task cost model.
+type ReduceSpec struct {
+	// CPUPerByte is compute-seconds per shuffled byte.
+	CPUPerByte float64
+	// Selectivity is reduce-output bytes per shuffled byte.
+	Selectivity float64
+}
+
+// JobConf describes a MapReduce job.
+type JobConf struct {
+	Name  string
+	Input string // HDFS path; one map task per block
+	// Output is the HDFS path prefix for reducer outputs.
+	Output      string
+	NumReducers int
+	Mapper      MapSpec
+	Reducer     ReduceSpec
+	// MapMemoryMB / ReduceMemoryMB size the task containers.
+	MapMemoryMB    int64
+	ReduceMemoryMB int64
+	// ShuffleOnShared spills map output to the shared parallel
+	// filesystem instead of node-local disks (the Lustre-shuffle
+	// configuration the paper's background section discusses).
+	ShuffleOnShared bool
+}
+
+func (c *JobConf) fill() error {
+	if c.Input == "" {
+		return fmt.Errorf("mapreduce: job %q needs an input path", c.Name)
+	}
+	if c.NumReducers <= 0 {
+		c.NumReducers = 1
+	}
+	if c.MapMemoryMB <= 0 {
+		c.MapMemoryMB = 2048
+	}
+	if c.ReduceMemoryMB <= 0 {
+		c.ReduceMemoryMB = 2048
+	}
+	if c.Output == "" {
+		c.Output = "/out/" + c.Name
+	}
+	if c.Mapper.Selectivity < 0 || c.Reducer.Selectivity < 0 {
+		return fmt.Errorf("mapreduce: job %q has negative selectivity", c.Name)
+	}
+	return nil
+}
+
+// Counters are the job counters reported on completion.
+type Counters struct {
+	Maps           int
+	DataLocalMaps  int
+	Reduces        int
+	MapInputBytes  int64
+	ShuffleBytes   int64
+	OutputBytes    int64
+	ShuffleVolumes map[string]int64 // volume name -> bytes spilled
+}
+
+// Job is a submitted MapReduce job.
+type Job struct {
+	Conf JobConf
+	app  *yarn.Application
+
+	Counters Counters
+	err      error
+}
+
+// Wait blocks until the job finishes, returning its error (nil on
+// success).
+func (j *Job) Wait(p *sim.Proc) error {
+	st := j.app.Wait(p)
+	if j.err != nil {
+		return j.err
+	}
+	if st != yarn.StatusSucceeded {
+		return fmt.Errorf("mapreduce: job %q finished %v", j.Conf.Name, st)
+	}
+	return nil
+}
+
+// Engine submits MapReduce jobs to a YARN cluster with an HDFS
+// filesystem.
+type Engine struct {
+	rm *yarn.ResourceManager
+	fs *hdfs.FileSystem
+}
+
+// NewEngine binds the MR framework to a cluster.
+func NewEngine(rm *yarn.ResourceManager, fs *hdfs.FileSystem) (*Engine, error) {
+	if rm == nil || fs == nil {
+		return nil, fmt.Errorf("mapreduce: engine needs YARN and HDFS")
+	}
+	return &Engine{rm: rm, fs: fs}, nil
+}
+
+// mapOutput records where one map task spilled its output.
+type mapOutput struct {
+	node  *cluster.Node
+	disk  storage.Volume
+	bytes int64
+}
+
+// Submit launches the job's ApplicationMaster. The returned Job finishes
+// asynchronously; use Wait.
+func (e *Engine) Submit(p *sim.Proc, conf JobConf) (*Job, error) {
+	if err := conf.fill(); err != nil {
+		return nil, err
+	}
+	job := &Job{Conf: conf}
+	job.Counters.ShuffleVolumes = make(map[string]int64)
+	app, err := e.rm.Submit(p, yarn.AppDesc{
+		Name:       "mr:" + conf.Name,
+		AMResource: yarn.ResourceSpec{MemoryMB: 1536, VCores: 1},
+		Runner:     e.appMaster(job),
+	})
+	if err != nil {
+		return nil, err
+	}
+	job.app = app
+	return job, nil
+}
+
+// appMaster is the MRAppMaster: split planning, locality-aware map
+// scheduling, shuffle, reduce.
+func (e *Engine) appMaster(job *Job) yarn.AMRunner {
+	return func(p *sim.Proc, am *yarn.AppMaster) {
+		conf := job.Conf
+		am.Register(p)
+		locations, err := e.fs.Locations(p, conf.Input)
+		if err != nil {
+			job.err = err
+			am.Unregister(p, yarn.StatusFailed)
+			return
+		}
+		size, _ := e.fs.Size(p, conf.Input)
+		blockSize := e.fs.Config().BlockSize
+
+		// ----- Map phase -----
+		type split struct {
+			idx   int
+			bytes int64
+			hosts []*cluster.Node
+		}
+		var splits []*split
+		remaining := size
+		for i := range locations {
+			bs := blockSize
+			if remaining < bs {
+				bs = remaining
+			}
+			splits = append(splits, &split{idx: i, bytes: bs, hosts: locations[i]})
+			remaining -= bs
+		}
+		job.Counters.Maps = len(splits)
+
+		// Ask for one container per split, preferring the blocks' hosts.
+		var preferred []*cluster.Node
+		seen := map[int]bool{}
+		for _, s := range splits {
+			for _, h := range s.hosts {
+				if !seen[h.ID] {
+					seen[h.ID] = true
+					preferred = append(preferred, h)
+				}
+			}
+		}
+		spec := yarn.ResourceSpec{MemoryMB: conf.MapMemoryMB, VCores: 1}
+		if err := am.RequestContainers(p, spec, len(splits), preferred); err != nil {
+			job.err = err
+			am.Unregister(p, yarn.StatusFailed)
+			return
+		}
+		pending := append([]*split(nil), splits...)
+		outputs := make([]*mapOutput, 0, len(splits))
+		var mapContainers []*yarn.Container
+		for range splits {
+			c := am.NextContainer(p)
+			node := c.NodeManager().Node()
+			// Prefer a split local to the container's node.
+			pick := -1
+			for i, s := range pending {
+				for _, h := range s.hosts {
+					if h == node {
+						pick = i
+						break
+					}
+				}
+				if pick >= 0 {
+					break
+				}
+			}
+			if pick >= 0 {
+				job.Counters.DataLocalMaps++
+			} else {
+				pick = 0
+			}
+			s := pending[pick]
+			pending = append(pending[:pick], pending[pick+1:]...)
+			am.Launch(p, c, func(cp *sim.Proc, cc *yarn.Container) {
+				n := cc.NodeManager().Node()
+				if err := e.fs.ReadBlock(cp, conf.Input, s.idx, n); err != nil {
+					job.err = err
+					return
+				}
+				n.Compute(cp, float64(s.bytes)*conf.Mapper.CPUPerByte)
+				out := int64(float64(s.bytes) * conf.Mapper.Selectivity)
+				var vol storage.Volume = n.Disk
+				if conf.ShuffleOnShared {
+					vol = n.Machine().Lustre
+				}
+				// Sort + spill in 1 MB chunks.
+				vol.StreamWrite(cp, out, 1+int(out>>20))
+				outputs = append(outputs, &mapOutput{node: n, disk: vol, bytes: out})
+				job.Counters.MapInputBytes += s.bytes
+				job.Counters.ShuffleBytes += out
+				job.Counters.ShuffleVolumes[vol.Name()] += out
+			})
+			mapContainers = append(mapContainers, c)
+		}
+		for _, c := range mapContainers {
+			p.Wait(c.Done)
+		}
+		if job.err != nil {
+			am.Unregister(p, yarn.StatusFailed)
+			return
+		}
+
+		// ----- Reduce phase -----
+		rspec := yarn.ResourceSpec{MemoryMB: conf.ReduceMemoryMB, VCores: 1}
+		if err := am.RequestContainers(p, rspec, conf.NumReducers, nil); err != nil {
+			job.err = err
+			am.Unregister(p, yarn.StatusFailed)
+			return
+		}
+		job.Counters.Reduces = conf.NumReducers
+		var reduceContainers []*yarn.Container
+		for r := 0; r < conf.NumReducers; r++ {
+			r := r
+			c := am.NextContainer(p)
+			am.Launch(p, c, func(cp *sim.Proc, cc *yarn.Container) {
+				n := cc.NodeManager().Node()
+				var fetched int64
+				// Fetch this reducer's partition from every map output,
+				// largest first (as Hadoop's shuffle does).
+				outs := append([]*mapOutput(nil), outputs...)
+				sort.Slice(outs, func(i, j int) bool { return outs[i].bytes > outs[j].bytes })
+				for _, mo := range outs {
+					part := mo.bytes / int64(conf.NumReducers)
+					if part <= 0 {
+						continue
+					}
+					mo.disk.StreamRead(cp, part, 1+int(part>>20))
+					if mo.node != n {
+						n.Machine().Transfer(cp, mo.node, n, part)
+					}
+					fetched += part
+				}
+				n.Compute(cp, float64(fetched)*conf.Reducer.CPUPerByte)
+				out := int64(float64(fetched) * conf.Reducer.Selectivity)
+				path := fmt.Sprintf("%s/part-r-%05d", conf.Output, r)
+				if err := e.fs.Write(cp, path, out, n); err != nil {
+					job.err = err
+					return
+				}
+				job.Counters.OutputBytes += out
+			})
+			reduceContainers = append(reduceContainers, c)
+		}
+		for _, c := range reduceContainers {
+			p.Wait(c.Done)
+		}
+		if job.err != nil {
+			am.Unregister(p, yarn.StatusFailed)
+			return
+		}
+		am.Unregister(p, yarn.StatusSucceeded)
+	}
+}

@@ -1,0 +1,275 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/yarn"
+)
+
+type mrEnv struct {
+	eng *sim.Engine
+	m   *cluster.Machine
+	rm  *yarn.ResourceManager
+	fs  *hdfs.FileSystem
+	mr  *Engine
+}
+
+func newMREnv(t *testing.T, nodes int) *mrEnv {
+	t.Helper()
+	e := sim.NewEngine()
+	m := cluster.New(e, cluster.MachineSpec{
+		Name:  "tm",
+		Nodes: nodes,
+		Node: cluster.NodeSpec{
+			Cores: 8, MemoryMB: 24 * 1024, DiskBW: 200e6,
+			DiskOpLatency: time.Millisecond, NICBW: 1e9,
+		},
+		FabricBW: 10e9,
+		// A Stampede-like effective Lustre share: the allocation sees a
+		// modest slice of the site filesystem, so node-local disks win
+		// for shuffle (the regime the paper's evaluation runs in).
+		Lustre: storage.LustreSpec{
+			AggregateBW: 150e6, MDSServers: 2,
+			MDSServiceTime: 5 * time.Millisecond, ClientLatency: 8 * time.Millisecond,
+			StreamOpCost: 3 * time.Millisecond,
+		},
+		CPUFactor: 1,
+	})
+	fs, err := hdfs.New(e, hdfs.DefaultConfig(), m.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := yarn.DefaultConfig()
+	cfg.LocalizationBytes = 0
+	rm, err := yarn.NewResourceManager(e, cfg, m.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := NewEngine(rm, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &mrEnv{eng: e, m: m, rm: rm, fs: fs, mr: mr}
+}
+
+func TestWordcountStyleJob(t *testing.T) {
+	env := newMREnv(t, 3)
+	var counters Counters
+	env.eng.Spawn("client", func(p *sim.Proc) {
+		// 600 MB input → 5 blocks of 128 MB (last partial).
+		if err := env.fs.Write(p, "/in/corpus", 600<<20, env.m.Nodes[0]); err != nil {
+			t.Error(err)
+			return
+		}
+		job, err := env.mr.Submit(p, JobConf{
+			Name:        "wordcount",
+			Input:       "/in/corpus",
+			NumReducers: 2,
+			Mapper:      MapSpec{CPUPerByte: 2e-8, Selectivity: 0.1},
+			Reducer:     ReduceSpec{CPUPerByte: 1e-8, Selectivity: 0.5},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := job.Wait(p); err != nil {
+			t.Error(err)
+			return
+		}
+		counters = job.Counters
+		// Output files exist on HDFS.
+		if !env.fs.Exists(p, "/out/wordcount/part-r-00000") {
+			t.Error("reducer output missing")
+		}
+	})
+	env.eng.Run()
+	env.eng.Close()
+	if counters.Maps != 5 {
+		t.Fatalf("maps = %d, want 5", counters.Maps)
+	}
+	if counters.Reduces != 2 {
+		t.Fatalf("reduces = %d, want 2", counters.Reduces)
+	}
+	if counters.MapInputBytes != 600<<20 {
+		t.Fatalf("map input = %d, want 600MB", counters.MapInputBytes)
+	}
+	wantShuffle := int64(float64(600<<20) * 0.1)
+	if diff := counters.ShuffleBytes - wantShuffle; diff < -5 || diff > 5 {
+		t.Fatalf("shuffle bytes = %d, want ~%d", counters.ShuffleBytes, wantShuffle)
+	}
+	if counters.OutputBytes <= 0 || counters.OutputBytes >= counters.ShuffleBytes {
+		t.Fatalf("output bytes = %d (shuffle %d)", counters.OutputBytes, counters.ShuffleBytes)
+	}
+}
+
+func TestMapLocality(t *testing.T) {
+	env := newMREnv(t, 3)
+	var counters Counters
+	env.eng.Spawn("client", func(p *sim.Proc) {
+		if err := env.fs.Write(p, "/in/data", 512<<20, env.m.Nodes[1]); err != nil {
+			t.Error(err)
+			return
+		}
+		job, err := env.mr.Submit(p, JobConf{
+			Name:   "locality",
+			Input:  "/in/data",
+			Mapper: MapSpec{CPUPerByte: 1e-8, Selectivity: 0.05},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := job.Wait(p); err != nil {
+			t.Error(err)
+		}
+		counters = job.Counters
+	})
+	env.eng.Run()
+	env.eng.Close()
+	// With replication 3 on a 3-node cluster every node holds every
+	// block: all maps must be data-local.
+	if counters.DataLocalMaps != counters.Maps {
+		t.Fatalf("data-local maps = %d/%d, want all", counters.DataLocalMaps, counters.Maps)
+	}
+}
+
+func TestShuffleVolumeSelection(t *testing.T) {
+	run := func(shared bool) map[string]int64 {
+		env := newMREnv(t, 2)
+		var vols map[string]int64
+		env.eng.Spawn("client", func(p *sim.Proc) {
+			env.fs.Write(p, "/in/d", 200<<20, env.m.Nodes[0])
+			job, err := env.mr.Submit(p, JobConf{
+				Name:            "spill",
+				Input:           "/in/d",
+				Mapper:          MapSpec{Selectivity: 0.5},
+				ShuffleOnShared: shared,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := job.Wait(p); err != nil {
+				t.Error(err)
+			}
+			vols = job.Counters.ShuffleVolumes
+		})
+		env.eng.Run()
+		env.eng.Close()
+		return vols
+	}
+	local := run(false)
+	for name := range local {
+		if !strings.Contains(name, "disk") {
+			t.Fatalf("local shuffle spilled to %q", name)
+		}
+	}
+	shared := run(true)
+	for name := range shared {
+		if !strings.Contains(name, "lustre") {
+			t.Fatalf("shared shuffle spilled to %q", name)
+		}
+	}
+}
+
+func TestLocalShuffleFasterThanShared(t *testing.T) {
+	run := func(shared bool) time.Duration {
+		env := newMREnv(t, 3)
+		var dur time.Duration
+		env.eng.Spawn("client", func(p *sim.Proc) {
+			env.fs.Write(p, "/in/d", 512<<20, env.m.Nodes[0])
+			t0 := p.Now()
+			job, err := env.mr.Submit(p, JobConf{
+				Name:            "race",
+				Input:           "/in/d",
+				NumReducers:     2,
+				Mapper:          MapSpec{Selectivity: 1.0}, // shuffle-heavy
+				ShuffleOnShared: shared,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := job.Wait(p); err != nil {
+				t.Error(err)
+			}
+			dur = p.Now() - t0
+		})
+		env.eng.Run()
+		env.eng.Close()
+		return dur
+	}
+	localT := run(false)
+	sharedT := run(true)
+	if localT >= sharedT {
+		t.Fatalf("local shuffle (%v) not faster than shared-FS shuffle (%v)", localT, sharedT)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	env := newMREnv(t, 2)
+	env.eng.Spawn("client", func(p *sim.Proc) {
+		if _, err := env.mr.Submit(p, JobConf{Name: "noinput"}); err == nil {
+			t.Error("input-less job accepted")
+		}
+		if _, err := env.mr.Submit(p, JobConf{
+			Name: "neg", Input: "/x", Mapper: MapSpec{Selectivity: -1},
+		}); err == nil {
+			t.Error("negative selectivity accepted")
+		}
+		// Missing input fails at runtime with a useful error.
+		job, err := env.mr.Submit(p, JobConf{Name: "missing", Input: "/does/not/exist"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := job.Wait(p); err == nil {
+			t.Error("job on missing input succeeded")
+		}
+	})
+	env.eng.Run()
+	env.eng.Close()
+	if _, err := NewEngine(nil, nil); err == nil {
+		t.Error("nil engine deps accepted")
+	}
+}
+
+func TestConcurrentJobs(t *testing.T) {
+	env := newMREnv(t, 3)
+	done := 0
+	env.eng.Spawn("client", func(p *sim.Proc) {
+		env.fs.Write(p, "/in/a", 256<<20, env.m.Nodes[0])
+		env.fs.Write(p, "/in/b", 256<<20, env.m.Nodes[1])
+		var jobs []*Job
+		for _, in := range []string{"/in/a", "/in/b"} {
+			job, err := env.mr.Submit(p, JobConf{
+				Name:   "job" + in[len(in)-1:],
+				Input:  in,
+				Mapper: MapSpec{CPUPerByte: 1e-8, Selectivity: 0.1},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			jobs = append(jobs, job)
+		}
+		for _, j := range jobs {
+			if err := j.Wait(p); err != nil {
+				t.Error(err)
+				continue
+			}
+			done++
+		}
+	})
+	env.eng.Run()
+	env.eng.Close()
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+}

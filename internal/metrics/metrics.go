@@ -1,0 +1,133 @@
+// Package metrics provides the small statistics and table-formatting
+// helpers the experiment harness uses to report paper-style results.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// Sample accumulates duration observations.
+type Sample struct {
+	values []time.Duration
+}
+
+// Add appends an observation.
+func (s *Sample) Add(d time.Duration) { s.values = append(s.values, d) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / time.Duration(len(s.values))
+}
+
+// Std returns the population standard deviation.
+func (s *Sample) Std() time.Duration {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := s.Mean().Seconds()
+	var acc float64
+	for _, v := range s.values {
+		d := v.Seconds() - mean
+		acc += d * d
+	}
+	return time.Duration(math.Sqrt(acc/float64(n)) * 1e9)
+}
+
+// Min and Max return the extrema (0 for empty samples).
+func (s *Sample) Min() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Seconds formats a duration as seconds with one decimal, the unit used
+// throughout the paper's figures.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.1f", d.Seconds())
+}
+
+// Table renders aligned text tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.rows {
+		line(row)
+	}
+}

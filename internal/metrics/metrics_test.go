@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSampleStatistics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.N() != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	for _, v := range []time.Duration{2 * time.Second, 4 * time.Second, 6 * time.Second} {
+		s.Add(v)
+	}
+	if s.N() != 3 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if s.Mean() != 4*time.Second {
+		t.Fatalf("mean = %v, want 4s", s.Mean())
+	}
+	if s.Min() != 2*time.Second || s.Max() != 6*time.Second {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Population std of {2,4,6} = sqrt(8/3) ≈ 1.633s.
+	std := s.Std()
+	if std < 1600*time.Millisecond || std > 1670*time.Millisecond {
+		t.Fatalf("std = %v, want ~1.633s", std)
+	}
+}
+
+func TestSecondsFormat(t *testing.T) {
+	if got := Seconds(1500 * time.Millisecond); got != "1.5" {
+		t.Fatalf("Seconds = %q", got)
+	}
+	if got := Seconds(0); got != "0.0" {
+		t.Fatalf("Seconds(0) = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("machine", "value")
+	tb.AddRow("stampede", "42.0")
+	tb.AddRow("wrangler") // short row padded
+	var sb strings.Builder
+	tb.Write(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "machine") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "stampede") || !strings.Contains(lines[2], "42.0") {
+		t.Fatalf("row line %q", lines[2])
+	}
+	// Columns aligned: "stampede" is the widest cell in col 0.
+	if !strings.HasPrefix(lines[3], "wrangler") {
+		t.Fatalf("padded row %q", lines[3])
+	}
+}

@@ -1,0 +1,207 @@
+// Package profiling analyzes pilot and unit state timelines — the
+// counterpart of RADICAL-Analytics in the RADICAL-Pilot ecosystem. It
+// decomposes unit time-to-completion into per-state durations (where did
+// the time go: scheduling, staging, launching, executing?) and computes
+// concurrency and utilization series, the quantities behind the paper's
+// overhead discussion.
+package profiling
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Phase is one segment of a unit's lifetime.
+type Phase string
+
+// The phases a Compute-Unit's time divides into.
+const (
+	PhaseUnitManager Phase = "unit-manager" // submission to agent pickup
+	PhaseScheduling  Phase = "agent-scheduling"
+	// PhaseStagingAndLaunch spans input staging through executable
+	// start; for YARN units it contains the whole two-stage container
+	// allocation and wrapper setup, which is where the Figure 5 inset
+	// seconds live.
+	PhaseStagingAndLaunch Phase = "staging+launch"
+	PhaseExecuting        Phase = "executing"
+	PhaseStagingOut       Phase = "staging-output"
+)
+
+// Phases lists the phases in lifecycle order.
+var Phases = []Phase{
+	PhaseUnitManager, PhaseScheduling, PhaseStagingAndLaunch,
+	PhaseExecuting, PhaseStagingOut,
+}
+
+// Breakdown is a per-phase duration decomposition.
+type Breakdown map[Phase]time.Duration
+
+// Total sums all phases.
+func (b Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b {
+		t += d
+	}
+	return t
+}
+
+// UnitBreakdown decomposes one finished unit's time-to-completion.
+// Returns an error if the unit did not complete.
+func UnitBreakdown(u *core.Unit) (Breakdown, error) {
+	if u.State() != core.UnitDone {
+		return nil, fmt.Errorf("profiling: unit %s is %v, not DONE", u.ID, u.State())
+	}
+	ts := u.Timestamps
+	seg := func(from, to core.UnitState) time.Duration {
+		a, okA := ts[from]
+		b, okB := ts[to]
+		if !okA || !okB || b < a {
+			return 0
+		}
+		return b - a
+	}
+	return Breakdown{
+		PhaseUnitManager:      seg(core.UnitSchedulingUM, core.UnitSchedulingAgent),
+		PhaseScheduling:       seg(core.UnitSchedulingAgent, core.UnitStagingInput),
+		PhaseStagingAndLaunch: seg(core.UnitStagingInput, core.UnitExecuting),
+		PhaseExecuting:        seg(core.UnitExecuting, core.UnitStagingOutput),
+		PhaseStagingOut:       seg(core.UnitStagingOutput, core.UnitDone),
+	}, nil
+}
+
+// Profile aggregates breakdowns over a set of units.
+type Profile struct {
+	Units  int
+	Phases map[Phase]*metrics.Sample
+}
+
+// NewProfile builds an aggregate profile from finished units (units in
+// other states are skipped and counted separately).
+func NewProfile(units []*core.Unit) (*Profile, int) {
+	p := &Profile{Phases: make(map[Phase]*metrics.Sample)}
+	for _, ph := range Phases {
+		p.Phases[ph] = &metrics.Sample{}
+	}
+	skipped := 0
+	for _, u := range units {
+		b, err := UnitBreakdown(u)
+		if err != nil {
+			skipped++
+			continue
+		}
+		p.Units++
+		for ph, d := range b {
+			p.Phases[ph].Add(d)
+		}
+	}
+	return p, skipped
+}
+
+// Write renders the aggregate table.
+func (p *Profile) Write(w io.Writer) {
+	fmt.Fprintf(w, "Unit time breakdown (%d units)\n", p.Units)
+	t := metrics.NewTable("phase", "mean (s)", "std (s)", "max (s)")
+	for _, ph := range Phases {
+		s := p.Phases[ph]
+		if s.N() == 0 {
+			continue
+		}
+		t.AddRow(string(ph), metrics.Seconds(s.Mean()), metrics.Seconds(s.Std()), metrics.Seconds(s.Max()))
+	}
+	t.Write(w)
+}
+
+// Span is a [start, end) execution interval.
+type Span struct {
+	Start, End time.Duration
+}
+
+// ExecutionSpans extracts the executing intervals of finished units.
+func ExecutionSpans(units []*core.Unit) []Span {
+	var spans []Span
+	for _, u := range units {
+		start, ok1 := u.Timestamps[core.UnitExecuting]
+		end, ok2 := u.Timestamps[core.UnitStagingOutput]
+		if !ok2 {
+			end, ok2 = u.Timestamps[core.UnitDone]
+		}
+		if ok1 && ok2 && end > start {
+			spans = append(spans, Span{Start: start, End: end})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	return spans
+}
+
+// MaxConcurrency returns the peak number of simultaneously executing
+// spans.
+func MaxConcurrency(spans []Span) int {
+	type edge struct {
+		at    time.Duration
+		delta int
+	}
+	var edges []edge
+	for _, s := range spans {
+		edges = append(edges, edge{s.Start, 1}, edge{s.End, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta // ends before starts at ties
+	})
+	cur, peak := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// Utilization returns the fraction of capacity·makespan actually spent
+// executing: sum(span lengths) / (capacity × (lastEnd − firstStart)).
+func Utilization(spans []Span, capacity int) float64 {
+	if len(spans) == 0 || capacity <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	first, last := spans[0].Start, spans[0].End
+	for _, s := range spans {
+		busy += s.End - s.Start
+		if s.Start < first {
+			first = s.Start
+		}
+		if s.End > last {
+			last = s.End
+		}
+	}
+	window := last - first
+	if window <= 0 {
+		return 0
+	}
+	return busy.Seconds() / (float64(capacity) * window.Seconds())
+}
+
+// PilotOverhead summarizes a pilot's startup composition.
+type PilotOverhead struct {
+	QueueWait    sim.Duration
+	AgentStartup sim.Duration
+	HadoopSpawn  sim.Duration
+}
+
+// PilotProfile extracts the startup overheads of a pilot.
+func PilotProfile(pl *core.Pilot) PilotOverhead {
+	return PilotOverhead{
+		QueueWait:    pl.QueueWait(),
+		AgentStartup: pl.AgentStartup(),
+		HadoopSpawn:  pl.HadoopSpawnTime,
+	}
+}

@@ -1,0 +1,156 @@
+package profiling
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// runUnits drives a small pilot workload and returns its units and pilot.
+func runUnits(t *testing.T, mode core.PilotMode, n int) ([]*core.Unit, *core.Pilot) {
+	t.Helper()
+	env, err := experiments.NewEnv(experiments.Wrangler, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	var units []*core.Unit
+	var pilot *core.Pilot
+	env.Eng.Spawn("driver", func(p *sim.Proc) {
+		pm := core.NewPilotManager(env.Session)
+		pilot, err = pm.Submit(p, core.PilotDescription{
+			Resource: "wrangler", Nodes: 2, Runtime: 2 * time.Hour, Mode: mode,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !pilot.WaitState(p, core.PilotActive) {
+			t.Errorf("pilot %v", pilot.State())
+			return
+		}
+		um := core.NewUnitManager(env.Session)
+		um.AddPilot(pilot)
+		descs := make([]core.ComputeUnitDescription, n)
+		for i := range descs {
+			descs[i] = core.ComputeUnitDescription{
+				Cores:              1,
+				InputStagingBytes:  8 << 20,
+				OutputStagingBytes: 4 << 20,
+				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+					ctx.Node.Compute(bp, 30)
+				},
+			}
+		}
+		units, err = um.Submit(p, descs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		um.WaitAll(p, units)
+		pilot.Cancel()
+	})
+	env.Eng.Run()
+	return units, pilot
+}
+
+func TestUnitBreakdownSumsToTTC(t *testing.T) {
+	units, _ := runUnits(t, core.ModeHPC, 4)
+	for _, u := range units {
+		b, err := UnitBreakdown(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := b.Total(), u.TimeToCompletion(); got != want {
+			t.Fatalf("breakdown total %v != TTC %v", got, want)
+		}
+		if b[PhaseExecuting] < 20*time.Second {
+			t.Fatalf("executing phase %v, want ≈30s of compute", b[PhaseExecuting])
+		}
+	}
+}
+
+func TestBreakdownRejectsUnfinishedUnit(t *testing.T) {
+	e := sim.NewEngine()
+	defer e.Close()
+	s := core.NewSession(e, core.DefaultProfile(), 1)
+	_ = s
+	u := &core.Unit{} // zero unit: state NEW
+	if _, err := UnitBreakdown(u); err == nil {
+		t.Fatal("breakdown of NEW unit accepted")
+	}
+}
+
+func TestProfileAggregatesAndRenders(t *testing.T) {
+	units, _ := runUnits(t, core.ModeYARN, 6)
+	prof, skipped := NewProfile(units)
+	if skipped != 0 {
+		t.Fatalf("%d units skipped", skipped)
+	}
+	if prof.Units != 6 {
+		t.Fatalf("profile covers %d units, want 6", prof.Units)
+	}
+	// Under YARN the launching cost is folded into staging→executing;
+	// the executing mean must still be ≈30/1.35 s of scaled compute.
+	mean := prof.Phases[PhaseExecuting].Mean()
+	if mean < 15*time.Second || mean > 40*time.Second {
+		t.Fatalf("executing mean %v out of range", mean)
+	}
+	var buf bytes.Buffer
+	prof.Write(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("executing")) {
+		t.Fatalf("rendering missing phases:\n%s", buf.String())
+	}
+}
+
+func TestConcurrencyAndUtilization(t *testing.T) {
+	units, _ := runUnits(t, core.ModeHPC, 8)
+	spans := ExecutionSpans(units)
+	if len(spans) != 8 {
+		t.Fatalf("%d spans, want 8", len(spans))
+	}
+	peak := MaxConcurrency(spans)
+	// 2 Wrangler nodes × 48 cores, single-core units: all 8 overlap.
+	if peak != 8 {
+		t.Fatalf("peak concurrency = %d, want 8", peak)
+	}
+	util := Utilization(spans, 8)
+	if util < 0.5 || util > 1.0 {
+		t.Fatalf("utilization = %.2f, want (0.5, 1.0]", util)
+	}
+	if Utilization(nil, 8) != 0 || Utilization(spans, 0) != 0 {
+		t.Fatal("degenerate utilization should be 0")
+	}
+}
+
+func TestMaxConcurrencySynthetic(t *testing.T) {
+	spans := []Span{
+		{0, 10 * time.Second},
+		{5 * time.Second, 15 * time.Second},
+		{10 * time.Second, 20 * time.Second}, // starts as first ends: no overlap with it
+	}
+	if got := MaxConcurrency(spans); got != 2 {
+		t.Fatalf("peak = %d, want 2 (end-before-start tie rule)", got)
+	}
+	if MaxConcurrency(nil) != 0 {
+		t.Fatal("empty spans should have zero concurrency")
+	}
+}
+
+func TestPilotProfile(t *testing.T) {
+	_, pilot := runUnits(t, core.ModeYARN, 2)
+	ov := PilotProfile(pilot)
+	if ov.AgentStartup <= 0 || ov.QueueWait <= 0 {
+		t.Fatalf("overheads not populated: %+v", ov)
+	}
+	if ov.HadoopSpawn <= 0 {
+		t.Fatalf("Mode I pilot should report Hadoop spawn time: %+v", ov)
+	}
+	if ov.HadoopSpawn >= ov.AgentStartup {
+		t.Fatalf("spawn (%v) cannot exceed total startup (%v)", ov.HadoopSpawn, ov.AgentStartup)
+	}
+}

@@ -1,0 +1,218 @@
+package saga
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hpc"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func testBatch(e *sim.Engine) *hpc.Batch {
+	m := cluster.New(e, cluster.MachineSpec{
+		Name:      "tm",
+		Nodes:     2,
+		Node:      cluster.NodeSpec{Cores: 4, MemoryMB: 1024, DiskBW: 100e6, NICBW: 1e9},
+		FabricBW:  2e9,
+		Lustre:    storage.LustreSpec{AggregateBW: 1e9, MDSServers: 2},
+		CPUFactor: 1,
+	})
+	return hpc.NewBatch(m, hpc.Config{
+		SchedCycle:      10 * time.Second,
+		DefaultWallTime: time.Hour,
+		Seed:            1,
+	})
+}
+
+func TestJobServiceSchemes(t *testing.T) {
+	e := sim.NewEngine()
+	b := testBatch(e)
+	for _, scheme := range []string{"slurm", "pbs", "sge", "fork"} {
+		js, err := NewJobService(scheme+"://host", b)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if js.Scheme() != scheme {
+			t.Fatalf("scheme = %q, want %q", js.Scheme(), scheme)
+		}
+	}
+	if _, err := NewJobService("nonsense://host", b); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if _, err := NewJobService("no-scheme", b); err == nil {
+		t.Fatal("malformed URL accepted")
+	}
+	if _, err := NewJobService("slurm://host", nil); err == nil {
+		t.Fatal("nil batch accepted")
+	}
+	e.Close()
+}
+
+func TestSubmitAndLifecycle(t *testing.T) {
+	e := sim.NewEngine()
+	b := testBatch(e)
+	js, _ := NewJobService("slurm://tm", b)
+	var finalState State
+	var ranOn int
+	e.Spawn("client", func(p *sim.Proc) {
+		j, err := js.Submit(p, JobDescription{
+			Executable: "/bin/agent",
+			NumNodes:   2,
+			WallTime:   time.Hour,
+			Payload: func(pp *sim.Proc, a *hpc.Allocation) {
+				ranOn = len(a.Nodes)
+				pp.Sleep(30 * time.Second)
+			},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if j.State() != Pending && j.State() != Running {
+			t.Errorf("state right after submit = %v", j.State())
+		}
+		j.WaitStarted(p)
+		if j.State() != Running {
+			t.Errorf("state after start = %v, want Running", j.State())
+		}
+		finalState = j.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if finalState != Done {
+		t.Fatalf("final state = %v, want Done", finalState)
+	}
+	if ranOn != 2 {
+		t.Fatalf("payload saw %d nodes, want 2", ranOn)
+	}
+}
+
+func TestSubmitValidatesDescription(t *testing.T) {
+	e := sim.NewEngine()
+	b := testBatch(e)
+	js, _ := NewJobService("slurm://tm", b)
+	e.Spawn("client", func(p *sim.Proc) {
+		if _, err := js.Submit(p, JobDescription{Executable: "x"}); err == nil {
+			t.Error("payload-less description accepted")
+		}
+		// Oversize request propagates the backend error.
+		_, err := js.Submit(p, JobDescription{
+			Executable: "x", NumNodes: 99,
+			Payload: func(*sim.Proc, *hpc.Allocation) {},
+		})
+		if err == nil || !strings.Contains(err.Error(), "saga: submit") {
+			t.Errorf("oversize submit error = %v", err)
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestCancelThroughSAGA(t *testing.T) {
+	e := sim.NewEngine()
+	b := testBatch(e)
+	js, _ := NewJobService("pbs://tm", b)
+	var st State
+	e.Spawn("client", func(p *sim.Proc) {
+		j, _ := js.Submit(p, JobDescription{
+			Executable: "sleeper", NumNodes: 1, WallTime: time.Hour,
+			Payload: func(pp *sim.Proc, a *hpc.Allocation) { pp.Sleep(time.Hour) },
+		})
+		j.WaitStarted(p)
+		p.Sleep(10 * time.Second)
+		j.Cancel()
+		st = j.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if st != Canceled {
+		t.Fatalf("state = %v, want Canceled", st)
+	}
+}
+
+func TestWalltimeMapsToFailed(t *testing.T) {
+	e := sim.NewEngine()
+	b := testBatch(e)
+	js, _ := NewJobService("sge://tm", b)
+	var st State
+	e.Spawn("client", func(p *sim.Proc) {
+		j, _ := js.Submit(p, JobDescription{
+			Executable: "runaway", NumNodes: 1, WallTime: 20 * time.Second,
+			Payload: func(pp *sim.Proc, a *hpc.Allocation) { pp.Sleep(time.Hour) },
+		})
+		st = j.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if st != Failed {
+		t.Fatalf("state = %v, want Failed", st)
+	}
+}
+
+func TestAdaptorRoundTripCosts(t *testing.T) {
+	// The fork adaptor must submit faster than the batch adaptors.
+	measure := func(scheme string) time.Duration {
+		e := sim.NewEngine()
+		b := testBatch(e)
+		js, _ := NewJobService(scheme+"://tm", b)
+		var submitted time.Duration
+		e.Spawn("client", func(p *sim.Proc) {
+			_, err := js.Submit(p, JobDescription{
+				Executable: "x", NumNodes: 1,
+				Payload: func(*sim.Proc, *hpc.Allocation) {},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			submitted = p.Now()
+		})
+		e.Run()
+		e.Close()
+		return submitted
+	}
+	if fork, slurm := measure("fork"), measure("slurm"); fork >= slurm {
+		t.Fatalf("fork submit (%v) should be faster than slurm (%v)", fork, slurm)
+	}
+}
+
+func TestFileTransferCopy(t *testing.T) {
+	e := sim.NewEngine()
+	src := storage.NewLocalDisk(e, "src", 100e6, 0)
+	dst := storage.NewLocalDisk(e, "dst", 50e6, 0)
+	ft := NewFileTransfer(e)
+	var done time.Duration
+	e.Spawn("xfer", func(p *sim.Proc) {
+		if err := ft.Copy(p, src, dst, 100e6); err != nil {
+			t.Error(err)
+		}
+		done = p.Now()
+	})
+	e.Run()
+	e.Close()
+	// 1s read at 100 MB/s + 2s write at 50 MB/s.
+	if done != 3*time.Second {
+		t.Fatalf("copy took %v, want 3s", done)
+	}
+	if src.Stats().BytesRead != 100e6 || dst.Stats().BytesWrite != 100e6 {
+		t.Fatal("byte accounting wrong")
+	}
+}
+
+func TestFileTransferValidation(t *testing.T) {
+	e := sim.NewEngine()
+	d := storage.NewLocalDisk(e, "d", 1e6, 0)
+	ft := NewFileTransfer(e)
+	e.Spawn("x", func(p *sim.Proc) {
+		if err := ft.Copy(p, nil, d, 10); err == nil {
+			t.Error("nil src accepted")
+		}
+		if err := ft.Copy(p, d, d, -1); err == nil {
+			t.Error("negative size accepted")
+		}
+	})
+	e.Run()
+	e.Close()
+}

@@ -1,0 +1,100 @@
+package sagahadoop
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/hdfs"
+	"repro/internal/hpc"
+	"repro/internal/sim"
+	"repro/internal/spark"
+	"repro/internal/yarn"
+)
+
+// Bootstrap timing constants shared by the plugins; they mirror the
+// core.BootstrapProfile calibration (see EXPERIMENTS.md).
+const (
+	defaultHadoopBytes = 250 << 20
+	defaultSparkBytes  = 180 << 20
+	unpackOps          = 1200
+	configTime         = 4 * time.Second
+	formatTime         = 5 * time.Second
+	daemonStart        = 8 * time.Second
+	bootJitter         = 0.15
+)
+
+// yarnPlugin deploys HDFS + YARN ("in the case of YARN, the plugin is
+// responsible for launching YARN's Resource and Node Manager
+// processes").
+type yarnPlugin struct {
+	downloadBytes int64
+}
+
+func (*yarnPlugin) Name() Framework { return FrameworkYARN }
+
+func (pl *yarnPlugin) Bootstrap(p *sim.Proc, alloc *hpc.Allocation, rng *rand.Rand) (*ClusterEnv, error) {
+	bytes := pl.downloadBytes
+	if bytes <= 0 {
+		bytes = defaultHadoopBytes
+	}
+	m := alloc.Machine()
+	m.DownloadExternal(p, bytes)
+	m.Lustre.Write(p, bytes)
+	m.Lustre.StreamWrite(p, 0, unpackOps)
+	p.Sleep(sim.Jitter(rng, configTime, bootJitter))
+	p.Sleep(sim.Jitter(rng, formatTime, bootJitter))
+	fs, err := hdfs.New(m.Engine, hdfs.DefaultConfig(), alloc.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(sim.Jitter(rng, daemonStart, bootJitter)) // NameNode
+	p.Sleep(sim.Jitter(rng, daemonStart, bootJitter)) // DataNodes
+	ycfg := yarn.DefaultConfig()
+	ycfg.Fetcher = yarn.VolumeFetcher{Volume: m.Lustre}
+	rm, err := yarn.NewResourceManager(m.Engine, ycfg, alloc.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(sim.Jitter(rng, daemonStart, bootJitter)) // ResourceManager
+	p.Sleep(sim.Jitter(rng, daemonStart, bootJitter)) // NodeManagers
+	return &ClusterEnv{Nodes: alloc.Nodes, YARN: rm, HDFS: fs}, nil
+}
+
+func (*yarnPlugin) Shutdown(env *ClusterEnv) {
+	if env.YARN != nil {
+		env.YARN.Stop()
+	}
+}
+
+// sparkPlugin deploys a standalone Spark cluster ("in the case of Spark,
+// the Master and Worker processes").
+type sparkPlugin struct {
+	downloadBytes int64
+}
+
+func (*sparkPlugin) Name() Framework { return FrameworkSpark }
+
+func (pl *sparkPlugin) Bootstrap(p *sim.Proc, alloc *hpc.Allocation, rng *rand.Rand) (*ClusterEnv, error) {
+	bytes := pl.downloadBytes
+	if bytes <= 0 {
+		bytes = defaultSparkBytes
+	}
+	m := alloc.Machine()
+	m.DownloadExternal(p, bytes)
+	m.Lustre.Write(p, bytes)
+	m.Lustre.StreamWrite(p, 0, unpackOps/2)
+	p.Sleep(sim.Jitter(rng, configTime, bootJitter))
+	cl, err := spark.NewCluster(m.Engine, spark.DefaultConfig(), alloc.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(sim.Jitter(rng, daemonStart, bootJitter)) // Master
+	p.Sleep(sim.Jitter(rng, daemonStart, bootJitter)) // Workers
+	return &ClusterEnv{Nodes: alloc.Nodes, Spark: cl}, nil
+}
+
+func (*sparkPlugin) Shutdown(env *ClusterEnv) {
+	if env.Spark != nil {
+		env.Spark.Stop()
+	}
+}

@@ -1,0 +1,184 @@
+package sagahadoop
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hpc"
+	"repro/internal/saga"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/yarn"
+)
+
+func testEnv(t *testing.T) (*sim.Engine, *saga.JobService) {
+	t.Helper()
+	e := sim.NewEngine()
+	m := cluster.New(e, cluster.MachineSpec{
+		Name:  "tm",
+		Nodes: 3,
+		Node: cluster.NodeSpec{
+			Cores: 8, MemoryMB: 16 * 1024, DiskBW: 200e6, NICBW: 1e9,
+		},
+		FabricBW: 10e9,
+		Lustre: storage.LustreSpec{
+			AggregateBW: 2e9, MDSServers: 4,
+			MDSServiceTime: 2 * time.Millisecond,
+		},
+		CPUFactor:  1,
+		ExternalBW: 100e6,
+	})
+	b := hpc.NewBatch(m, hpc.Config{
+		SchedCycle:      10 * time.Second,
+		DefaultWallTime: 4 * time.Hour,
+		Seed:            1,
+	})
+	js, err := saga.NewJobService("slurm://tm", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, js
+}
+
+func TestYARNClusterLifecycle(t *testing.T) {
+	e, js := testEnv(t)
+	var appStatus yarn.FinalStatus
+	var spawnTime time.Duration
+	e.Spawn("user", func(p *sim.Proc) {
+		t0 := p.Now()
+		h, err := Start(p, js, Config{Framework: FrameworkYARN, Nodes: 2, Seed: 3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		env, err := h.WaitRunning(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		spawnTime = p.Now() - t0
+		if h.State() != StateRunning {
+			t.Errorf("state = %v, want Running", h.State())
+		}
+		if env.YARN == nil || env.HDFS == nil {
+			t.Error("YARN env incomplete")
+			return
+		}
+		// Step 2: submit a Hadoop application to the spawned cluster.
+		ran := false
+		app, err := env.YARN.Submit(p, yarn.AppDesc{
+			Name: "probe",
+			Runner: func(ap *sim.Proc, am *yarn.AppMaster) {
+				am.Register(ap)
+				am.RequestContainers(ap, yarn.ResourceSpec{MemoryMB: 1024, VCores: 1}, 1, nil)
+				c := am.NextContainer(ap)
+				am.Launch(ap, c, func(*sim.Proc, *yarn.Container) { ran = true })
+				ap.Wait(c.Done)
+				am.Unregister(ap, yarn.StatusSucceeded)
+			},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		appStatus = app.Wait(p)
+		if !ran {
+			t.Error("container body never ran")
+		}
+		// Step 4: stop the cluster.
+		h.Stop(p)
+		if h.State() != StateStopped {
+			t.Errorf("state after stop = %v", h.State())
+		}
+	})
+	e.Run()
+	e.Close()
+	if appStatus != yarn.StatusSucceeded {
+		t.Fatalf("app status = %v", appStatus)
+	}
+	// Spawning includes queue wait, download, unpack and daemon starts:
+	// must be tens of seconds, not instantaneous.
+	if spawnTime < 30*time.Second {
+		t.Fatalf("cluster spawn took %v, implausibly fast", spawnTime)
+	}
+}
+
+func TestSparkClusterLifecycle(t *testing.T) {
+	e, js := testEnv(t)
+	e.Spawn("user", func(p *sim.Proc) {
+		h, err := Start(p, js, Config{Framework: FrameworkSpark, Nodes: 2, Seed: 3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		env, err := h.WaitRunning(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if env.Spark == nil {
+			t.Error("spark cluster missing")
+			return
+		}
+		app, err := env.Spark.StartApp(p, "pyspark-probe")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ran := 0
+		for i := 0; i < 4; i++ {
+			if err := app.RunTask(p, 2, func(*sim.Proc, *cluster.Node) { ran++ }); err != nil {
+				t.Error(err)
+			}
+		}
+		if ran != 4 {
+			t.Errorf("ran = %d, want 4", ran)
+		}
+		app.Stop()
+		h.Stop(p)
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestStartValidation(t *testing.T) {
+	e, js := testEnv(t)
+	e.Spawn("user", func(p *sim.Proc) {
+		if _, err := Start(p, js, Config{Nodes: 0}); err == nil {
+			t.Error("zero nodes accepted")
+		}
+		if _, err := Start(p, js, Config{Nodes: 1, Framework: "flink"}); err == nil {
+			t.Error("unknown framework accepted")
+		}
+		if _, err := Start(p, js, Config{Nodes: 99}); err == nil {
+			t.Error("oversize allocation accepted")
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestWalltimeKillsCluster(t *testing.T) {
+	e, js := testEnv(t)
+	var st State
+	e.Spawn("user", func(p *sim.Proc) {
+		h, err := Start(p, js, Config{Nodes: 1, WallTime: 3 * time.Minute, Seed: 3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := h.WaitRunning(p); err != nil {
+			t.Error(err)
+			return
+		}
+		// Never call Stop: the walltime must reap the job.
+		p.Sleep(10 * time.Minute)
+		st = h.State()
+	})
+	e.Run()
+	e.Close()
+	if st != StateFailed {
+		t.Fatalf("state = %v, want Failed after walltime", st)
+	}
+}

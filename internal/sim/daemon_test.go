@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDaemonLoopDoesNotKeepEngineAlive(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.SpawnDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+			ticks++
+		}
+	})
+	var workDone time.Duration
+	e.Spawn("worker", func(p *Proc) {
+		p.Sleep(10 * time.Second)
+		workDone = p.Now()
+	})
+	e.Run() // must terminate despite the infinite daemon loop
+	if workDone != 10*time.Second {
+		t.Fatalf("worker done at %v, want 10s", workDone)
+	}
+	if ticks < 9 || ticks > 11 {
+		t.Fatalf("daemon ticked %d times, want ~10 (ran alongside worker)", ticks)
+	}
+	e.Close()
+	if e.Processes() != 0 {
+		t.Fatalf("%d live processes after close", e.Processes())
+	}
+}
+
+func TestDaemonServingNormalProcessViaQueue(t *testing.T) {
+	// A daemon server handles requests from a normal client: the engine
+	// must keep running while the client waits on the daemon's reply,
+	// and stop once the client finishes.
+	e := NewEngine()
+	reqs := NewQueue[*Event](e)
+	e.SpawnDaemon("server", func(p *Proc) {
+		for {
+			done := reqs.Get(p)
+			p.Sleep(2 * time.Second) // service time
+			done.Trigger()
+		}
+	})
+	var finished time.Duration
+	e.Spawn("client", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			done := NewEvent(e)
+			reqs.Put(done)
+			p.Wait(done)
+		}
+		finished = p.Now()
+	})
+	e.Run()
+	if finished != 6*time.Second {
+		t.Fatalf("client finished at %v, want 6s", finished)
+	}
+	e.Close()
+}
+
+func TestPureCallbackSimulationStillRuns(t *testing.T) {
+	// Simulations driven only by At callbacks (no processes) must work.
+	e := NewEngine()
+	fired := 0
+	e.At(time.Second, func() { fired++ })
+	e.At(2*time.Second, func() { fired++ })
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	e.Close()
+}
+
+func TestAtDaemonAloneDoesNotRun(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.AtDaemon(time.Second, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("daemon-only callback ran with no normal activity")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %v with no normal activity", e.Now())
+	}
+	e.Close()
+}
+
+func TestAtDaemonRunsWhileNormalWorkPending(t *testing.T) {
+	e := NewEngine()
+	var killedAt time.Duration
+	victim := e.Spawn("victim", func(p *Proc) { p.Sleep(time.Hour) })
+	e.AtDaemon(5*time.Second, func() {
+		killedAt = e.Now()
+		victim.Interrupt("timeout")
+	})
+	e.Run()
+	if killedAt != 5*time.Second {
+		t.Fatalf("daemon enforcement at %v, want 5s", killedAt)
+	}
+	e.Close()
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLinkSingleTransfer(t *testing.T) {
+	e := NewEngine()
+	l := NewSharedLink(e, "disk", 100) // 100 B/s
+	var done time.Duration
+	e.Spawn("t", func(p *Proc) {
+		l.Transfer(p, 200)
+		done = p.Now()
+	})
+	e.Run()
+	if !approxDur(done, 2*time.Second) {
+		t.Fatalf("done at %v, want ~2s", done)
+	}
+	if l.Transfers() != 1 || l.BytesMoved() != 200 {
+		t.Fatalf("stats: %d transfers, %g bytes", l.Transfers(), l.BytesMoved())
+	}
+}
+
+func TestLinkFairSharingTwoEqualFlows(t *testing.T) {
+	e := NewEngine()
+	l := NewSharedLink(e, "disk", 100)
+	var d1, d2 time.Duration
+	e.Spawn("a", func(p *Proc) { l.Transfer(p, 100); d1 = p.Now() })
+	e.Spawn("b", func(p *Proc) { l.Transfer(p, 100); d2 = p.Now() })
+	e.Run()
+	// Both share 100 B/s: each effectively gets 50 B/s, finishing at 2s.
+	if !approxDur(d1, 2*time.Second) || !approxDur(d2, 2*time.Second) {
+		t.Fatalf("done at %v, %v; want ~2s each", d1, d2)
+	}
+}
+
+func TestLinkStaggeredArrivalAnalytic(t *testing.T) {
+	// rate 100 B/s. A(100B) starts at 0, B(100B) at 0.5s.
+	// A: alone 0-0.5 (50B), then 50 B/s until 1.5s. B: 50B by 1.5s,
+	// then alone: finishes at 2.0s.
+	e := NewEngine()
+	l := NewSharedLink(e, "disk", 100)
+	var da, db time.Duration
+	e.Spawn("a", func(p *Proc) { l.Transfer(p, 100); da = p.Now() })
+	e.SpawnAfter(500*time.Millisecond, "b", func(p *Proc) { l.Transfer(p, 100); db = p.Now() })
+	e.Run()
+	if !approxDur(da, 1500*time.Millisecond) {
+		t.Fatalf("A done at %v, want ~1.5s", da)
+	}
+	if !approxDur(db, 2*time.Second) {
+		t.Fatalf("B done at %v, want ~2s", db)
+	}
+}
+
+func TestLinkZeroBytesImmediate(t *testing.T) {
+	e := NewEngine()
+	l := NewSharedLink(e, "disk", 100)
+	var done time.Duration = -1
+	e.Spawn("t", func(p *Proc) {
+		l.Transfer(p, 0)
+		done = p.Now()
+	})
+	e.Run()
+	if done != 0 {
+		t.Fatalf("done at %v, want 0", done)
+	}
+}
+
+func TestLinkStartTransferOverlapsCompute(t *testing.T) {
+	e := NewEngine()
+	l := NewSharedLink(e, "disk", 100)
+	var done time.Duration
+	e.Spawn("t", func(p *Proc) {
+		ev := l.StartTransfer(100) // 1s alone
+		p.Sleep(400 * time.Millisecond)
+		p.Wait(ev)
+		done = p.Now()
+	})
+	e.Run()
+	if !approxDur(done, time.Second) {
+		t.Fatalf("done at %v, want ~1s (I/O overlapped with compute)", done)
+	}
+}
+
+func TestLinkBusyTimeAndUtilization(t *testing.T) {
+	e := NewEngine()
+	l := NewSharedLink(e, "disk", 100)
+	e.Spawn("t", func(p *Proc) {
+		l.Transfer(p, 100) // busy 0..1s
+		p.Sleep(time.Second)
+		l.Transfer(p, 100) // busy 2..3s
+	})
+	e.Run()
+	if got := l.BusyTime(); !approxDur(got, 2*time.Second) {
+		t.Fatalf("busy time %v, want ~2s", got)
+	}
+}
+
+func TestLinkManyFlowsConserveBytes(t *testing.T) {
+	e := NewEngine()
+	l := NewSharedLink(e, "disk", 1e6)
+	total := int64(0)
+	rng := NewRNG(42)
+	for i := 0; i < 50; i++ {
+		b := int64(rng.Intn(100000) + 1)
+		total += b
+		e.SpawnAfter(time.Duration(rng.Intn(3000))*time.Millisecond, "t", func(p *Proc) {
+			l.Transfer(p, b)
+		})
+	}
+	e.Run()
+	if l.Transfers() != 50 {
+		t.Fatalf("completed %d transfers, want 50", l.Transfers())
+	}
+	if math.Abs(l.BytesMoved()-float64(total)) > 1 {
+		t.Fatalf("moved %g bytes, want %d", l.BytesMoved(), total)
+	}
+	if l.Active() != 0 {
+		t.Fatalf("%d flows still active", l.Active())
+	}
+}
+
+func TestLinkInvalidRatePanics(t *testing.T) {
+	e := NewEngine()
+	assertPanics(t, "zero rate", func() { NewSharedLink(e, "x", 0) })
+}
+
+func approxDur(got, want time.Duration) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	// 0.1% relative or 1ms absolute, whichever is larger.
+	tol := want / 1000
+	if tol < time.Millisecond {
+		tol = time.Millisecond
+	}
+	return diff <= tol
+}

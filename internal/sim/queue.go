@@ -1,0 +1,128 @@
+package sim
+
+// Queue is an unbounded FIFO channel in virtual time. Producers never
+// block; consumers block until an item is available. Multiple consumers
+// are served in the order they started waiting.
+type Queue[T any] struct {
+	eng     *Engine
+	items   []T
+	waiters []*qWaiter[T]
+}
+
+type qWaiter[T any] struct {
+	ev    *Event
+	item  T
+	given bool
+}
+
+// NewQueue creates an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] {
+	return &Queue[T]{eng: e}
+}
+
+// Len returns the number of buffered items (items already handed to a
+// blocked consumer are not counted).
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v to the queue, waking the oldest waiting consumer if any.
+func (q *Queue[T]) Put(v T) {
+	// Deliver directly to the oldest waiter if one exists.
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.ev.Triggered() {
+			continue // timed out; its event already fired
+		}
+		w.item = v
+		w.given = true
+		w.ev.Trigger()
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Get blocks p until an item is available and returns it. If the wait is
+// interrupted, the consumer is withdrawn; an item that had already been
+// handed to it is put back at the head of the queue before the panic
+// propagates.
+func (q *Queue[T]) Get(p *Proc) T {
+	if v, ok := q.TryGet(); ok {
+		return v
+	}
+	w := &qWaiter[T]{ev: NewEvent(q.eng)}
+	q.waiters = append(q.waiters, w)
+	defer func() {
+		e := recover()
+		if e == nil {
+			return
+		}
+		q.withdraw(w)
+		panic(e)
+	}()
+	p.Wait(w.ev)
+	return w.item
+}
+
+// withdraw removes a (possibly already-served) waiter after interruption.
+func (q *Queue[T]) withdraw(w *qWaiter[T]) {
+	if w.given {
+		// The item was delivered but never consumed: put it back first.
+		q.items = append([]T{w.item}, q.items...)
+		var zero T
+		w.item = zero
+		w.given = false
+		return
+	}
+	w.ev.Trigger() // make Put skip this waiter
+	for i, cand := range q.waiters {
+		if cand == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			break
+		}
+	}
+}
+
+// GetTimeout blocks p until an item is available or d elapses. The boolean
+// reports whether an item was received.
+func (q *Queue[T]) GetTimeout(p *Proc, d Duration) (T, bool) {
+	if v, ok := q.TryGet(); ok {
+		return v, true
+	}
+	w := &qWaiter[T]{ev: NewEvent(q.eng)}
+	q.waiters = append(q.waiters, w)
+	defer func() {
+		e := recover()
+		if e == nil {
+			return
+		}
+		q.withdraw(w)
+		panic(e)
+	}()
+	fired := p.WaitTimeout(w.ev, d)
+	if !fired {
+		// Mark the waiter dead. Put skips waiters whose event has
+		// triggered; trigger it now so it is skipped, and drop it from
+		// the waiter list eagerly.
+		w.ev.Trigger()
+		for i, cand := range q.waiters {
+			if cand == w {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				break
+			}
+		}
+		var zero T
+		return zero, false
+	}
+	return w.item, w.given
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestQueuePutThenGet(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	q.Put(1)
+	q.Put(2)
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2", q.Len())
+	}
+	var got []int
+	e.Spawn("c", func(p *Proc) {
+		got = append(got, q.Get(p), q.Get(p))
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestQueueBlocksConsumer(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[string](e)
+	var at time.Duration
+	var v string
+	e.Spawn("c", func(p *Proc) {
+		v = q.Get(p)
+		at = p.Now()
+	})
+	e.At(3*time.Second, func() { q.Put("x") })
+	e.Run()
+	if v != "x" || at != 3*time.Second {
+		t.Fatalf("got %q at %v, want x at 3s", v, at)
+	}
+}
+
+func TestQueueMultipleConsumersFIFO(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.SpawnAfter(time.Duration(i)*time.Second, "c", func(p *Proc) {
+			v := q.Get(p)
+			order = append(order, i*10+v)
+		})
+	}
+	e.At(10*time.Second, func() { q.Put(1); q.Put(2); q.Put(3) })
+	e.Run()
+	// Consumer 0 waited longest and must receive the first item.
+	if len(order) != 3 || order[0] != 1 || order[1] != 12 || order[2] != 23 {
+		t.Fatalf("order = %v, want [1 12 23]", order)
+	}
+}
+
+func TestQueueGetTimeoutExpires(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	var ok bool
+	e.Spawn("c", func(p *Proc) {
+		_, ok = q.GetTimeout(p, time.Second)
+	})
+	e.Run()
+	if ok {
+		t.Fatal("GetTimeout should have expired")
+	}
+	// An item put after the timeout must not be lost to the dead waiter.
+	q.Put(7)
+	var got int
+	e.Spawn("c2", func(p *Proc) { got = q.Get(p) })
+	e.Run()
+	if got != 7 {
+		t.Fatalf("got %d, want 7 (item lost to dead waiter)", got)
+	}
+}
+
+func TestQueueGetTimeoutDelivers(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	var got int
+	var ok bool
+	e.Spawn("c", func(p *Proc) {
+		got, ok = q.GetTimeout(p, 10*time.Second)
+	})
+	e.At(time.Second, func() { q.Put(5) })
+	e.Run()
+	if !ok || got != 5 {
+		t.Fatalf("got %d ok=%v, want 5 true", got, ok)
+	}
+}
+
+// Property: every item put is received exactly once, in FIFO order per
+// queue, regardless of producer/consumer interleaving.
+func TestQueueConservationProperty(t *testing.T) {
+	prop := func(seed int64, nItems uint8) bool {
+		rng := NewRNG(seed)
+		e := NewEngine()
+		q := NewQueue[int](e)
+		n := int(nItems%50) + 1
+		for i := 0; i < n; i++ {
+			i := i
+			at := time.Duration(rng.Intn(1000)) * time.Millisecond
+			e.At(at, func() { q.Put(i) })
+		}
+		received := make(map[int]int)
+		for c := 0; c < 3; c++ {
+			e.Spawn("c", func(p *Proc) {
+				for {
+					v, ok := q.GetTimeout(p, 5*time.Second)
+					if !ok {
+						return
+					}
+					received[v]++
+				}
+			})
+		}
+		e.Run()
+		if len(received) != n {
+			return false
+		}
+		for _, c := range received {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestResourceBasics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 4)
+	if r.Capacity() != 4 || r.Available() != 4 || r.InUse() != 0 {
+		t.Fatal("bad initial state")
+	}
+	if !r.TryAcquire(3) {
+		t.Fatal("TryAcquire(3) failed on empty resource")
+	}
+	if r.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) succeeded with only 1 available")
+	}
+	r.Release(3)
+	if r.InUse() != 0 {
+		t.Fatalf("in use = %d after release", r.InUse())
+	}
+}
+
+func TestResourceBlocksUntilRelease(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	var acquired time.Duration = -1
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Sleep(5 * time.Second)
+		r.Release(2)
+	})
+	e.Spawn("waiter", func(p *Proc) {
+		p.Sleep(time.Second) // ensure holder goes first
+		r.Acquire(p, 1)
+		acquired = p.Now()
+		r.Release(1)
+	})
+	e.Run()
+	if acquired != 5*time.Second {
+		t.Fatalf("acquired at %v, want 5s", acquired)
+	}
+}
+
+func TestResourceFIFONoOvertaking(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 4)
+	var order []string
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 4)
+		p.Sleep(time.Second)
+		r.Release(4)
+	})
+	// big asks for 3 first; small asks for 1 later. When the holder
+	// releases, big must be served before small even though small fits
+	// earlier.
+	e.Spawn("big", func(p *Proc) {
+		p.Sleep(100 * time.Millisecond)
+		r.Acquire(p, 3)
+		order = append(order, "big")
+		r.Release(3)
+	})
+	e.Spawn("small", func(p *Proc) {
+		p.Sleep(200 * time.Millisecond)
+		r.Acquire(p, 1)
+		order = append(order, "small")
+		r.Release(1)
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "big" {
+		t.Fatalf("order = %v, want [big small]", order)
+	}
+}
+
+func TestTryAcquireRespectsQueue(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 4)
+	e.Spawn("p", func(p *Proc) {
+		r.Acquire(p, 3)
+		// A queued waiter exists once "q" runs; TryAcquire for 1 must
+		// fail even though 1 unit is free, to preserve FIFO.
+		p.Sleep(2 * time.Second)
+		if r.TryAcquire(1) {
+			t.Error("TryAcquire overtook a queued waiter")
+		}
+		r.Release(3)
+	})
+	e.Spawn("q", func(p *Proc) {
+		p.Sleep(time.Second)
+		r.Acquire(p, 4)
+		r.Release(4)
+	})
+	e.Run()
+}
+
+func TestResourceMisusePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	assertPanics(t, "zero acquire", func() { r.TryAcquire(0) })
+	assertPanics(t, "over-capacity", func() { r.TryAcquire(3) })
+	assertPanics(t, "release unheld", func() { r.Release(1) })
+	assertPanics(t, "zero capacity", func() { NewResource(e, 0) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+// Property: for arbitrary workloads of acquire/hold/release processes, the
+// resource never exceeds capacity, never goes negative, and everything is
+// released at the end.
+func TestResourceAccountingProperty(t *testing.T) {
+	prop := func(seed int64, nWorkers uint8) bool {
+		rng := NewRNG(seed)
+		e := NewEngine()
+		const capacity = 8
+		r := NewResource(e, capacity)
+		violated := false
+		n := int(nWorkers%20) + 1
+		for i := 0; i < n; i++ {
+			amt := rng.Intn(capacity) + 1
+			start := time.Duration(rng.Intn(1000)) * time.Millisecond
+			hold := time.Duration(rng.Intn(1000)) * time.Millisecond
+			e.SpawnAfter(start, "w", func(p *Proc) {
+				r.Acquire(p, amt)
+				if r.InUse() > capacity || r.InUse() < 0 {
+					violated = true
+				}
+				p.Sleep(hold)
+				r.Release(amt)
+			})
+		}
+		e.Run()
+		return !violated && r.InUse() == 0 && r.Queued() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSubRNGIndependentStreams(t *testing.T) {
+	a1 := SubRNG(1, "component-a")
+	a2 := SubRNG(1, "component-a")
+	b := SubRNG(1, "component-b")
+	sameAsA := 0
+	for i := 0; i < 32; i++ {
+		v1, v2, v3 := a1.Int63(), a2.Int63(), b.Int63()
+		if v1 != v2 {
+			t.Fatal("same label+seed produced different streams")
+		}
+		if v1 == v3 {
+			sameAsA++
+		}
+	}
+	if sameAsA > 2 {
+		t.Fatalf("streams for different labels overlap (%d/32 equal draws)", sameAsA)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	rng := NewRNG(5)
+	base := 10 * time.Second
+	for i := 0; i < 200; i++ {
+		v := Jitter(rng, base, 0.2)
+		if v < 8*time.Second || v > 12*time.Second {
+			t.Fatalf("jittered value %v outside ±20%% of 10s", v)
+		}
+	}
+	if Jitter(rng, base, 0) != base {
+		t.Fatal("zero jitter must be identity")
+	}
+	if Jitter(rng, 0, 0.5) != 0 {
+		t.Fatal("zero base must stay zero")
+	}
+	// Overlarge fractions are clamped, never negative.
+	for i := 0; i < 100; i++ {
+		if v := Jitter(rng, base, 5.0); v < 0 {
+			t.Fatalf("clamped jitter went negative: %v", v)
+		}
+	}
+}
+
+func TestExpDurationProperties(t *testing.T) {
+	rng := NewRNG(6)
+	mean := time.Minute
+	var sum time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := ExpDuration(rng, mean)
+		if v < 0 {
+			t.Fatalf("negative duration %v", v)
+		}
+		if v > 20*mean {
+			t.Fatalf("duration %v above the 20x truncation", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if got < mean*8/10 || got > mean*12/10 {
+		t.Fatalf("sample mean %v, want ~%v", got, mean)
+	}
+	if ExpDuration(rng, 0) != 0 {
+		t.Fatal("zero mean must yield zero")
+	}
+}

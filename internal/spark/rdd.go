@@ -1,0 +1,258 @@
+package spark
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// RDDConf calibrates the virtual-time cost of RDD computation. The data
+// itself is computed for real (the transformations run actual Go
+// functions); the configuration only decides how much simulated time the
+// work occupies.
+type RDDConf struct {
+	// SecondsPerElement is charged per element processed by a task.
+	SecondsPerElement float64
+	// BytesPerElement sizes shuffle I/O.
+	BytesPerElement int64
+}
+
+// DefaultRDDConf suits smallish analytic workloads.
+func DefaultRDDConf() RDDConf {
+	return RDDConf{SecondsPerElement: 50e-6, BytesPerElement: 64}
+}
+
+// Context drives RDD execution on one Spark application.
+type Context struct {
+	app  *App
+	conf RDDConf
+}
+
+// NewContext binds a context to a running application.
+func NewContext(app *App, conf RDDConf) *Context {
+	return &Context{app: app, conf: conf}
+}
+
+// RDD is a typed, partitioned, lazily evaluated dataset. Narrow
+// transformations (Map, Filter) compose into the same stage;
+// ReduceByKey introduces a stage boundary with a shuffle, like Spark's
+// DAG scheduler.
+type RDD[T any] struct {
+	ctx   *Context
+	parts int
+	// compute produces one partition; it runs inside an executor task.
+	compute func(p *sim.Proc, node *cluster.Node, part int) []T
+	// prepare, if set, runs once in driver context before partition
+	// tasks are spawned (the shuffle of a wide dependency). It must be
+	// idempotent across concurrent actions.
+	prepare func(p *sim.Proc) error
+}
+
+// Partitions returns the partition count.
+func (r *RDD[T]) Partitions() int { return r.parts }
+
+// Parallelize distributes data over parts partitions.
+func Parallelize[T any](ctx *Context, data []T, parts int) (*RDD[T], error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("spark: partitions must be positive, got %d", parts)
+	}
+	return &RDD[T]{
+		ctx:   ctx,
+		parts: parts,
+		compute: func(_ *sim.Proc, _ *cluster.Node, part int) []T {
+			lo := len(data) * part / parts
+			hi := len(data) * (part + 1) / parts
+			return append([]T(nil), data[lo:hi]...)
+		},
+	}, nil
+}
+
+// Map applies f elementwise (narrow dependency: fused into the parent's
+// stage).
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return &RDD[U]{
+		ctx:   r.ctx,
+		parts: r.parts,
+		compute: func(p *sim.Proc, node *cluster.Node, part int) []U {
+			in := r.compute(p, node, part)
+			out := make([]U, len(in))
+			for i, v := range in {
+				out[i] = f(v)
+			}
+			return out
+		},
+	}
+}
+
+// Filter keeps elements satisfying pred (narrow).
+func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	return &RDD[T]{
+		ctx:   r.ctx,
+		parts: r.parts,
+		compute: func(p *sim.Proc, node *cluster.Node, part int) []T {
+			var out []T
+			for _, v := range r.compute(p, node, part) {
+				if pred(v) {
+					out = append(out, v)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// KV is a key-value pair for ReduceByKey.
+type KV[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// materialize runs one task per partition concurrently on the
+// application's executors and returns the partition results. Each task
+// charges compute time proportional to the elements it processed and is
+// admitted through executor core slots.
+func materialize[T any](p *sim.Proc, r *RDD[T]) ([][]T, error) {
+	if r.prepare != nil {
+		if err := r.prepare(p); err != nil {
+			return nil, err
+		}
+	}
+	results := make([][]T, r.parts)
+	eng := p.Engine()
+	done := sim.NewEvent(eng)
+	remaining := r.parts
+	var firstErr error
+	for i := 0; i < r.parts; i++ {
+		i := i
+		eng.Spawn(fmt.Sprintf("spark:task:%d", i), func(tp *sim.Proc) {
+			defer func() {
+				remaining--
+				if remaining == 0 {
+					done.Trigger()
+				}
+			}()
+			err := r.ctx.app.RunTask(tp, 1, func(xp *sim.Proc, node *cluster.Node) {
+				out := r.compute(xp, node, i)
+				node.Compute(xp, float64(len(out))*r.ctx.conf.SecondsPerElement)
+				results[i] = out
+			})
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	p.Wait(done)
+	return results, firstErr
+}
+
+// ReduceByKey merges values per key with f. It is a wide dependency: the
+// parent stage materializes, its outputs shuffle across the executors
+// (disk + simulated partition exchange), and a new stage begins.
+func ReduceByKey[K comparable, V any](r *RDD[KV[K, V]], f func(V, V) V) *RDD[KV[K, V]] {
+	parts := r.parts
+	var buckets []map[K]V
+	var started bool
+	var ready *sim.Event
+	out := &RDD[KV[K, V]]{
+		ctx:   r.ctx,
+		parts: parts,
+		compute: func(p *sim.Proc, node *cluster.Node, part int) []KV[K, V] {
+			b := buckets[part]
+			keys := make([]string, 0, len(b))
+			byStr := make(map[string]K, len(b))
+			for k := range b {
+				s := fmt.Sprint(k)
+				keys = append(keys, s)
+				byStr[s] = k
+			}
+			sort.Strings(keys) // deterministic output order
+			out := make([]KV[K, V], 0, len(b))
+			for _, s := range keys {
+				k := byStr[s]
+				out = append(out, KV[K, V]{Key: k, Val: b[k]})
+			}
+			return out
+		},
+	}
+	out.prepare = func(p *sim.Proc) error {
+		if started {
+			// Another action already runs (or ran) the shuffle: wait
+			// for it rather than shuffling twice.
+			if ready != nil && !ready.Triggered() {
+				p.Wait(ready)
+			}
+			return nil
+		}
+		started = true
+		ready = sim.NewEvent(p.Engine())
+		defer ready.Trigger()
+		inputs, err := materialize(p, r) // parent stage
+		if err != nil {
+			return fmt.Errorf("spark: shuffle stage failed: %w", err)
+		}
+		buckets = make([]map[K]V, parts)
+		for i := range buckets {
+			buckets[i] = make(map[K]V)
+		}
+		hash := func(k K) int {
+			// Deterministic partitioner via the formatted key.
+			s := fmt.Sprint(k)
+			h := 0
+			for j := 0; j < len(s); j++ {
+				h = h*31 + int(s[j])
+			}
+			if h < 0 {
+				h = -h
+			}
+			return h % parts
+		}
+		var total int64
+		for _, in := range inputs {
+			total += int64(len(in)) * r.ctx.conf.BytesPerElement
+			for _, kv := range in {
+				b := buckets[hash(kv.Key)]
+				if old, ok := b[kv.Key]; ok {
+					b[kv.Key] = f(old, kv.Val)
+				} else {
+					b[kv.Key] = kv.Val
+				}
+			}
+		}
+		// Shuffle spill + fetch, modeled on the executors' local dirs
+		// (spread over the first executor's node in this fluid model).
+		node := r.ctx.app.execs[0].Node
+		node.Disk.StreamWrite(p, total, 1+int(total>>20))
+		node.Disk.StreamRead(p, total, 1+int(total>>20))
+		return nil
+	}
+	return out
+}
+
+// Collect materializes the RDD and returns all elements in partition
+// order.
+func Collect[T any](p *sim.Proc, r *RDD[T]) ([]T, error) {
+	parts, err := materialize(p, r)
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, pt := range parts {
+		out = append(out, pt...)
+	}
+	return out, nil
+}
+
+// Count materializes the RDD and returns the element count.
+func Count[T any](p *sim.Proc, r *RDD[T]) (int, error) {
+	parts, err := materialize(p, r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, pt := range parts {
+		n += len(pt)
+	}
+	return n, nil
+}

@@ -1,0 +1,363 @@
+package yarn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// AppState is the ResourceManager-side application state.
+type AppState int
+
+// Application states, following the YARN RMApp state machine (collapsed
+// to the externally visible ones).
+const (
+	AppSubmitted AppState = iota
+	AppAccepted
+	AppRunning
+	AppFinished
+	AppFailed
+	AppKilled
+)
+
+// String returns the YARN-style state name.
+func (s AppState) String() string {
+	switch s {
+	case AppSubmitted:
+		return "SUBMITTED"
+	case AppAccepted:
+		return "ACCEPTED"
+	case AppRunning:
+		return "RUNNING"
+	case AppFinished:
+		return "FINISHED"
+	case AppFailed:
+		return "FAILED"
+	case AppKilled:
+		return "KILLED"
+	default:
+		return fmt.Sprintf("AppState(%d)", int(s))
+	}
+}
+
+// FinalStatus is the final status an AM reports at unregistration.
+type FinalStatus string
+
+// Final statuses, as in YARN.
+const (
+	StatusSucceeded FinalStatus = "SUCCEEDED"
+	StatusFailed    FinalStatus = "FAILED"
+	StatusKilled    FinalStatus = "KILLED"
+	StatusUndefined FinalStatus = "UNDEFINED"
+)
+
+// AMRunner is the ApplicationMaster's main, running inside the AM
+// container with the AppMaster protocol handle.
+type AMRunner func(p *sim.Proc, am *AppMaster)
+
+// AppDesc describes an application submission.
+type AppDesc struct {
+	Name  string
+	Queue string
+	// AMResource sizes the ApplicationMaster container (defaults to
+	// 1024 MB / 1 vcore, YARN's default).
+	AMResource ResourceSpec
+	Runner     AMRunner
+}
+
+// Application is a submitted YARN application.
+type Application struct {
+	ID    int
+	Name  string
+	Queue string
+
+	rm     *ResourceManager
+	runner AMRunner
+	amSpec ResourceSpec
+
+	state       AppState
+	finalStatus FinalStatus
+	// Done triggers when the application reaches a terminal state.
+	Done *sim.Event
+
+	// allocated delivers task containers assigned by the scheduler to
+	// the AM's allocate poll.
+	allocated *sim.Queue[*Container]
+
+	amContainer *Container
+	// live tracks all non-terminal containers including the AM's.
+	live map[int]*Container
+
+	SubmitTime   sim.Duration
+	AMStartTime  sim.Duration
+	RegisterTime sim.Duration
+	FinishTime   sim.Duration
+}
+
+// State returns the application state.
+func (a *Application) State() AppState { return a.state }
+
+// FinalStatus returns the AM-reported final status (valid once Done).
+func (a *Application) FinalStatus() FinalStatus { return a.finalStatus }
+
+// Wait blocks p until the application terminates and returns the final
+// status.
+func (a *Application) Wait(p *sim.Proc) FinalStatus {
+	p.Wait(a.Done)
+	return a.finalStatus
+}
+
+// ClusterMetrics is the snapshot served by the RM's REST API
+// (/ws/v1/cluster/metrics), which the paper's RP-YARN agent scheduler
+// polls for cluster state.
+type ClusterMetrics struct {
+	TotalMB         int64
+	AllocatedMB     int64
+	AvailableMB     int64
+	TotalVCores     int
+	AllocatedVCores int
+	AvailableVCores int
+	ActiveNodes     int
+	AppsRunning     int
+	AppsPending     int
+	ContainersAlloc int
+	PendingRequests int
+}
+
+// ResourceManager is the YARN RM: it tracks NodeManagers, runs the
+// scheduler on their heartbeats, and drives application lifecycles.
+type ResourceManager struct {
+	eng   *sim.Engine
+	cfg   Config
+	sched Scheduler
+	rng   *rand.Rand
+
+	nms  []*NodeManager
+	apps map[int]*Application
+
+	nextApp  int
+	nextCont int
+	stopped  bool
+}
+
+// NewResourceManager deploys a YARN cluster over the given nodes and
+// starts the NodeManager heartbeat loops (staggered, as in reality).
+func NewResourceManager(e *sim.Engine, cfg Config, nodes []*cluster.Node) (*ResourceManager, error) {
+	cfg.fill()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("yarn: need at least one node")
+	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = NewFIFOScheduler()
+	}
+	rm := &ResourceManager{
+		eng:   e,
+		cfg:   cfg,
+		sched: sched,
+		rng:   sim.SubRNG(cfg.Seed, "yarn-rm"),
+		apps:  make(map[int]*Application),
+	}
+	for _, n := range nodes {
+		rm.nms = append(rm.nms, newNodeManager(rm, n))
+	}
+	// Start heartbeats staggered across one interval so allocation
+	// latency averages half a heartbeat, as on a real cluster.
+	for i, nm := range rm.nms {
+		nm := nm
+		offset := sim.Duration(int64(cfg.NMHeartbeat) * int64(i) / int64(len(rm.nms)))
+		e.SpawnDaemon(fmt.Sprintf("yarn:nm:%s", nm.node.Name), func(p *sim.Proc) {
+			p.Sleep(offset)
+			nm.heartbeatLoop(p)
+		})
+	}
+	return rm, nil
+}
+
+// Engine returns the RM's simulation engine.
+func (rm *ResourceManager) Engine() *sim.Engine { return rm.eng }
+
+// Config returns the deployment configuration.
+func (rm *ResourceManager) Config() Config { return rm.cfg }
+
+// NodeManagers returns the NMs in deployment order.
+func (rm *ResourceManager) NodeManagers() []*NodeManager { return rm.nms }
+
+// Stop shuts the cluster down: heartbeat loops exit and no further
+// submissions are accepted. Running containers finish undisturbed
+// (matching the paper's LRM, which stops daemons after the workload).
+func (rm *ResourceManager) Stop() { rm.stopped = true }
+
+// Submit registers an application and queues its ApplicationMaster
+// container request. Blocks p for the submission RPC.
+func (rm *ResourceManager) Submit(p *sim.Proc, desc AppDesc) (*Application, error) {
+	if rm.stopped {
+		return nil, fmt.Errorf("yarn: resource manager stopped")
+	}
+	if desc.Runner == nil {
+		return nil, fmt.Errorf("yarn: application %q has no AM runner", desc.Name)
+	}
+	amSpec := desc.AMResource
+	if amSpec.MemoryMB <= 0 {
+		amSpec.MemoryMB = 1024
+	}
+	if amSpec.VCores <= 0 {
+		amSpec.VCores = 1
+	}
+	p.Sleep(rm.cfg.RPCLatency) // ClientRMService round trip
+	rm.nextApp++
+	app := &Application{
+		ID:         rm.nextApp,
+		Name:       desc.Name,
+		Queue:      desc.Queue,
+		rm:         rm,
+		runner:     desc.Runner,
+		amSpec:     amSpec,
+		state:      AppAccepted,
+		Done:       sim.NewEvent(rm.eng),
+		allocated:  sim.NewQueue[*Container](rm.eng),
+		live:       make(map[int]*Container),
+		SubmitTime: rm.eng.Now(),
+	}
+	rm.apps[app.ID] = app
+	rm.sched.Add(&Request{app: app, spec: amSpec, count: 1, isAM: true})
+	rm.eng.Tracef("yarn: app %d (%s) accepted", app.ID, app.Name)
+	return app, nil
+}
+
+// containerAssigned materializes a scheduler assignment. Kernel context
+// (NM heartbeat).
+func (rm *ResourceManager) containerAssigned(req *Request, nm *NodeManager) {
+	if err := nm.allocate(req.spec); err != nil {
+		// Scheduler raced with capacity change; requeue one container.
+		req.count++
+		rm.sched.Add(&Request{app: req.app, spec: req.spec, count: 0, isAM: req.isAM})
+		return
+	}
+	rm.nextCont++
+	c := &Container{
+		ID:          rm.nextCont,
+		App:         req.app,
+		Spec:        req.spec,
+		nm:          nm,
+		state:       ContainerAllocated,
+		Done:        sim.NewEvent(rm.eng),
+		AllocatedAt: rm.eng.Now(),
+	}
+	nm.containers[c.ID] = c
+	req.app.live[c.ID] = c
+	if req.isAM {
+		req.app.amContainer = c
+		rm.launchAM(c)
+		return
+	}
+	req.app.allocated.Put(c)
+}
+
+// launchAM starts the ApplicationMaster inside its container.
+func (rm *ResourceManager) launchAM(c *Container) {
+	app := c.App
+	c.proc = rm.eng.Spawn(fmt.Sprintf("yarn:am:%s", app.Name), func(p *sim.Proc) {
+		defer func() {
+			c.terminal(ContainerCompleted, 0)
+			if app.state == AppRunning || app.state == AppAccepted {
+				// AM exited without unregistering.
+				app.finish(AppFailed, StatusFailed)
+			}
+		}()
+		c.state = ContainerLocalizing
+		c.nm.localize(p, app)
+		p.Sleep(sim.Jitter(rm.rng, rm.cfg.AMLaunch, 0.2))
+		c.state = ContainerRunning
+		c.StartedAt = p.Now()
+		app.AMStartTime = p.Now()
+		am := &AppMaster{app: app, rm: rm, Container: c}
+		app.runner(p, am)
+	})
+}
+
+// containerFinished updates scheduler accounting on any container exit.
+func (rm *ResourceManager) containerFinished(c *Container) {
+	delete(c.App.live, c.ID)
+	if cs, ok := rm.sched.(*CapacityScheduler); ok {
+		cs.ContainerReleased(c.App.Queue, c.Spec)
+	}
+}
+
+// Preempt reclaims a running container for the scheduler (the behaviour
+// the paper warns YARN applications must tolerate). The container body
+// is interrupted and the AM sees exit code ExitPreempted.
+func (rm *ResourceManager) Preempt(c *Container) {
+	if c.state != ContainerRunning && c.state != ContainerLocalizing {
+		return
+	}
+	if c.proc != nil {
+		c.proc.Interrupt(fmt.Errorf("yarn: container %d preempted", c.ID))
+	}
+	c.terminal(ContainerPreempted, ExitPreempted)
+}
+
+// Kill terminates an application: all its containers are killed and the
+// app moves to KILLED.
+func (rm *ResourceManager) Kill(app *Application) {
+	if app.state == AppFinished || app.state == AppFailed || app.state == AppKilled {
+		return
+	}
+	app.finish(AppKilled, StatusKilled)
+}
+
+// finish moves the application to a terminal state, reaping containers.
+func (a *Application) finish(state AppState, status FinalStatus) {
+	if a.state == AppFinished || a.state == AppFailed || a.state == AppKilled {
+		return
+	}
+	a.state = state
+	a.finalStatus = status
+	a.FinishTime = a.rm.eng.Now()
+	a.rm.sched.RemoveApp(a.ID)
+	for _, c := range a.live {
+		if c.proc != nil && (c.state == ContainerRunning || c.state == ContainerLocalizing) {
+			c.proc.Interrupt(fmt.Errorf("yarn: application %d finished", a.ID))
+		}
+		c.terminal(ContainerKilled, ExitKilled)
+	}
+	// Drain containers that were allocated but never picked up.
+	for {
+		c, ok := a.allocated.TryGet()
+		if !ok {
+			break
+		}
+		c.terminal(ContainerKilled, ExitKilled)
+	}
+	a.Done.Trigger()
+	a.rm.eng.Tracef("yarn: app %d (%s) -> %s (%s)", a.ID, a.Name, state, status)
+}
+
+// Metrics snapshots cluster state, like the RM REST API. Callers that
+// model the HTTP round trip should sleep RPCLatency themselves (the
+// agent scheduler does).
+func (rm *ResourceManager) Metrics() ClusterMetrics {
+	var m ClusterMetrics
+	for _, nm := range rm.nms {
+		m.TotalMB += nm.capacity.MemoryMB
+		m.AvailableMB += nm.free.MemoryMB
+		m.TotalVCores += nm.capacity.VCores
+		m.AvailableVCores += nm.free.VCores
+		m.ContainersAlloc += len(nm.containers)
+		m.ActiveNodes++
+	}
+	m.AllocatedMB = m.TotalMB - m.AvailableMB
+	m.AllocatedVCores = m.TotalVCores - m.AvailableVCores
+	for _, app := range rm.apps {
+		switch app.state {
+		case AppRunning:
+			m.AppsRunning++
+		case AppSubmitted, AppAccepted:
+			m.AppsPending++
+		}
+	}
+	m.PendingRequests = rm.sched.Pending()
+	return m
+}

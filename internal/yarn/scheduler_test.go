@@ -1,0 +1,110 @@
+package yarn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestDelaySchedulingRelaxes: a request preferring a node with no
+// capacity must eventually relax and run elsewhere rather than starve.
+func TestDelaySchedulingRelaxes(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	cfg := fastConfig()
+	cfg.IgnoreVCores = false
+	rm := deployRM(t, e, m, cfg)
+	// Fill node 0 completely with a squatter app.
+	squat := make(chan struct{}) // never closed; units sleep forever
+	_ = squat
+	var got *cluster.Node
+	e.Spawn("client", func(p *sim.Proc) {
+		blocker, _ := rm.Submit(p, AppDesc{
+			Name: "squatter",
+			Runner: func(ap *sim.Proc, am *AppMaster) {
+				am.Register(ap)
+				// Take all of node 0's memory (minus the AM's own 1GB,
+				// which may land anywhere).
+				free := rm.NodeManagers()[0].Free()
+				am.RequestContainers(ap, ResourceSpec{MemoryMB: free.MemoryMB - 2048, VCores: 1}, 1,
+					[]*cluster.Node{m.Nodes[0]})
+				c := am.NextContainer(ap)
+				am.Launch(ap, c, func(cp *sim.Proc, cc *Container) {
+					cp.Sleep(10 * time.Minute)
+				})
+				ap.Wait(c.Done)
+				am.Unregister(ap, StatusSucceeded)
+			},
+		})
+		_ = blocker
+		p.Sleep(30 * time.Second) // let the squatter settle
+		app, _ := rm.Submit(p, AppDesc{
+			Name: "wants-node0",
+			Runner: func(ap *sim.Proc, am *AppMaster) {
+				am.Register(ap)
+				am.RequestContainers(ap, ResourceSpec{MemoryMB: 8192, VCores: 1}, 1,
+					[]*cluster.Node{m.Nodes[0]})
+				c := am.NextContainer(ap)
+				got = c.NodeManager().Node()
+				am.Launch(ap, c, func(*sim.Proc, *Container) {})
+				ap.Wait(c.Done)
+				am.Unregister(ap, StatusSucceeded)
+			},
+		})
+		app.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if got == nil {
+		t.Fatal("request starved: delay scheduling never relaxed")
+	}
+	if got != m.Nodes[1] {
+		t.Fatalf("container on %s, want relaxed placement on the free node", got.Name)
+	}
+}
+
+func TestFIFOSchedulerRemoveApp(t *testing.T) {
+	s := NewFIFOScheduler()
+	appA := &Application{ID: 1}
+	appB := &Application{ID: 2}
+	s.Add(&Request{app: appA, spec: ResourceSpec{1024, 1}, count: 3})
+	s.Add(&Request{app: appB, spec: ResourceSpec{1024, 1}, count: 2})
+	if s.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", s.Pending())
+	}
+	s.RemoveApp(1)
+	if s.Pending() != 2 {
+		t.Fatalf("pending after removal = %d, want 2", s.Pending())
+	}
+	s.RemoveApp(99) // unknown app is a no-op
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d after no-op removal", s.Pending())
+	}
+}
+
+func TestIgnoreVCoresAllowsOversubscription(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 1) // 8 cores per node
+	cfg := fastConfig()    // IgnoreVCores = true by default
+	rm := deployRM(t, e, m, cfg)
+	ran := 0
+	e.Spawn("client", func(p *sim.Proc) {
+		// 12 single-core 1GB containers + AM on an 8-core node: memory
+		// fits, vcores oversubscribe — must all run concurrently.
+		app, _ := rm.Submit(p, AppDesc{
+			Name:   "oversub",
+			Runner: simpleAM(12, ResourceSpec{MemoryMB: 1024, VCores: 1}, 30*time.Second, &ran),
+		})
+		st := app.Wait(p)
+		if st != StatusSucceeded {
+			t.Errorf("status = %v", st)
+		}
+	})
+	e.Run()
+	e.Close()
+	if ran != 12 {
+		t.Fatalf("ran = %d, want 12", ran)
+	}
+}

@@ -1,0 +1,481 @@
+package yarn
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func testMachine(e *sim.Engine, nodes int) *cluster.Machine {
+	return cluster.New(e, cluster.MachineSpec{
+		Name:  "tm",
+		Nodes: nodes,
+		Node: cluster.NodeSpec{
+			Cores: 8, MemoryMB: 16 * 1024, DiskBW: 200e6, NICBW: 1e9,
+		},
+		FabricBW:  10e9,
+		Lustre:    storage.LustreSpec{AggregateBW: 1e9, MDSServers: 2},
+		CPUFactor: 1,
+	})
+}
+
+// fastConfig strips localization so tests can reason about protocol
+// latencies alone.
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.LocalizationBytes = 0
+	return cfg
+}
+
+func deployRM(t *testing.T, e *sim.Engine, m *cluster.Machine, cfg Config) *ResourceManager {
+	t.Helper()
+	rm, err := NewResourceManager(e, cfg, m.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rm
+}
+
+// simpleAM runs n container bodies of the given duration and unregisters.
+func simpleAM(n int, spec ResourceSpec, dur time.Duration, ran *int) AMRunner {
+	return func(p *sim.Proc, am *AppMaster) {
+		am.Register(p)
+		if err := am.RequestContainers(p, spec, n, nil); err != nil {
+			am.Unregister(p, StatusFailed)
+			return
+		}
+		var done []*Container
+		for i := 0; i < n; i++ {
+			c := am.NextContainer(p)
+			am.Launch(p, c, func(cp *sim.Proc, cc *Container) {
+				cp.Sleep(dur)
+				*ran++
+			})
+			done = append(done, c)
+		}
+		for _, c := range done {
+			p.Wait(c.Done)
+		}
+		am.Unregister(p, StatusSucceeded)
+	}
+}
+
+func TestApplicationEndToEnd(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	rm := deployRM(t, e, m, fastConfig())
+	ran := 0
+	var status FinalStatus
+	e.Spawn("client", func(p *sim.Proc) {
+		app, err := rm.Submit(p, AppDesc{
+			Name:   "e2e",
+			Runner: simpleAM(4, ResourceSpec{MemoryMB: 2048, VCores: 1}, 10*time.Second, &ran),
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		status = app.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if status != StatusSucceeded {
+		t.Fatalf("status = %v, want SUCCEEDED", status)
+	}
+	if ran != 4 {
+		t.Fatalf("ran %d containers, want 4", ran)
+	}
+	// All resources must be back.
+	met := rm.Metrics()
+	if met.AllocatedMB != 0 || met.AllocatedVCores != 0 || met.ContainersAlloc != 0 {
+		t.Fatalf("resources leaked: %+v", met)
+	}
+}
+
+func TestTwoStageStartupOverhead(t *testing.T) {
+	// The Fig-5-inset effect: even a trivial task pays AM allocation
+	// (heartbeat), AM launch, registration, container allocation
+	// (heartbeat), and container launch. With default knobs that is
+	// seconds — two orders of magnitude above the RPC cost.
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	rm := deployRM(t, e, m, fastConfig())
+	var taskStarted, submitted time.Duration
+	e.Spawn("client", func(p *sim.Proc) {
+		submitted = p.Now()
+		app, _ := rm.Submit(p, AppDesc{
+			Name: "probe",
+			Runner: func(pp *sim.Proc, am *AppMaster) {
+				am.Register(pp)
+				am.RequestContainers(pp, ResourceSpec{MemoryMB: 1024, VCores: 1}, 1, nil)
+				c := am.NextContainer(pp)
+				am.Launch(pp, c, func(cp *sim.Proc, cc *Container) {
+					taskStarted = cp.Now()
+				})
+				pp.Wait(c.Done)
+				am.Unregister(pp, StatusSucceeded)
+			},
+		})
+		app.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	startup := taskStarted - submitted
+	if startup < 3*time.Second || startup > 15*time.Second {
+		t.Fatalf("two-stage startup = %v, want seconds-scale (3s..15s)", startup)
+	}
+}
+
+func TestLocalizationChargedOncePerNode(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 1)
+	cfg := fastConfig()
+	cfg.LocalizationBytes = 100 << 20
+	cfg.Fetcher = VolumeFetcher{Volume: m.Lustre}
+	rm := deployRM(t, e, m, cfg)
+	var first, second time.Duration
+	e.Spawn("client", func(p *sim.Proc) {
+		app, _ := rm.Submit(p, AppDesc{
+			Name: "loc",
+			Runner: func(pp *sim.Proc, am *AppMaster) {
+				am.Register(pp)
+				am.RequestContainers(pp, ResourceSpec{MemoryMB: 1024, VCores: 1}, 2, nil)
+				c1 := am.NextContainer(pp)
+				t0 := pp.Now()
+				am.Launch(pp, c1, func(cp *sim.Proc, cc *Container) {})
+				pp.Wait(c1.Done)
+				first = pp.Now() - t0
+				c2 := am.NextContainer(pp)
+				t0 = pp.Now()
+				am.Launch(pp, c2, func(cp *sim.Proc, cc *Container) {})
+				pp.Wait(c2.Done)
+				second = pp.Now() - t0
+				am.Unregister(pp, StatusSucceeded)
+			},
+		})
+		app.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	// The AM itself localized already (same node), so both task
+	// containers skip it; but first-vs-second comparison still guards
+	// the general shape: they must be within the launch-jitter band of
+	// each other, both cheap.
+	if first > 4*time.Second || second > 4*time.Second {
+		t.Fatalf("localization recharged: first=%v second=%v", first, second)
+	}
+}
+
+func TestAMExitWithoutUnregisterFails(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 1)
+	rm := deployRM(t, e, m, fastConfig())
+	var status FinalStatus
+	e.Spawn("client", func(p *sim.Proc) {
+		app, _ := rm.Submit(p, AppDesc{
+			Name:   "crasher",
+			Runner: func(pp *sim.Proc, am *AppMaster) { am.Register(pp) },
+		})
+		status = app.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if status != StatusFailed {
+		t.Fatalf("status = %v, want FAILED", status)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 1)
+	rm := deployRM(t, e, m, fastConfig())
+	e.Spawn("client", func(p *sim.Proc) {
+		app, _ := rm.Submit(p, AppDesc{
+			Name: "bad",
+			Runner: func(pp *sim.Proc, am *AppMaster) {
+				if err := am.RequestContainers(pp, ResourceSpec{1024, 1}, 1, nil); err == nil {
+					t.Error("request before register accepted")
+				}
+				am.Register(pp)
+				if err := am.RequestContainers(pp, ResourceSpec{1024, 1}, 0, nil); err == nil {
+					t.Error("zero count accepted")
+				}
+				if err := am.RequestContainers(pp, ResourceSpec{0, 1}, 1, nil); err == nil {
+					t.Error("zero memory accepted")
+				}
+				am.Unregister(pp, StatusSucceeded)
+			},
+		})
+		app.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if _, err := NewResourceManager(e, fastConfig(), nil); err == nil {
+		t.Error("empty node list accepted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 1)
+	rm := deployRM(t, e, m, fastConfig())
+	e.Spawn("client", func(p *sim.Proc) {
+		if _, err := rm.Submit(p, AppDesc{Name: "norunner"}); err == nil {
+			t.Error("runner-less app accepted")
+		}
+		rm.Stop()
+		if _, err := rm.Submit(p, AppDesc{Name: "late", Runner: func(*sim.Proc, *AppMaster) {}}); err == nil {
+			t.Error("submit after stop accepted")
+		}
+	})
+	e.Run()
+	e.Close()
+}
+
+func TestPreemptionInterruptsContainer(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 1)
+	rm := deployRM(t, e, m, fastConfig())
+	var exitCode int
+	var preempted *Container
+	e.Spawn("client", func(p *sim.Proc) {
+		app, _ := rm.Submit(p, AppDesc{
+			Name: "victim",
+			Runner: func(pp *sim.Proc, am *AppMaster) {
+				am.Register(pp)
+				am.RequestContainers(pp, ResourceSpec{MemoryMB: 1024, VCores: 1}, 1, nil)
+				c := am.NextContainer(pp)
+				preempted = c
+				am.Launch(pp, c, func(cp *sim.Proc, cc *Container) {
+					cp.Sleep(time.Hour) // will be preempted
+				})
+				pp.Wait(c.Done)
+				exitCode = c.ExitCode
+				am.Unregister(pp, StatusSucceeded)
+			},
+		})
+		app.Wait(p)
+	})
+	e.At(30*time.Second, func() {
+		if preempted != nil {
+			rm.Preempt(preempted)
+		}
+	})
+	e.Run()
+	e.Close()
+	if exitCode != ExitPreempted {
+		t.Fatalf("exit code = %d, want %d", exitCode, ExitPreempted)
+	}
+	if got := rm.Metrics().AllocatedMB; got != 0 {
+		t.Fatalf("allocated after preemption = %d, want 0", got)
+	}
+}
+
+func TestKillApplication(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 1)
+	rm := deployRM(t, e, m, fastConfig())
+	var app *Application
+	var status FinalStatus
+	e.Spawn("client", func(p *sim.Proc) {
+		var err error
+		ran := 0
+		app, err = rm.Submit(p, AppDesc{
+			Name:   "undead",
+			Runner: simpleAM(1, ResourceSpec{1024, 1}, time.Hour, &ran),
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		status = app.Wait(p)
+	})
+	e.At(30*time.Second, func() { rm.Kill(app) })
+	e.Run()
+	e.Close()
+	if status != StatusKilled {
+		t.Fatalf("status = %v, want KILLED", status)
+	}
+	met := rm.Metrics()
+	if met.AllocatedMB != 0 || met.ContainersAlloc != 0 {
+		t.Fatalf("resources leaked after kill: %+v", met)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	cfg := fastConfig()
+	cfg.DaemonMemoryMB = 2048
+	rm := deployRM(t, e, m, cfg)
+	met := rm.Metrics()
+	if met.ActiveNodes != 2 {
+		t.Fatalf("nodes = %d, want 2", met.ActiveNodes)
+	}
+	wantMB := 2 * (16*1024 - 2048)
+	if met.TotalMB != int64(wantMB) {
+		t.Fatalf("total MB = %d, want %d", met.TotalMB, wantMB)
+	}
+	if met.TotalVCores != 16 {
+		t.Fatalf("vcores = %d, want 16", met.TotalVCores)
+	}
+	if met.AvailableMB != met.TotalMB {
+		t.Fatalf("idle cluster has %d/%d MB available", met.AvailableMB, met.TotalMB)
+	}
+	e.Close()
+}
+
+func TestContainersQueueWhenClusterFull(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 1) // 8 vcores, 14 GB usable
+	rm := deployRM(t, e, m, fastConfig())
+	ran := 0
+	var status FinalStatus
+	e.Spawn("client", func(p *sim.Proc) {
+		// 6 task containers of 4 GB each + 1 GB AM: needs 25 GB but the
+		// node offers 14; containers must run in waves, all completing.
+		app, _ := rm.Submit(p, AppDesc{
+			Name:   "waves",
+			Runner: simpleAM(6, ResourceSpec{MemoryMB: 4096, VCores: 1}, 20*time.Second, &ran),
+		})
+		status = app.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if status != StatusSucceeded || ran != 6 {
+		t.Fatalf("status=%v ran=%d, want SUCCEEDED/6", status, ran)
+	}
+}
+
+func TestPreferredNodePlacement(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 3)
+	rm := deployRM(t, e, m, fastConfig())
+	want := m.Nodes[2]
+	var got *cluster.Node
+	e.Spawn("client", func(p *sim.Proc) {
+		app, _ := rm.Submit(p, AppDesc{
+			Name: "locality",
+			Runner: func(pp *sim.Proc, am *AppMaster) {
+				am.Register(pp)
+				am.RequestContainers(pp, ResourceSpec{1024, 1}, 1, []*cluster.Node{want})
+				c := am.NextContainer(pp)
+				got = c.NodeManager().Node()
+				am.Launch(pp, c, func(*sim.Proc, *Container) {})
+				pp.Wait(c.Done)
+				am.Unregister(pp, StatusSucceeded)
+			},
+		})
+		app.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if got != want {
+		t.Fatalf("container placed on %s, want %s", got.Name, want.Name)
+	}
+}
+
+func TestCapacitySchedulerSharesCluster(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 2)
+	cfg := fastConfig()
+	cs, err := NewCapacityScheduler([]QueueSpec{
+		{Name: "prod", Capacity: 0.7},
+		{Name: "dev", Capacity: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheduler = cs
+	rm := deployRM(t, e, m, cfg)
+	ranProd, ranDev := 0, 0
+	var stProd, stDev FinalStatus
+	e.Spawn("client", func(p *sim.Proc) {
+		prod, _ := rm.Submit(p, AppDesc{
+			Name: "prod-app", Queue: "prod",
+			Runner: simpleAM(4, ResourceSpec{2048, 1}, 30*time.Second, &ranProd),
+		})
+		dev, _ := rm.Submit(p, AppDesc{
+			Name: "dev-app", Queue: "dev",
+			Runner: simpleAM(2, ResourceSpec{2048, 1}, 30*time.Second, &ranDev),
+		})
+		stProd = prod.Wait(p)
+		stDev = dev.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if stProd != StatusSucceeded || stDev != StatusSucceeded {
+		t.Fatalf("statuses prod=%v dev=%v", stProd, stDev)
+	}
+	if ranProd != 4 || ranDev != 2 {
+		t.Fatalf("ran prod=%d dev=%d, want 4/2", ranProd, ranDev)
+	}
+}
+
+func TestCapacitySchedulerValidation(t *testing.T) {
+	if _, err := NewCapacityScheduler(nil); err == nil {
+		t.Error("empty queue list accepted")
+	}
+	if _, err := NewCapacityScheduler([]QueueSpec{{Name: "a", Capacity: 0.5}}); err == nil {
+		t.Error("capacities summing to 0.5 accepted")
+	}
+	if _, err := NewCapacityScheduler([]QueueSpec{
+		{Name: "a", Capacity: 0.5}, {Name: "a", Capacity: 0.5},
+	}); err == nil {
+		t.Error("duplicate queue accepted")
+	}
+	if _, err := NewCapacityScheduler([]QueueSpec{
+		{Name: "a", Capacity: 1.5}, {Name: "b", Capacity: -0.5},
+	}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestReleaseUnusedContainer(t *testing.T) {
+	e := sim.NewEngine()
+	m := testMachine(e, 1)
+	rm := deployRM(t, e, m, fastConfig())
+	e.Spawn("client", func(p *sim.Proc) {
+		app, _ := rm.Submit(p, AppDesc{
+			Name: "overask",
+			Runner: func(pp *sim.Proc, am *AppMaster) {
+				am.Register(pp)
+				am.RequestContainers(pp, ResourceSpec{1024, 1}, 2, nil)
+				c1 := am.NextContainer(pp)
+				c2 := am.NextContainer(pp)
+				am.Launch(pp, c1, func(*sim.Proc, *Container) {})
+				if err := am.ReleaseContainer(pp, c2); err != nil {
+					t.Error(err)
+				}
+				pp.Wait(c1.Done)
+				am.Unregister(pp, StatusSucceeded)
+			},
+		})
+		app.Wait(p)
+	})
+	e.Run()
+	e.Close()
+	if got := rm.Metrics().AllocatedMB; got != 0 {
+		t.Fatalf("allocated = %d after release, want 0", got)
+	}
+}
+
+func TestResourceSpecArithmetic(t *testing.T) {
+	a := ResourceSpec{MemoryMB: 4096, VCores: 2}
+	b := ResourceSpec{MemoryMB: 1024, VCores: 1}
+	if !b.Fits(a) || a.Fits(b) {
+		t.Fatal("Fits wrong")
+	}
+	if got := a.Add(b); got.MemoryMB != 5120 || got.VCores != 3 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got.MemoryMB != 3072 || got.VCores != 1 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if a.String() == "" || ContainerRunning.String() == "" || AppRunning.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
