@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/kmeans"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 // BenchmarkFig5PilotStartup measures pilot (agent) startup per machine
@@ -22,14 +22,14 @@ func BenchmarkFig5PilotStartup(b *testing.B) {
 	cases := []struct {
 		machine experiments.MachineName
 		system  experiments.System
-		mode    core.PilotMode
+		mode    pilot.PilotMode
 		mode2   bool
 	}{
-		{experiments.Stampede, experiments.RP, core.ModeHPC, false},
-		{experiments.Stampede, experiments.RPYARN, core.ModeYARN, false},
-		{experiments.Wrangler, experiments.RP, core.ModeHPC, false},
-		{experiments.Wrangler, experiments.RPYARN, core.ModeYARN, false},
-		{experiments.Wrangler, experiments.RPYARNModeII, core.ModeYARN, true},
+		{experiments.Stampede, experiments.RP, pilot.ModeHPC, false},
+		{experiments.Stampede, experiments.RPYARN, pilot.ModeYARN, false},
+		{experiments.Wrangler, experiments.RP, pilot.ModeHPC, false},
+		{experiments.Wrangler, experiments.RPYARN, pilot.ModeYARN, false},
+		{experiments.Wrangler, experiments.RPYARNModeII, pilot.ModeYARN, true},
 	}
 	for _, cse := range cases {
 		name := fmt.Sprintf("%s/%s", cse.machine, cse.system)
@@ -42,8 +42,8 @@ func BenchmarkFig5PilotStartup(b *testing.B) {
 				}
 				var startup float64
 				env.Eng.Spawn("driver", func(p *sim.Proc) {
-					pm := core.NewPilotManager(env.Session)
-					pl, err := pm.Submit(p, core.PilotDescription{
+					pm := pilot.NewPilotManager(env.Session)
+					pl, err := pm.Submit(p, pilot.PilotDescription{
 						Resource: string(cse.machine), Nodes: 1, Runtime: 2 * 3600e9,
 						Mode: cse.mode, ConnectDedicated: cse.mode2,
 					})
@@ -51,7 +51,7 @@ func BenchmarkFig5PilotStartup(b *testing.B) {
 						b.Error(err)
 						return
 					}
-					if !pl.WaitState(p, core.PilotActive) {
+					if !pl.WaitState(p, pilot.PilotActive) {
 						b.Errorf("pilot ended %v", pl.State())
 						return
 					}
@@ -72,10 +72,10 @@ func BenchmarkFig5PilotStartup(b *testing.B) {
 func BenchmarkFig5UnitStartup(b *testing.B) {
 	for _, cse := range []struct {
 		system experiments.System
-		mode   core.PilotMode
+		mode   pilot.PilotMode
 	}{
-		{experiments.RP, core.ModeHPC},
-		{experiments.RPYARN, core.ModeYARN},
+		{experiments.RP, pilot.ModeHPC},
+		{experiments.RPYARN, pilot.ModeYARN},
 	} {
 		b.Run(string(cse.system), func(b *testing.B) {
 			var total float64
@@ -86,21 +86,21 @@ func BenchmarkFig5UnitStartup(b *testing.B) {
 				}
 				var startup float64
 				env.Eng.Spawn("driver", func(p *sim.Proc) {
-					pm := core.NewPilotManager(env.Session)
-					pl, err := pm.Submit(p, core.PilotDescription{
+					pm := pilot.NewPilotManager(env.Session)
+					pl, err := pm.Submit(p, pilot.PilotDescription{
 						Resource: "stampede", Nodes: 1, Runtime: 2 * 3600e9, Mode: cse.mode,
 					})
 					if err != nil {
 						b.Error(err)
 						return
 					}
-					if !pl.WaitState(p, core.PilotActive) {
+					if !pl.WaitState(p, pilot.PilotActive) {
 						b.Errorf("pilot ended %v", pl.State())
 						return
 					}
-					um := core.NewUnitManager(env.Session)
+					um := pilot.NewUnitManager(env.Session)
 					um.AddPilot(pl)
-					units, err := um.Submit(p, []core.ComputeUnitDescription{{Executable: "/bin/date"}})
+					units, err := um.Submit(p, []pilot.ComputeUnitDescription{{Executable: "/bin/date"}})
 					if err != nil {
 						b.Error(err)
 						return
@@ -128,10 +128,10 @@ func BenchmarkFig6KMeans(b *testing.B) {
 		for _, tc := range kmeans.PaperTaskCounts {
 			for _, cse := range []struct {
 				system experiments.System
-				mode   core.PilotMode
+				mode   pilot.PilotMode
 			}{
-				{experiments.RP, core.ModeHPC},
-				{experiments.RPYARN, core.ModeYARN},
+				{experiments.RP, pilot.ModeHPC},
+				{experiments.RPYARN, pilot.ModeYARN},
 			} {
 				name := fmt.Sprintf("%s/%dtasks/%s", machine, tc.Tasks, cse.system)
 				b.Run(name, func(b *testing.B) {
@@ -143,8 +143,8 @@ func BenchmarkFig6KMeans(b *testing.B) {
 						}
 						var runtime float64
 						env.Eng.Spawn("driver", func(p *sim.Proc) {
-							pm := core.NewPilotManager(env.Session)
-							pl, err := pm.Submit(p, core.PilotDescription{
+							pm := pilot.NewPilotManager(env.Session)
+							pl, err := pm.Submit(p, pilot.PilotDescription{
 								Resource: string(machine), Nodes: tc.Nodes,
 								Runtime: 6 * 3600e9, Mode: cse.mode,
 							})
@@ -152,11 +152,11 @@ func BenchmarkFig6KMeans(b *testing.B) {
 								b.Error(err)
 								return
 							}
-							if !pl.WaitState(p, core.PilotActive) {
+							if !pl.WaitState(p, pilot.PilotActive) {
 								b.Errorf("pilot ended %v", pl.State())
 								return
 							}
-							um := core.NewUnitManager(env.Session)
+							um := pilot.NewUnitManager(env.Session)
 							um.AddPilot(pl)
 							res, err := kmeans.RunWorkload(p, um, scn, tc.Tasks, kmeans.DefaultCostModel(), sim.NewRNG(int64(i)))
 							if err != nil {

@@ -27,12 +27,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 type workload struct {
@@ -71,10 +73,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	mode := map[string]core.PilotMode{"hpc": core.ModeHPC, "yarn": core.ModeYARN, "spark": core.ModeSpark}
-	pm, ok := mode[wl.Mode]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "radical-pilot: unknown mode %q (hpc, yarn, spark)\n", wl.Mode)
+	// Any backend registered with the pilot package is a valid mode.
+	pm := pilot.PilotMode(wl.Mode)
+	if !slices.Contains(pilot.Backends(), wl.Mode) {
+		fmt.Fprintf(os.Stderr, "radical-pilot: unknown mode %q (registered: %s)\n",
+			wl.Mode, strings.Join(pilot.Backends(), ", "))
 		os.Exit(2)
 	}
 	env, err := experiments.NewEnv(experiments.MachineName(wl.Machine), wl.Nodes+1, wl.Seed)
@@ -87,8 +90,8 @@ func main() {
 	}
 	failed := false
 	env.Eng.Spawn("driver", func(p *sim.Proc) {
-		pmgr := core.NewPilotManager(env.Session)
-		pilot, err := pmgr.Submit(p, core.PilotDescription{
+		pmgr := pilot.NewPilotManager(env.Session)
+		pl, err := pmgr.Submit(p, pilot.PilotDescription{
 			Resource:         wl.Machine,
 			Nodes:            wl.Nodes,
 			Runtime:          time.Duration(wl.RuntimeMin) * time.Minute,
@@ -101,26 +104,26 @@ func main() {
 			return
 		}
 		fmt.Printf("[%10s] pilot submitted: %s on %s (%d nodes, mode %s)\n",
-			p.Now(), pilot.ID, wl.Machine, wl.Nodes, wl.Mode)
-		if !pilot.WaitState(p, core.PilotActive) {
-			fmt.Fprintf(os.Stderr, "radical-pilot: pilot ended %v\n", pilot.State())
+			p.Now(), pl.ID, wl.Machine, wl.Nodes, wl.Mode)
+		if !pl.WaitState(p, pilot.PilotActive) {
+			fmt.Fprintf(os.Stderr, "radical-pilot: pilot ended %v\n", pl.State())
 			failed = true
 			return
 		}
 		fmt.Printf("[%10s] pilot active: queue wait %s, agent startup %s\n",
-			p.Now(), metrics.Seconds(pilot.QueueWait()), metrics.Seconds(pilot.AgentStartup()))
-		if pilot.HadoopSpawnTime > 0 {
-			fmt.Printf("[%10s] hadoop cluster spawned in %s\n", p.Now(), metrics.Seconds(pilot.HadoopSpawnTime))
+			p.Now(), metrics.Seconds(pl.QueueWait()), metrics.Seconds(pl.AgentStartup()))
+		if pl.HadoopSpawnTime > 0 {
+			fmt.Printf("[%10s] hadoop cluster spawned in %s\n", p.Now(), metrics.Seconds(pl.HadoopSpawnTime))
 		}
-		um := core.NewUnitManager(env.Session)
-		um.AddPilot(pilot)
-		descs := make([]core.ComputeUnitDescription, wl.Units)
+		um := pilot.NewUnitManager(env.Session)
+		um.AddPilot(pl)
+		descs := make([]pilot.ComputeUnitDescription, wl.Units)
 		for i := range descs {
-			descs[i] = core.ComputeUnitDescription{
+			descs[i] = pilot.ComputeUnitDescription{
 				Name:       fmt.Sprintf("task-%03d", i),
 				Executable: "/bin/task",
 				Cores:      wl.UnitCores,
-				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+				Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
 					ctx.Node.Compute(bp, float64(wl.UnitSeconds))
 				},
 			}
@@ -136,7 +139,7 @@ func main() {
 		var startup, ttc metrics.Sample
 		done := 0
 		for _, u := range units {
-			if u.State() == core.UnitDone {
+			if u.State() == pilot.UnitDone {
 				done++
 				startup.Add(u.StartupTime())
 				ttc.Add(u.TimeToCompletion())
@@ -147,7 +150,7 @@ func main() {
 		fmt.Printf("[%10s] %d/%d units done; unit startup mean %ss (max %ss); time-to-completion mean %ss\n",
 			p.Now(), done, len(units),
 			metrics.Seconds(startup.Mean()), metrics.Seconds(startup.Max()), metrics.Seconds(ttc.Mean()))
-		pilot.Cancel()
+		pl.Cancel()
 		failed = failed || done != len(units)
 	})
 	env.Eng.Run()

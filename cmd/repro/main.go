@@ -12,11 +12,11 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/profiling"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 func main() {
@@ -104,39 +104,39 @@ func main() {
 func breakdown(seed int64) error {
 	for _, sys := range []struct {
 		label string
-		mode  core.PilotMode
+		mode  pilot.PilotMode
 	}{
-		{"RADICAL-Pilot (fork launch method)", core.ModeHPC},
-		{"RADICAL-Pilot-YARN (YARN launch method)", core.ModeYARN},
+		{"RADICAL-Pilot (fork launch method)", pilot.ModeHPC},
+		{"RADICAL-Pilot-YARN (YARN launch method)", pilot.ModeYARN},
 	} {
 		env, err := experiments.NewEnv(experiments.Stampede, 3, seed)
 		if err != nil {
 			return err
 		}
-		var units []*core.Unit
+		var units []*pilot.Unit
 		var runErr error
 		env.Eng.Spawn("driver", func(p *sim.Proc) {
-			pm := core.NewPilotManager(env.Session)
-			pl, err := pm.Submit(p, core.PilotDescription{
+			pm := pilot.NewPilotManager(env.Session)
+			pl, err := pm.Submit(p, pilot.PilotDescription{
 				Resource: "stampede", Nodes: 2, Runtime: 2 * time.Hour, Mode: sys.mode,
 			})
 			if err != nil {
 				runErr = err
 				return
 			}
-			if !pl.WaitState(p, core.PilotActive) {
+			if !pl.WaitState(p, pilot.PilotActive) {
 				runErr = fmt.Errorf("pilot ended %v", pl.State())
 				return
 			}
-			um := core.NewUnitManager(env.Session)
+			um := pilot.NewUnitManager(env.Session)
 			um.AddPilot(pl)
-			descs := make([]core.ComputeUnitDescription, 16)
+			descs := make([]pilot.ComputeUnitDescription, 16)
 			for i := range descs {
-				descs[i] = core.ComputeUnitDescription{
+				descs[i] = pilot.ComputeUnitDescription{
 					Executable:        "/bin/task",
 					Cores:             1,
 					InputStagingBytes: 16 << 20,
-					Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+					Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
 						ctx.Node.Compute(bp, 60)
 					},
 				}

@@ -11,6 +11,10 @@
 // experiments package regenerates Figures 5 and 6 and the speedup numbers
 // quoted in the text; bench_test.go exposes each as a Go benchmark.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// Applications program against the public Pilot-API in the pilot
+// package: sessions and managers, pluggable execution backends
+// (pilot.RegisterBackend) and state callbacks (OnStateChange). The
+// middleware implementation behind it lives in internal/core.
+//
+// See README.md for the layout and a quickstart.
 package repro

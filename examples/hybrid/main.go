@@ -12,10 +12,10 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 func main() {
@@ -31,30 +31,30 @@ func main() {
 			log.Fatal(err)
 		}
 		env.Eng.Spawn("driver", func(p *sim.Proc) {
-			pm := core.NewPilotManager(env.Session)
-			pilot, err := pm.Submit(p, core.PilotDescription{
+			pm := pilot.NewPilotManager(env.Session)
+			pl, err := pm.Submit(p, pilot.PilotDescription{
 				Resource:         "wrangler",
 				Nodes:            2,
 				Runtime:          2 * time.Hour,
-				Mode:             core.ModeYARN,
+				Mode:             pilot.ModeYARN,
 				ConnectDedicated: m.dedicated,
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			if !pilot.WaitState(p, core.PilotActive) {
-				log.Fatalf("pilot ended %v", pilot.State())
+			if !pl.WaitState(p, pilot.PilotActive) {
+				log.Fatalf("pilot ended %v", pl.State())
 			}
-			um := core.NewUnitManager(env.Session)
-			um.AddPilot(pilot)
-			descs := make([]core.ComputeUnitDescription, 8)
+			um := pilot.NewUnitManager(env.Session)
+			um.AddPilot(pl)
+			descs := make([]pilot.ComputeUnitDescription, 8)
 			for i := range descs {
-				descs[i] = core.ComputeUnitDescription{
+				descs[i] = pilot.ComputeUnitDescription{
 					Name:       fmt.Sprintf("yarn-task-%d", i),
 					Executable: "/bin/analytics",
 					Cores:      2,
 					MemoryMB:   4096,
-					Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+					Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
 						ctx.Node.Compute(bp, 45)
 						ctx.Sandbox.Write(bp, 16<<20)
 					},
@@ -68,17 +68,17 @@ func main() {
 			um.WaitAll(p, units)
 			var startups metrics.Sample
 			for _, u := range units {
-				if u.State() != core.UnitDone {
+				if u.State() != pilot.UnitDone {
 					log.Fatalf("unit %s: %v (%v)", u.ID, u.State(), u.Err)
 				}
 				startups.Add(u.StartupTime())
 			}
 			fmt.Printf("%s\n", m.label)
 			fmt.Printf("  agent startup      %8ss (hadoop spawn %ss)\n",
-				metrics.Seconds(pilot.AgentStartup()), metrics.Seconds(pilot.HadoopSpawnTime))
+				metrics.Seconds(pl.AgentStartup()), metrics.Seconds(pl.HadoopSpawnTime))
 			fmt.Printf("  workload makespan  %8ss, mean unit startup %ss\n\n",
 				metrics.Seconds(p.Now()-t0), metrics.Seconds(startups.Mean()))
-			pilot.Cancel()
+			pl.Cancel()
 		})
 		env.Eng.Run()
 		env.Close()

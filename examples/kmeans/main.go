@@ -16,11 +16,11 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/kmeans"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 func main() {
@@ -70,37 +70,37 @@ func simulatedKMeans() {
 	const tasks, nodes = 32, 3
 	for _, mode := range []struct {
 		name string
-		mode core.PilotMode
+		mode pilot.PilotMode
 	}{
-		{"RADICAL-Pilot (shuffle on Lustre)", core.ModeHPC},
-		{"RADICAL-Pilot-YARN (shuffle on local disk)", core.ModeYARN},
+		{"RADICAL-Pilot (shuffle on Lustre)", pilot.ModeHPC},
+		{"RADICAL-Pilot-YARN (shuffle on local disk)", pilot.ModeYARN},
 	} {
 		env, err := experiments.NewEnv(experiments.Wrangler, nodes+1, 42)
 		if err != nil {
 			log.Fatal(err)
 		}
 		env.Eng.Spawn("driver", func(p *sim.Proc) {
-			pm := core.NewPilotManager(env.Session)
-			pilot, err := pm.Submit(p, core.PilotDescription{
+			pm := pilot.NewPilotManager(env.Session)
+			pl, err := pm.Submit(p, pilot.PilotDescription{
 				Resource: "wrangler", Nodes: nodes, Runtime: 4 * time.Hour, Mode: mode.mode,
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
-			if !pilot.WaitState(p, core.PilotActive) {
-				log.Fatalf("pilot ended %v", pilot.State())
+			if !pl.WaitState(p, pilot.PilotActive) {
+				log.Fatalf("pilot ended %v", pl.State())
 			}
-			um := core.NewUnitManager(env.Session)
-			um.AddPilot(pilot)
+			um := pilot.NewUnitManager(env.Session)
+			um.AddPilot(pl)
 			res, err := kmeans.RunWorkload(p, um, scn, tasks, kmeans.DefaultCostModel(), sim.NewRNG(42))
 			if err != nil {
 				log.Fatal(err)
 			}
-			total := res.Makespan + pilot.HadoopSpawnTime
+			total := res.Makespan + pl.HadoopSpawnTime
 			fmt.Printf("%-45s %s, %d tasks: runtime %ss (workload %ss, cluster spawn %ss)\n",
 				mode.name, scn.Name, tasks,
-				metrics.Seconds(total), metrics.Seconds(res.Makespan), metrics.Seconds(pilot.HadoopSpawnTime))
-			pilot.Cancel()
+				metrics.Seconds(total), metrics.Seconds(res.Makespan), metrics.Seconds(pl.HadoopSpawnTime))
+			pl.Cancel()
 		})
 		env.Eng.Run()
 		env.Close()

@@ -18,11 +18,11 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/kmeans"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 const (
@@ -41,23 +41,23 @@ func main() {
 	defer env.Close()
 
 	env.Eng.Spawn("driver", func(p *sim.Proc) {
-		pm := core.NewPilotManager(env.Session)
+		pm := pilot.NewPilotManager(env.Session)
 
 		// One pilot for the HPC stage, one Spark pilot for analytics —
 		// both on Wrangler, managed through the same API.
-		simPilot, err := pm.Submit(p, core.PilotDescription{
-			Resource: "wrangler", Nodes: 2, Runtime: 4 * time.Hour, Mode: core.ModeHPC,
+		simPilot, err := pm.Submit(p, pilot.PilotDescription{
+			Resource: "wrangler", Nodes: 2, Runtime: 4 * time.Hour, Mode: pilot.ModeHPC,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		anaPilot, err := pm.Submit(p, core.PilotDescription{
-			Resource: "wrangler", Nodes: 2, Runtime: 4 * time.Hour, Mode: core.ModeSpark,
+		anaPilot, err := pm.Submit(p, pilot.PilotDescription{
+			Resource: "wrangler", Nodes: 2, Runtime: 4 * time.Hour, Mode: pilot.ModeSpark,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !simPilot.WaitState(p, core.PilotActive) || !anaPilot.WaitState(p, core.PilotActive) {
+		if !simPilot.WaitState(p, pilot.PilotActive) || !anaPilot.WaitState(p, pilot.PilotActive) {
 			log.Fatalf("pilots: %v / %v", simPilot.State(), anaPilot.State())
 		}
 		fmt.Printf("pilots active: HPC after %ss, Spark after %ss (incl. cluster spawn)\n",
@@ -65,16 +65,16 @@ func main() {
 
 		// Stage 1: the simulation ensemble (MPI launch method, 8 cores
 		// each), writing trajectories to the shared filesystem.
-		simUM := core.NewUnitManager(env.Session)
+		simUM := pilot.NewUnitManager(env.Session)
 		simUM.AddPilot(simPilot)
-		simDescs := make([]core.ComputeUnitDescription, replicas)
+		simDescs := make([]pilot.ComputeUnitDescription, replicas)
 		for i := range simDescs {
-			simDescs[i] = core.ComputeUnitDescription{
+			simDescs[i] = pilot.ComputeUnitDescription{
 				Name:       fmt.Sprintf("md-replica-%d", i),
 				Executable: "gmx_mpi mdrun",
 				Cores:      8,
-				Launch:     core.LaunchMPIExec,
-				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+				Launch:     pilot.LaunchMPIExec,
+				Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
 					ctx.Node.Compute(bp, nsPerReplica)
 					ctx.Shared.Write(bp, trajMB<<20) // trajectory to Lustre
 				},
@@ -87,7 +87,7 @@ func main() {
 		}
 		simUM.WaitAll(p, simUnits)
 		for _, u := range simUnits {
-			if u.State() != core.UnitDone {
+			if u.State() != pilot.UnitDone {
 				log.Fatalf("replica %s: %v (%v)", u.ID, u.State(), u.Err)
 			}
 		}
@@ -96,15 +96,15 @@ func main() {
 
 		// Stage 2: trajectory analysis on the Spark pilot — read the
 		// trajectories, featurize, cluster conformations.
-		anaUM := core.NewUnitManager(env.Session)
+		anaUM := pilot.NewUnitManager(env.Session)
 		anaUM.AddPilot(anaPilot)
-		anaDescs := make([]core.ComputeUnitDescription, replicas)
+		anaDescs := make([]pilot.ComputeUnitDescription, replicas)
 		for i := range anaDescs {
-			anaDescs[i] = core.ComputeUnitDescription{
+			anaDescs[i] = pilot.ComputeUnitDescription{
 				Name:       fmt.Sprintf("traj-analysis-%d", i),
 				Executable: "spark-submit cluster_conformations.py",
 				Cores:      8,
-				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+				Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
 					ctx.Shared.Read(bp, trajMB<<20) // trajectory from Lustre
 					// Featurize + cluster: points × clusters distance
 					// evaluations at the calibrated task rate.
@@ -121,7 +121,7 @@ func main() {
 		}
 		anaUM.WaitAll(p, anaUnits)
 		for _, u := range anaUnits {
-			if u.State() != core.UnitDone {
+			if u.State() != pilot.UnitDone {
 				log.Fatalf("analysis %s: %v (%v)", u.ID, u.State(), u.Err)
 			}
 		}

@@ -9,10 +9,10 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 func main() {
@@ -26,33 +26,33 @@ func main() {
 	env.Eng.Spawn("driver", func(p *sim.Proc) {
 		// 1. Submit a placeholder job (the pilot) through the session's
 		//    SAGA layer and wait for the agent to come up.
-		pm := core.NewPilotManager(env.Session)
-		pilot, err := pm.Submit(p, core.PilotDescription{
+		pm := pilot.NewPilotManager(env.Session)
+		pl, err := pm.Submit(p, pilot.PilotDescription{
 			Resource: "stampede",
 			Nodes:    2,
 			Runtime:  time.Hour,
-			Mode:     core.ModeHPC,
+			Mode:     pilot.ModeHPC,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if !pilot.WaitState(p, core.PilotActive) {
-			log.Fatalf("pilot ended in %v", pilot.State())
+		if !pl.WaitState(p, pilot.PilotActive) {
+			log.Fatalf("pilot ended in %v", pl.State())
 		}
 		fmt.Printf("pilot active after %s in queue + %s agent startup\n",
-			metrics.Seconds(pilot.QueueWait()), metrics.Seconds(pilot.AgentStartup()))
+			metrics.Seconds(pl.QueueWait()), metrics.Seconds(pl.AgentStartup()))
 
 		// 2. Bind a Unit-Manager to the pilot and submit Compute-Units.
-		um := core.NewUnitManager(env.Session)
-		um.AddPilot(pilot)
-		descs := make([]core.ComputeUnitDescription, 8)
+		um := pilot.NewUnitManager(env.Session)
+		um.AddPilot(pl)
+		descs := make([]pilot.ComputeUnitDescription, 8)
 		for i := range descs {
 			i := i
-			descs[i] = core.ComputeUnitDescription{
+			descs[i] = pilot.ComputeUnitDescription{
 				Name:       fmt.Sprintf("hello-%d", i),
 				Executable: "/bin/hello",
 				Cores:      4,
-				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+				Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
 					// 30 CPU-seconds on whichever node the agent chose.
 					ctx.Node.Compute(bp, 30)
 					fmt.Printf("  unit %d ran on %s with %d cores, finished at %v\n",
@@ -68,12 +68,12 @@ func main() {
 		// 3. Wait and report.
 		um.WaitAll(p, units)
 		for _, u := range units {
-			if u.State() != core.UnitDone {
+			if u.State() != pilot.UnitDone {
 				log.Fatalf("unit %s: %v (%v)", u.ID, u.State(), u.Err)
 			}
 		}
 		fmt.Printf("all %d units done at %v\n", len(units), p.Now())
-		pilot.Cancel()
+		pl.Cancel()
 	})
 	env.Eng.Run()
 }

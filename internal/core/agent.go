@@ -3,38 +3,23 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
-	"repro/internal/cluster"
-	"repro/internal/hdfs"
 	"repro/internal/hpc"
 	"repro/internal/sim"
-	"repro/internal/spark"
-	"repro/internal/yarn"
 )
 
 // agent is the RADICAL-Pilot-Agent: it runs as the payload of the
-// placeholder job and owns the Local Resource Manager, the agent
-// scheduler, the staging workers and the task spawner (paper Figure 3,
-// right side).
+// placeholder job and owns the generic agent machinery — bootstrap,
+// components, the coordination-store pull loop, and the per-unit
+// pipeline (paper Figure 3, right side). Everything runtime-specific
+// (Local Resource Manager setup, launch methods, teardown of spawned
+// clusters) lives behind the pilot's Backend.
 type agent struct {
 	pilot   *Pilot
 	session *Session
-	alloc   *hpc.Allocation
-	machine *cluster.Machine
-	prof    BootstrapProfile
-	rng     *rand.Rand
-
-	sched    agentScheduler
-	launcher launcher
-
-	// Mode I/II Hadoop environment.
-	rm      *yarn.ResourceManager
-	fs      *hdfs.FileSystem
-	ownsRM  bool // Mode I spawned it and must stop it
-	pam     *persistentAM
-	sparkCl *spark.Cluster
-	sparkAp *spark.App
+	backend Backend
+	bc      *BackendContext
+	sched   AgentScheduler
 
 	// unitProcs tracks per-unit executor processes for teardown.
 	unitProcs map[*Unit]*sim.Proc
@@ -50,11 +35,17 @@ func (pl *Pilot) runAgent(p *sim.Proc, alloc *hpc.Allocation) {
 	a := &agent{
 		pilot:     pl,
 		session:   pl.session,
-		alloc:     alloc,
-		machine:   alloc.Machine(),
-		prof:      pl.session.profile,
-		rng:       sim.SubRNG(pl.session.seed, "agent:"+pl.ID),
+		backend:   pl.backend,
 		unitProcs: make(map[*Unit]*sim.Proc),
+	}
+	a.bc = &BackendContext{
+		Pilot:   pl,
+		Session: pl.session,
+		Alloc:   alloc,
+		Machine: alloc.Machine(),
+		Profile: pl.session.profile,
+		RNG:     sim.SubRNG(pl.session.seed, "agent:"+pl.ID),
+		agent:   a,
 	}
 	pl.agent = a
 	pl.AgentStartTime = p.Now()
@@ -62,9 +53,11 @@ func (pl *Pilot) runAgent(p *sim.Proc, alloc *hpc.Allocation) {
 	defer a.teardown()
 	intr := sim.OnInterrupt(func() {
 		a.bootstrap(p)
-		if err := a.initLRM(p); err != nil {
-			panic(fmt.Sprintf("core: agent %s LRM init: %v", pl.ID, err))
+		sched, err := a.backend.Bootstrap(p, a.bc)
+		if err != nil {
+			panic(fmt.Sprintf("core: agent %s: %s backend bootstrap: %v", pl.ID, a.backend.Name(), err))
 		}
+		a.sched = sched
 		a.startComponents(p)
 		pl.advance(PilotActive)
 		a.mainLoop(p)
@@ -72,145 +65,21 @@ func (pl *Pilot) runAgent(p *sim.Proc, alloc *hpc.Allocation) {
 	_ = intr // cancellation and walltime both land here; teardown runs next
 }
 
-// jitter applies the profile's run-to-run variation.
-func (a *agent) jitter(d sim.Duration) sim.Duration {
-	return sim.Jitter(a.rng, d, a.prof.Jitter)
-}
-
 // bootstrap models the agent bootstrap chain: module loads, Python
 // start, and the virtualenv verification on the shared filesystem whose
 // thousands of small-file operations dominate startup on Lustre.
 func (a *agent) bootstrap(p *sim.Proc) {
-	p.Sleep(a.jitter(a.prof.AgentSetup))
-	lustre := a.machine.Lustre
-	for i := 0; i < a.prof.AgentVenvOps; i++ {
+	p.Sleep(a.bc.Jitter(a.bc.Profile.AgentSetup))
+	lustre := a.bc.Machine.Lustre
+	for i := 0; i < a.bc.Profile.AgentVenvOps; i++ {
 		lustre.Touch(p)
 	}
-}
-
-// initLRM performs the Local Resource Manager's environment-specific
-// setup. For ModeHPC it only collects node information; for ModeYARN it
-// spawns (Mode I) or connects to (Mode II) HDFS+YARN; for ModeSpark it
-// deploys a standalone Spark cluster.
-func (a *agent) initLRM(p *sim.Proc) error {
-	switch a.pilot.Desc.Mode {
-	case ModeHPC:
-		p.Sleep(a.jitter(500e6)) // evaluate RM environment variables
-		a.sched = newContinuousScheduler(a.session.eng, a.alloc.Nodes)
-		a.launcher = &forkLauncher{}
-		return nil
-
-	case ModeYARN:
-		if a.pilot.Desc.ConnectDedicated {
-			// Mode II: the cluster already runs (e.g. Wrangler's data
-			// portal environment); just discover and connect.
-			p.Sleep(a.jitter(a.prof.ConnectDedicated))
-			a.rm = a.pilot.res.DedicatedYARN
-			a.fs = a.pilot.res.DedicatedHDFS
-		} else {
-			if err := a.bootstrapHadoop(p); err != nil {
-				return err
-			}
-			a.ownsRM = true
-		}
-		met := a.rm.Metrics()
-		a.sched = newYarnAgentScheduler(a.session.eng, met.TotalMB, met.TotalVCores)
-		a.launcher = &yarnLauncher{}
-		if a.pilot.Desc.ReuseAM {
-			if err := a.startPersistentAM(p); err != nil {
-				return err
-			}
-		}
-		return nil
-
-	case ModeSpark:
-		if err := a.bootstrapSpark(p); err != nil {
-			return err
-		}
-		a.sched = newPoolScheduler(a.session.eng, a.sparkAp.TotalSlots())
-		a.launcher = &sparkLauncher{}
-		return nil
-	default:
-		return fmt.Errorf("core: unknown pilot mode %v", a.pilot.Desc.Mode)
-	}
-}
-
-// bootstrapHadoop is the paper's Mode I LRM sequence: download the
-// distribution, unpack it onto the shared filesystem, write the
-// configuration files, format HDFS, and start the daemons (NameNode and
-// ResourceManager on the agent node, DataNodes and NodeManagers
-// everywhere).
-func (a *agent) bootstrapHadoop(p *sim.Proc) error {
-	started := p.Now()
-	defer func() { a.pilot.HadoopSpawnTime = p.Now() - started }()
-	prof := a.prof
-	a.machine.DownloadExternal(p, prof.HadoopDownloadBytes)
-	lustre := a.machine.Lustre
-	lustre.Write(p, prof.HadoopDownloadBytes) // store the tarball
-	for i := 0; i < prof.HadoopUnpackOps; i++ {
-		lustre.Touch(p) // untar: one metadata op per file
-	}
-	p.Sleep(a.jitter(prof.HadoopConfig))
-
-	// HDFS: format, then NameNode (serial), then DataNodes (parallel).
-	p.Sleep(a.jitter(prof.HDFSFormat))
-	fs, err := hdfs.New(a.session.eng, hdfs.DefaultConfig(), a.alloc.Nodes)
-	if err != nil {
-		return err
-	}
-	p.Sleep(a.jitter(prof.DaemonStart)) // NameNode start
-	p.Sleep(a.jitter(prof.DaemonStart)) // DataNodes start (parallel wave)
-
-	// YARN: ResourceManager (serial), then NodeManagers (parallel).
-	p.Sleep(a.jitter(prof.DaemonStart)) // ResourceManager start
-	ycfg := yarn.DefaultConfig()
-	ycfg.Seed = a.session.seed
-	// The RP environment bundle is localized from the agent sandbox on
-	// the shared filesystem.
-	ycfg.Fetcher = yarn.VolumeFetcher{Volume: lustre}
-	rm, err := yarn.NewResourceManager(a.session.eng, ycfg, a.alloc.Nodes)
-	if err != nil {
-		return err
-	}
-	p.Sleep(a.jitter(prof.DaemonStart)) // NodeManagers start + register
-	a.fs = fs
-	a.rm = rm
-	return nil
-}
-
-// bootstrapSpark deploys the standalone Spark cluster (Mode I for
-// Spark): download, unpack, start Master and Workers, then launch the
-// pilot-wide application whose executors run the units.
-func (a *agent) bootstrapSpark(p *sim.Proc) error {
-	prof := a.prof
-	a.machine.DownloadExternal(p, prof.SparkDownloadBytes)
-	lustre := a.machine.Lustre
-	lustre.Write(p, prof.SparkDownloadBytes)
-	for i := 0; i < prof.HadoopUnpackOps/2; i++ {
-		lustre.Touch(p)
-	}
-	p.Sleep(a.jitter(prof.HadoopConfig)) // spark-env.sh, slaves, master
-	scfg := spark.DefaultConfig()
-	scfg.Seed = a.session.seed
-	cl, err := spark.NewCluster(a.session.eng, scfg, a.alloc.Nodes)
-	if err != nil {
-		return err
-	}
-	p.Sleep(a.jitter(prof.SparkDaemonStart)) // master
-	p.Sleep(a.jitter(prof.SparkDaemonStart)) // workers (parallel wave)
-	app, err := cl.StartApp(p, "rp-agent:"+a.pilot.ID)
-	if err != nil {
-		return err
-	}
-	a.sparkCl = cl
-	a.sparkAp = app
-	return nil
 }
 
 // startComponents brings up the agent's internal components (scheduler,
 // staging workers, heartbeat monitor).
 func (a *agent) startComponents(p *sim.Proc) {
-	p.Sleep(a.jitter(a.prof.AgentComponents))
+	p.Sleep(a.bc.Jitter(a.bc.Profile.AgentComponents))
 	store := a.session.store
 	pl := a.pilot
 	a.session.eng.SpawnDaemon("agent:hb:"+pl.ID, func(hp *sim.Proc) {
@@ -227,7 +96,7 @@ func (a *agent) startComponents(p *sim.Proc) {
 func (a *agent) mainLoop(p *sim.Proc) {
 	store := a.session.store
 	for {
-		item, ok := store.PopWait(p, a.pilot.queueName, a.prof.AgentPull)
+		item, ok := store.PopWait(p, a.pilot.queueName, a.bc.Profile.AgentPull)
 		if !ok {
 			continue
 		}
@@ -257,61 +126,42 @@ func reasonErr(reason any) error {
 // unitPipeline drives one unit through scheduling, staging, execution
 // and output staging (paper steps U.4–U.7).
 func (a *agent) unitPipeline(p *sim.Proc, u *Unit) {
-	slot, err := a.sched.acquire(p, u)
+	sl, err := a.sched.Acquire(p, u)
 	if err != nil {
 		u.fail(err)
 		return
 	}
-	defer a.sched.release(slot)
+	defer a.sched.Release(sl)
 
 	u.advance(UnitStagingInput)
 	if in := u.Desc.InputStagingBytes; in > 0 {
 		// Stage-In worker: shared filesystem into the agent sandbox.
-		a.machine.Lustre.Read(p, in)
+		a.bc.Machine.Lustre.Read(p, in)
 	}
-	if err := a.launcher.run(p, a, u, slot); err != nil {
+	if err := a.backend.LaunchUnit(p, a.bc, u, sl); err != nil {
 		u.fail(err)
 		return
 	}
 	u.advance(UnitStagingOutput)
 	if out := u.Desc.OutputStagingBytes; out > 0 {
-		a.machine.Lustre.Write(p, out)
+		a.bc.Machine.Lustre.Write(p, out)
 	}
 	u.advance(UnitDone)
 }
 
-// teardown stops everything the agent started. For Mode I it stops the
-// Hadoop/Spark daemons it spawned, mirroring the paper's LRM shutdown
-// ("the LRM stops the Hadoop and YARN daemons and removes the associated
-// data files").
+// teardown stops everything the agent started, then lets the backend
+// stop whatever its Bootstrap spawned, mirroring the paper's LRM
+// shutdown ("the LRM stops the Hadoop and YARN daemons and removes the
+// associated data files").
 func (a *agent) teardown() {
 	a.draining = true
-	for u, proc := range a.unitProcs {
+	for _, proc := range a.unitProcs {
 		proc.Interrupt(errAgentShutdown)
-		_ = u
 	}
-	if a.rm != nil && a.ownsRM {
-		a.rm.Stop()
-	}
-	if a.sparkAp != nil {
-		a.sparkAp.Stop()
-	}
-	if a.sparkCl != nil {
-		a.sparkCl.Stop()
-	}
+	a.backend.Teardown(a.bc)
 	if a.pilot.state == PilotActive {
 		// The job payload returning normally (walltime drain) moves the
 		// pilot to Done via the PilotManager watcher.
 		a.session.eng.Tracef("agent %s teardown complete", a.pilot.ID)
 	}
-}
-
-// YARNMetrics exposes the connected cluster's metrics (nil outside
-// ModeYARN), used by tests and the repro harness.
-func (pl *Pilot) YARNMetrics() *yarn.ClusterMetrics {
-	if pl.agent == nil || pl.agent.rm == nil {
-		return nil
-	}
-	m := pl.agent.rm.Metrics()
-	return &m
 }

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// hpcBackend is the classic RADICAL-Pilot agent: a continuous core
+// scheduler over the allocation's nodes and fork/mpiexec/aprun launch
+// methods, with unit sandboxes on the shared parallel filesystem
+// (RADICAL-Pilot's default sandbox location) — the reason the paper's
+// K-Means on plain RP shuffles through Lustre.
+type hpcBackend struct{}
+
+func (hpcBackend) Name() string { return string(ModeHPC) }
+
+// Validate has nothing backend-specific to check: the YARN-only
+// description fields are already rejected by PilotDescription.Validate
+// for every non-YARN backend.
+func (hpcBackend) Validate(PilotDescription, *Resource) error { return nil }
+
+func (hpcBackend) Bootstrap(p *sim.Proc, bc *BackendContext) (AgentScheduler, error) {
+	p.Sleep(bc.Jitter(500e6)) // evaluate RM environment variables
+	return NewContinuousScheduler(bc.Session.Engine(), bc.Alloc.Nodes), nil
+}
+
+func (hpcBackend) LaunchUnit(p *sim.Proc, bc *BackendContext, u *Unit, sl *Slot) error {
+	spawn := bc.Profile.ForkSpawn
+	switch u.Desc.Launch {
+	case LaunchMPIExec, LaunchAPRun:
+		spawn += bc.Profile.MPIStartup
+	}
+	p.Sleep(bc.Jitter(spawn))
+	var sandbox storage.Volume = bc.Machine.Lustre
+	if bc.Pilot.Desc.LocalSandbox {
+		sandbox = sl.Node.Disk
+	}
+	bc.RunUnitBody(p, u, sl.Node, sandbox)
+	return nil
+}
+
+func (hpcBackend) Teardown(*BackendContext) {}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/spark"
+)
+
+// sparkBackend deploys a standalone Spark cluster inside the allocation
+// (Mode I for Spark): download, unpack, start Master and Workers, then
+// launch a pilot-wide application whose executors run the units as task
+// sets, with sandboxes on node-local disk.
+type sparkBackend struct {
+	cl  *spark.Cluster
+	app *spark.App
+}
+
+func (*sparkBackend) Name() string { return string(ModeSpark) }
+
+// Validate has nothing backend-specific to check: the YARN-only
+// description fields are already rejected by PilotDescription.Validate
+// for every non-YARN backend.
+func (*sparkBackend) Validate(PilotDescription, *Resource) error { return nil }
+
+func (b *sparkBackend) Bootstrap(p *sim.Proc, bc *BackendContext) (AgentScheduler, error) {
+	prof := bc.Profile
+	bc.Machine.DownloadExternal(p, prof.SparkDownloadBytes)
+	lustre := bc.Machine.Lustre
+	lustre.Write(p, prof.SparkDownloadBytes)
+	for i := 0; i < prof.HadoopUnpackOps/2; i++ {
+		lustre.Touch(p)
+	}
+	p.Sleep(bc.Jitter(prof.HadoopConfig)) // spark-env.sh, slaves, master
+	scfg := spark.DefaultConfig()
+	scfg.Seed = bc.Session.seed
+	cl, err := spark.NewCluster(bc.Session.Engine(), scfg, bc.Alloc.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(bc.Jitter(prof.SparkDaemonStart)) // master
+	p.Sleep(bc.Jitter(prof.SparkDaemonStart)) // workers (parallel wave)
+	app, err := cl.StartApp(p, "rp-agent:"+bc.Pilot.ID)
+	if err != nil {
+		return nil, err
+	}
+	b.cl = cl
+	b.app = app
+	return NewPoolScheduler(bc.Session.Engine(), app.TotalSlots()), nil
+}
+
+func (b *sparkBackend) LaunchUnit(p *sim.Proc, bc *BackendContext, u *Unit, _ *Slot) error {
+	return b.app.RunTask(p, u.Desc.Cores, func(tp *sim.Proc, node *cluster.Node) {
+		bc.RunUnitBody(tp, u, node, node.Disk)
+	})
+}
+
+func (b *sparkBackend) Teardown(*BackendContext) {
+	if b.app != nil {
+		b.app.Stop()
+	}
+	if b.cl != nil {
+		b.cl.Stop()
+	}
+}

@@ -8,34 +8,29 @@ import (
 	"repro/internal/storage"
 )
 
-// PilotMode selects the agent flavour, corresponding to the paper's
-// integration modes.
-type PilotMode int
+// PilotMode names the execution backend that runs the pilot's agent.
+// The zero value selects ModeHPC; any name registered through
+// RegisterBackend is valid, so new runtimes need no new constant here.
+type PilotMode string
 
 const (
 	// ModeHPC is a plain RADICAL-Pilot agent executing units directly on
 	// the allocation (fork/mpiexec launch methods).
-	ModeHPC PilotMode = iota
+	ModeHPC PilotMode = "hpc"
 	// ModeYARN spawns (Mode I) or connects to (Mode II) a YARN cluster
 	// and executes units as YARN applications.
-	ModeYARN
+	ModeYARN PilotMode = "yarn"
 	// ModeSpark spawns a standalone Spark cluster and executes units on
 	// its executors.
-	ModeSpark
+	ModeSpark PilotMode = "spark"
 )
 
-// String names the mode.
+// String names the mode; the zero value reads as the default backend.
 func (m PilotMode) String() string {
-	switch m {
-	case ModeHPC:
-		return "hpc"
-	case ModeYARN:
-		return "yarn"
-	case ModeSpark:
-		return "spark"
-	default:
-		return fmt.Sprintf("PilotMode(%d)", int(m))
+	if m == "" {
+		return string(ModeHPC)
 	}
+	return string(m)
 }
 
 // PilotDescription describes a pilot request (cf. RADICAL-Pilot's
@@ -50,7 +45,9 @@ type PilotDescription struct {
 	Runtime sim.Duration
 	// Queue is the batch queue (informational).
 	Queue string
-	// Mode selects the agent flavour (plain HPC, YARN, Spark).
+	// Mode names the execution backend (plain HPC, YARN, Spark, or any
+	// backend registered through RegisterBackend). Empty selects
+	// ModeHPC.
 	Mode PilotMode
 	// ConnectDedicated, with ModeYARN, connects to the resource's
 	// dedicated Hadoop environment instead of spawning one inside the
@@ -70,7 +67,20 @@ type PilotDescription struct {
 	ReuseAM bool
 }
 
+// withDefaults normalizes the description (the zero Mode selects the
+// plain HPC backend).
+func (d PilotDescription) withDefaults() PilotDescription {
+	if d.Mode == "" {
+		d.Mode = ModeHPC
+	}
+	return d
+}
+
 // Validate reports a descriptive error for invalid descriptions.
+// Backend-independent fields are checked here — including that the
+// YARN-only fields are unset for every other backend, so a custom
+// backend cannot silently accept and ignore them; each Backend
+// additionally validates its own fields at Submit time.
 func (d PilotDescription) Validate() error {
 	if d.Resource == "" {
 		return fmt.Errorf("core: pilot needs a resource")
@@ -81,11 +91,12 @@ func (d PilotDescription) Validate() error {
 	if d.Runtime <= 0 {
 		return fmt.Errorf("core: pilot needs a positive runtime")
 	}
-	if d.ConnectDedicated && d.Mode != ModeYARN {
-		return fmt.Errorf("core: ConnectDedicated requires ModeYARN")
+	mode := d.withDefaults().Mode
+	if d.ConnectDedicated && mode != ModeYARN {
+		return errRequiresYARN("ConnectDedicated")
 	}
-	if d.ReuseAM && d.Mode != ModeYARN {
-		return fmt.Errorf("core: ReuseAM requires ModeYARN")
+	if d.ReuseAM && mode != ModeYARN {
+		return errRequiresYARN("ReuseAM")
 	}
 	return nil
 }

@@ -148,9 +148,9 @@ func TestStateStringsAndFinality(t *testing.T) {
 			t.Fatalf("unit state %v finality wrong", st)
 		}
 	}
-	for _, m := range []PilotMode{ModeHPC, ModeYARN, ModeSpark, PilotMode(99)} {
+	for _, m := range []PilotMode{ModeHPC, ModeYARN, ModeSpark, PilotMode(""), PilotMode("dask")} {
 		if m.String() == "" {
-			t.Fatalf("mode %d has empty name", m)
+			t.Fatalf("mode %q has empty name", string(m))
 		}
 	}
 	for _, l := range []LaunchMethod{LaunchDefault, LaunchFork, LaunchMPIExec, LaunchAPRun, LaunchMethod(99)} {

@@ -6,19 +6,21 @@ import (
 	"repro/internal/hpc"
 	"repro/internal/saga"
 	"repro/internal/sim"
+	"repro/internal/yarn"
 )
 
 // Pilot is a placeholder job managed by the PilotManager: once its agent
-// is active, it executes Compute-Units on the allocation.
+// is active, it executes Compute-Units on the allocation through the
+// execution backend its description's Mode selected.
 type Pilot struct {
 	ID      string
 	Desc    PilotDescription
 	session *Session
 	res     *Resource
+	backend Backend
 
 	state PilotState
-	// stateEv holds one event per state, triggered when reached.
-	stateEv map[PilotState]*sim.Event
+	watch *notifier[PilotState]
 	// Timestamps records when each state was entered.
 	Timestamps map[PilotState]sim.Duration
 
@@ -45,22 +47,35 @@ func (pl *Pilot) State() PilotState { return pl.state }
 // Resource returns the resource the pilot runs on.
 func (pl *Pilot) Resource() *Resource { return pl.res }
 
+// Backend returns the execution backend instance driving this pilot's
+// agent.
+func (pl *Pilot) Backend() Backend { return pl.backend }
+
+// OnStateChange registers fn to run for every state the pilot actually
+// enters from now on, in registration order, synchronously at the
+// transition's virtual time. States skipped on failure paths are not
+// reported. If the pilot has already left PilotNew, fn is additionally
+// invoked once, immediately, with the current state, so a late
+// subscriber cannot miss a final state.
+func (pl *Pilot) OnStateChange(fn PilotCallback) {
+	pl.watch.subscribe(func(st PilotState) { fn(pl, st) })
+	if pl.state != PilotNew {
+		fn(pl, pl.state)
+	}
+}
+
 // WaitState blocks p until the pilot reaches the given state (or a final
 // state, to avoid waiting forever on a failed pilot). It reports whether
 // the pilot actually passed through the awaited state.
 func (pl *Pilot) WaitState(p *sim.Proc, st PilotState) bool {
-	for pl.state < st && !pl.state.Final() {
-		p.Wait(pl.ev(pl.state + 1))
-	}
+	pl.watch.await(p, pl.state, func(s PilotState) bool { return s >= st || s.Final() })
 	_, reached := pl.Timestamps[st]
 	return reached
 }
 
 // Wait blocks until the pilot reaches a final state.
 func (pl *Pilot) Wait(p *sim.Proc) PilotState {
-	for !pl.state.Final() {
-		p.Wait(pl.ev(pl.state + 1))
-	}
+	pl.watch.await(p, pl.state, PilotState.Final)
 	return pl.state
 }
 
@@ -79,30 +94,19 @@ func (pl *Pilot) QueueWait() sim.Duration {
 	return pl.sagaJob.QueueWait()
 }
 
-func (pl *Pilot) ev(st PilotState) *sim.Event {
-	e := pl.stateEv[st]
-	if e == nil {
-		e = sim.NewEvent(pl.session.eng)
-		pl.stateEv[st] = e
-	}
-	return e
-}
-
-// advance moves the pilot through st, recording the timestamp and waking
-// waiters. States may be skipped on failure paths; waiters parked on
-// skipped states are woken too (and observe via Timestamps that the
-// state never actually occurred).
+// advance moves the pilot into st, recording the timestamp, firing
+// callbacks and waking waiters. States may be skipped on failure paths;
+// skipped states fire no callbacks, and waiters parked on them are woken
+// by the final state (observing via Timestamps that the awaited state
+// never actually occurred).
 func (pl *Pilot) advance(st PilotState) {
 	if pl.state.Final() || st <= pl.state {
 		return
 	}
-	old := pl.state
 	pl.state = st
 	pl.Timestamps[st] = pl.session.eng.Now()
-	for s := old + 1; s <= st; s++ {
-		pl.ev(s).Trigger()
-	}
 	pl.session.eng.Tracef("pilot %s -> %s", pl.ID, st)
+	pl.watch.entered(st)
 }
 
 // Cancel terminates the pilot: the placeholder job is cancelled and the
@@ -115,6 +119,20 @@ func (pl *Pilot) Cancel() {
 		pl.sagaJob.Cancel()
 	}
 	pl.advance(PilotCanceled)
+}
+
+// YARNMetrics exposes the connected YARN cluster's metrics, or nil when
+// the pilot's backend does not run on YARN (used by tests and the repro
+// harness).
+func (pl *Pilot) YARNMetrics() *yarn.ClusterMetrics {
+	if pl.agent == nil {
+		return nil
+	}
+	prov, ok := pl.backend.(YARNMetricsProvider)
+	if !ok {
+		return nil
+	}
+	return prov.YARNMetrics()
 }
 
 // PilotManager submits and tracks pilots (paper Figure 3, steps P.1–P.7).
@@ -130,11 +148,13 @@ func NewPilotManager(s *Session) *PilotManager {
 // Session returns the owning session.
 func (pm *PilotManager) Session() *Session { return pm.session }
 
-// Submit launches a pilot: it builds the agent payload, submits the
-// placeholder job through SAGA, and returns immediately with the pilot in
+// Submit launches a pilot: it resolves and validates the description's
+// execution backend, builds the agent payload, submits the placeholder
+// job through SAGA, and returns immediately with the pilot in
 // PilotLaunching. Use WaitState(PilotActive) to block until the agent is
 // ready.
 func (pm *PilotManager) Submit(p *sim.Proc, desc PilotDescription) (*Pilot, error) {
+	desc = desc.withDefaults()
 	if err := desc.Validate(); err != nil {
 		return nil, err
 	}
@@ -142,8 +162,12 @@ func (pm *PilotManager) Submit(p *sim.Proc, desc PilotDescription) (*Pilot, erro
 	if !ok {
 		return nil, fmt.Errorf("core: unknown resource %q", desc.Resource)
 	}
-	if desc.ConnectDedicated && res.DedicatedYARN == nil {
-		return nil, fmt.Errorf("core: resource %q has no dedicated Hadoop environment for Mode II", desc.Resource)
+	backend, err := newBackend(desc.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if err := backend.Validate(desc, res); err != nil {
+		return nil, err
 	}
 	pm.session.nextPilot++
 	pl := &Pilot{
@@ -151,7 +175,8 @@ func (pm *PilotManager) Submit(p *sim.Proc, desc PilotDescription) (*Pilot, erro
 		Desc:       desc,
 		session:    pm.session,
 		res:        res,
-		stateEv:    make(map[PilotState]*sim.Event),
+		backend:    backend,
+		watch:      newNotifier[PilotState](pm.session.eng),
 		Timestamps: make(map[PilotState]sim.Duration),
 	}
 	pl.queueName = "units:" + pl.ID

@@ -28,21 +28,22 @@ type amRequest struct {
 
 // startPersistentAM submits the pilot-wide application and waits until
 // its AM has registered.
-func (a *agent) startPersistentAM(p *sim.Proc) error {
+func (b *yarnBackend) startPersistentAM(p *sim.Proc, bc *BackendContext) error {
+	eng := bc.Session.Engine()
 	pam := &persistentAM{
-		reqs:  sim.NewQueue[*amRequest](a.session.eng),
-		ready: sim.NewEvent(a.session.eng),
+		reqs:  sim.NewQueue[*amRequest](eng),
+		ready: sim.NewEvent(eng),
 	}
-	app, err := a.rm.Submit(p, yarn.AppDesc{
-		Name:       "rp-am:" + a.pilot.ID,
-		AMResource: yarn.ResourceSpec{MemoryMB: amOverhead.memMB, VCores: amOverhead.cores},
+	app, err := b.rm.Submit(p, yarn.AppDesc{
+		Name:       "rp-am:" + bc.Pilot.ID,
+		AMResource: yarn.ResourceSpec{MemoryMB: amOverhead.MemMB, VCores: amOverhead.Cores},
 		Runner: func(ap *sim.Proc, am *yarn.AppMaster) {
 			am.Register(ap)
 			pam.ready.Trigger()
 			for {
-				req, ok := pam.reqs.GetTimeout(ap, a.prof.AgentPull)
+				req, ok := pam.reqs.GetTimeout(ap, bc.Profile.AgentPull)
 				if !ok {
-					if a.draining {
+					if bc.Draining() {
 						am.Unregister(ap, yarn.StatusSucceeded)
 						return
 					}
@@ -61,7 +62,7 @@ func (a *agent) startPersistentAM(p *sim.Proc) error {
 				}
 				// Completion is reported asynchronously so the AM can
 				// serve the next unit while this one runs.
-				a.session.eng.Spawn("rp-am:wait:"+a.pilot.ID, func(wp *sim.Proc) {
+				eng.Spawn("rp-am:wait:"+bc.Pilot.ID, func(wp *sim.Proc) {
 					wp.Wait(c.Done)
 					req.exit = c.ExitCode
 					req.done.Trigger()
@@ -73,17 +74,17 @@ func (a *agent) startPersistentAM(p *sim.Proc) error {
 		return err
 	}
 	pam.app = app
-	a.pam = pam
+	b.pam = pam
 	p.Wait(pam.ready)
 	return nil
 }
 
 // run executes one unit through the persistent AM.
-func (pam *persistentAM) run(p *sim.Proc, a *agent, u *Unit, body yarn.ContainerBody) error {
+func (pam *persistentAM) run(p *sim.Proc, bc *BackendContext, u *Unit, body yarn.ContainerBody) error {
 	req := &amRequest{
 		spec: yarn.ResourceSpec{MemoryMB: u.Desc.MemoryMB, VCores: u.Desc.Cores},
 		body: body,
-		done: sim.NewEvent(a.session.eng),
+		done: sim.NewEvent(bc.Session.Engine()),
 	}
 	pam.reqs.Put(req)
 	p.Wait(req.done)

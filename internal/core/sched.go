@@ -7,21 +7,26 @@ import (
 	"repro/internal/sim"
 )
 
-// slot is an agent-level resource reservation for one unit.
-type slot struct {
-	// node is the placement for node-bound launch methods (fork/mpi);
+// Slot is an agent-level resource reservation for one unit.
+type Slot struct {
+	// Node is the placement for node-bound launch methods (fork/mpi);
 	// nil for YARN/Spark, which place containers themselves.
-	node  *cluster.Node
-	cores int
-	memMB int64
+	Node  *cluster.Node
+	Cores int
+	MemMB int64
 }
 
-// agentScheduler is the agent's application-level scheduler: it admits
-// units onto the pilot's resources. Implementations are FIFO with
-// head-of-line blocking (like RADICAL-Pilot's schedulers).
-type agentScheduler interface {
-	acquire(p *sim.Proc, u *Unit) (*slot, error)
-	release(s *slot)
+// AgentScheduler is the agent's application-level scheduler: it admits
+// units onto the pilot's resources. A Backend's Bootstrap returns the
+// scheduler matching its resource model; the built-in implementations
+// are FIFO with head-of-line blocking (like RADICAL-Pilot's schedulers)
+// and are exported for reuse by external backends.
+type AgentScheduler interface {
+	// Acquire blocks p until a slot for u is available, or fails
+	// immediately when u can never fit.
+	Acquire(p *sim.Proc, u *Unit) (*Slot, error)
+	// Release returns a slot obtained from Acquire.
+	Release(sl *Slot)
 }
 
 // continuousScheduler assigns cores on individual nodes (RADICAL-Pilot's
@@ -36,11 +41,13 @@ type continuousScheduler struct {
 type schedWaiter struct {
 	u     *Unit
 	ev    *sim.Event
-	slot  *slot
+	slot  *Slot
 	ready bool
 }
 
-func newContinuousScheduler(e *sim.Engine, nodes []*cluster.Node) *continuousScheduler {
+// NewContinuousScheduler builds the per-node core scheduler used by the
+// plain HPC backend.
+func NewContinuousScheduler(e *sim.Engine, nodes []*cluster.Node) AgentScheduler {
 	s := &continuousScheduler{eng: e, nodes: nodes}
 	for _, n := range nodes {
 		s.free = append(s.free, n.Spec.Cores)
@@ -48,17 +55,17 @@ func newContinuousScheduler(e *sim.Engine, nodes []*cluster.Node) *continuousSch
 	return s
 }
 
-func (s *continuousScheduler) tryPlace(cores int) *slot {
+func (s *continuousScheduler) tryPlace(cores int) *Slot {
 	for i, n := range s.nodes {
 		if s.free[i] >= cores {
 			s.free[i] -= cores
-			return &slot{node: n, cores: cores}
+			return &Slot{Node: n, Cores: cores}
 		}
 	}
 	return nil
 }
 
-func (s *continuousScheduler) acquire(p *sim.Proc, u *Unit) (*slot, error) {
+func (s *continuousScheduler) Acquire(p *sim.Proc, u *Unit) (*Slot, error) {
 	cores := u.Desc.Cores
 	max := 0
 	for _, n := range s.nodes {
@@ -93,15 +100,15 @@ func (s *continuousScheduler) acquire(p *sim.Proc, u *Unit) (*slot, error) {
 	return w.slot, nil
 }
 
-func (s *continuousScheduler) release(sl *slot) {
+func (s *continuousScheduler) Release(sl *Slot) {
 	s.put(sl)
 	s.serve()
 }
 
-func (s *continuousScheduler) put(sl *slot) {
+func (s *continuousScheduler) put(sl *Slot) {
 	for i, n := range s.nodes {
-		if n == sl.node {
-			s.free[i] += sl.cores
+		if n == sl.Node {
+			s.free[i] += sl.Cores
 			return
 		}
 	}
@@ -131,13 +138,13 @@ func (s *continuousScheduler) remove(w *schedWaiter) {
 	s.serve()
 }
 
-// yarnAgentScheduler is the paper's YARN-specific agent scheduler: "in
+// yarnScheduler is the paper's YARN-specific agent scheduler: "in
 // contrast to other RADICAL-Pilot schedulers, it specifically utilizes
 // memory in addition to cores for assigning resource slots", using
 // cluster state from the ResourceManager's REST API. Each unit is
 // charged its own container plus its Application Master container, which
 // also prevents AM-starvation deadlocks in the underlying cluster.
-type yarnAgentScheduler struct {
+type yarnScheduler struct {
 	eng       *sim.Engine
 	freeMB    int64
 	freeCores int
@@ -148,23 +155,25 @@ type yarnAgentScheduler struct {
 
 // amOverhead is the managed Application Master container footprint
 // charged per unit (RADICAL-Pilot's AM is a small Java shim).
-var amOverhead = slot{cores: 1, memMB: 512}
+var amOverhead = Slot{Cores: 1, MemMB: 512}
 
-func newYarnAgentScheduler(e *sim.Engine, totalMB int64, totalCores int) *yarnAgentScheduler {
-	return &yarnAgentScheduler{
+// NewYARNScheduler builds the memory-and-cores scheduler used by the
+// YARN backend, sized to the connected cluster's capacity.
+func NewYARNScheduler(e *sim.Engine, totalMB int64, totalCores int) AgentScheduler {
+	return &yarnScheduler{
 		eng: e, freeMB: totalMB, freeCores: totalCores,
 		totalMB: totalMB, totCores: totalCores,
 	}
 }
 
-func (s *yarnAgentScheduler) demand(u *Unit) (int64, int) {
+func (s *yarnScheduler) demand(u *Unit) (int64, int) {
 	// Memory admission counts the unit's container plus its AM (the
 	// scheduler's "memory in addition to cores"); cores count only the
 	// unit, since YARN's default calculator does not gate on vcores.
-	return u.Desc.MemoryMB + amOverhead.memMB, u.Desc.Cores
+	return u.Desc.MemoryMB + amOverhead.MemMB, u.Desc.Cores
 }
 
-func (s *yarnAgentScheduler) acquire(p *sim.Proc, u *Unit) (*slot, error) {
+func (s *yarnScheduler) Acquire(p *sim.Proc, u *Unit) (*Slot, error) {
 	mb, cores := s.demand(u)
 	if mb > s.totalMB || cores > s.totCores {
 		return nil, fmt.Errorf("core: unit %s (%d MB, %d cores + AM) exceeds cluster capacity (%d MB, %d cores)",
@@ -173,7 +182,7 @@ func (s *yarnAgentScheduler) acquire(p *sim.Proc, u *Unit) (*slot, error) {
 	if len(s.waiters) == 0 && mb <= s.freeMB && cores <= s.freeCores {
 		s.freeMB -= mb
 		s.freeCores -= cores
-		return &slot{cores: cores, memMB: mb}, nil
+		return &Slot{Cores: cores, MemMB: mb}, nil
 	}
 	w := &schedWaiter{u: u, ev: sim.NewEvent(s.eng)}
 	s.waiters = append(s.waiters, w)
@@ -182,8 +191,8 @@ func (s *yarnAgentScheduler) acquire(p *sim.Proc, u *Unit) (*slot, error) {
 			return
 		} else {
 			if w.ready {
-				s.freeMB += w.slot.memMB
-				s.freeCores += w.slot.cores
+				s.freeMB += w.slot.MemMB
+				s.freeCores += w.slot.Cores
 				s.serve()
 			} else {
 				s.remove(w)
@@ -195,13 +204,13 @@ func (s *yarnAgentScheduler) acquire(p *sim.Proc, u *Unit) (*slot, error) {
 	return w.slot, nil
 }
 
-func (s *yarnAgentScheduler) release(sl *slot) {
-	s.freeMB += sl.memMB
-	s.freeCores += sl.cores
+func (s *yarnScheduler) Release(sl *Slot) {
+	s.freeMB += sl.MemMB
+	s.freeCores += sl.Cores
 	s.serve()
 }
 
-func (s *yarnAgentScheduler) serve() {
+func (s *yarnScheduler) serve() {
 	for len(s.waiters) > 0 {
 		w := s.waiters[0]
 		mb, cores := s.demand(w.u)
@@ -210,14 +219,14 @@ func (s *yarnAgentScheduler) serve() {
 		}
 		s.freeMB -= mb
 		s.freeCores -= cores
-		w.slot = &slot{cores: cores, memMB: mb}
+		w.slot = &Slot{Cores: cores, MemMB: mb}
 		w.ready = true
 		s.waiters = s.waiters[1:]
 		w.ev.Trigger()
 	}
 }
 
-func (s *yarnAgentScheduler) remove(w *schedWaiter) {
+func (s *yarnScheduler) remove(w *schedWaiter) {
 	for i, cand := range s.waiters {
 		if cand == w {
 			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
@@ -233,18 +242,21 @@ type poolScheduler struct {
 	res *sim.Resource
 }
 
-func newPoolScheduler(e *sim.Engine, cores int) *poolScheduler {
+// NewPoolScheduler builds a single-pool core scheduler — the Spark
+// backend's model, and the simplest choice for custom backends whose
+// runtime does its own placement.
+func NewPoolScheduler(e *sim.Engine, cores int) AgentScheduler {
 	return &poolScheduler{res: sim.NewResource(e, cores)}
 }
 
-func (s *poolScheduler) acquire(p *sim.Proc, u *Unit) (*slot, error) {
+func (s *poolScheduler) Acquire(p *sim.Proc, u *Unit) (*Slot, error) {
 	if u.Desc.Cores > s.res.Capacity() {
 		return nil, fmt.Errorf("core: unit %s needs %d cores but the pool has %d", u.ID, u.Desc.Cores, s.res.Capacity())
 	}
 	s.res.Acquire(p, u.Desc.Cores)
-	return &slot{cores: u.Desc.Cores}, nil
+	return &Slot{Cores: u.Desc.Cores}, nil
 }
 
-func (s *poolScheduler) release(sl *slot) {
-	s.res.Release(sl.cores)
+func (s *poolScheduler) Release(sl *Slot) {
+	s.res.Release(sl.Cores)
 }

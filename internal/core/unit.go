@@ -14,7 +14,7 @@ type Unit struct {
 	session *Session
 
 	state      UnitState
-	stateEv    map[UnitState]*sim.Event
+	watch      *notifier[UnitState]
 	Timestamps map[UnitState]sim.Duration
 
 	// Pilot is the pilot the Unit-Manager bound this unit to.
@@ -26,11 +26,23 @@ type Unit struct {
 // State returns the unit state.
 func (u *Unit) State() UnitState { return u.state }
 
+// OnStateChange registers fn to run for every state the unit actually
+// enters from now on, in registration order, synchronously at the
+// transition's virtual time. States skipped on failure paths (a unit
+// failing in scheduling never reports UnitExecuting) are not reported.
+// If the unit has already left UnitNew, fn is additionally invoked once,
+// immediately, with the current state, so a late subscriber cannot miss
+// a final state.
+func (u *Unit) OnStateChange(fn UnitCallback) {
+	u.watch.subscribe(func(st UnitState) { fn(u, st) })
+	if u.state != UnitNew {
+		fn(u, u.state)
+	}
+}
+
 // Wait blocks p until the unit reaches a final state.
 func (u *Unit) Wait(p *sim.Proc) UnitState {
-	for !u.state.Final() {
-		p.Wait(u.ev(u.state + 1))
-	}
+	u.watch.await(p, u.state, UnitState.Final)
 	return u.state
 }
 
@@ -50,32 +62,23 @@ func (u *Unit) TimeToCompletion() sim.Duration {
 	return 0
 }
 
-func (u *Unit) ev(st UnitState) *sim.Event {
-	e := u.stateEv[st]
-	if e == nil {
-		e = sim.NewEvent(u.session.eng)
-		u.stateEv[st] = e
-	}
-	return e
-}
-
 // advance moves the unit into st (skipping forward is allowed on failure
-// paths; moving backwards or past a final state is not). Waiters parked
-// on skipped states are woken; only the reached state gets a timestamp.
+// paths; moving backwards or past a final state is not). Only the
+// reached state gets a timestamp and fires callbacks; waiters parked on
+// skipped states are woken by the reached state.
 func (u *Unit) advance(st UnitState) {
 	if u.state.Final() || st <= u.state {
 		return
 	}
-	old := u.state
 	u.state = st
 	u.Timestamps[st] = u.session.eng.Now()
-	for s := old + 1; s <= st; s++ {
-		u.ev(s).Trigger()
-	}
 	u.session.eng.Tracef("unit %s -> %s", u.ID, st)
+	u.watch.entered(st)
 }
 
-// fail moves the unit to UnitFailed with a cause.
+// fail moves the unit to UnitFailed with a cause, waking every parked
+// waiter; callbacks fire for UnitFailed only, never for the skipped
+// intermediate states.
 func (u *Unit) fail(err error) {
 	if u.state.Final() {
 		return
@@ -83,27 +86,19 @@ func (u *Unit) fail(err error) {
 	u.Err = err
 	u.state = UnitFailed
 	u.Timestamps[UnitFailed] = u.session.eng.Now()
-	u.ev(UnitFailed).Trigger()
-	// Release waiters parked on intermediate states.
-	for s := UnitSchedulingAgent; s <= UnitStagingOutput; s++ {
-		u.ev(s).Trigger()
-	}
-	u.ev(UnitDone).Trigger()
 	u.session.eng.Tracef("unit %s -> FAILED: %v", u.ID, err)
+	u.watch.entered(UnitFailed)
 }
 
-// cancel moves the unit to UnitCanceled.
+// cancel moves the unit to UnitCanceled, waking every parked waiter.
 func (u *Unit) cancel() {
 	if u.state.Final() {
 		return
 	}
 	u.state = UnitCanceled
 	u.Timestamps[UnitCanceled] = u.session.eng.Now()
-	u.ev(UnitCanceled).Trigger()
-	for s := UnitSchedulingAgent; s <= UnitDone; s++ {
-		u.ev(s).Trigger()
-	}
 	u.session.eng.Tracef("unit %s -> CANCELED", u.ID)
+	u.watch.entered(UnitCanceled)
 }
 
 // UnitManager binds Compute-Units to pilots and dispatches them through
@@ -133,9 +128,25 @@ func (um *UnitManager) AddPilot(pl *Pilot) error {
 	return nil
 }
 
-// Submit schedules units round-robin over the manager's pilots and queues
-// them in the coordination store for the agents (steps U.1–U.2). It
-// blocks p for the store round trips.
+// nextLivePilot picks the next pilot in round-robin order, skipping
+// pilots already in a final state; it returns nil when no live pilot
+// remains.
+func (um *UnitManager) nextLivePilot() *Pilot {
+	for range um.pilots {
+		pl := um.pilots[um.rr%len(um.pilots)]
+		um.rr++
+		if !pl.State().Final() {
+			return pl
+		}
+	}
+	return nil
+}
+
+// Submit schedules units round-robin over the manager's live pilots and
+// queues them in the coordination store for the agents (steps U.1–U.2).
+// Pilots that have already reached a final state are skipped; a unit
+// fails only when no live pilot remains. Submit blocks p for the store
+// round trips.
 func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*Unit, error) {
 	if len(um.pilots) == 0 {
 		return nil, fmt.Errorf("core: unit manager has no pilots")
@@ -147,15 +158,14 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 			ID:         fmt.Sprintf("unit.%06d", um.session.nextUnit),
 			Desc:       d.withDefaults(),
 			session:    um.session,
-			stateEv:    make(map[UnitState]*sim.Event),
+			watch:      newNotifier[UnitState](um.session.eng),
 			Timestamps: make(map[UnitState]sim.Duration),
 		}
 		u.Timestamps[UnitNew] = um.session.eng.Now()
 		u.advance(UnitSchedulingUM)
-		pl := um.pilots[um.rr%len(um.pilots)]
-		um.rr++
-		if pl.State().Final() {
-			u.fail(fmt.Errorf("core: pilot %s is %s", pl.ID, pl.State()))
+		pl := um.nextLivePilot()
+		if pl == nil {
+			u.fail(fmt.Errorf("core: no live pilot among %d registered", len(um.pilots)))
 			units = append(units, u)
 			continue
 		}
@@ -167,7 +177,8 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 	return units, nil
 }
 
-// WaitAll blocks until every unit reaches a final state.
+// WaitAll blocks until every unit reaches a final state. It is built on
+// the same state-callback fabric as Wait.
 func (um *UnitManager) WaitAll(p *sim.Proc, units []*Unit) {
 	for _, u := range units {
 		u.Wait(p)

@@ -5,10 +5,10 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/kmeans"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 // ShuffleAblationRow compares shuffle-storage targets for plain
@@ -43,7 +43,7 @@ func RunShuffleAblation(seed int64) ([]*ShuffleAblationRow, error) {
 				dur := time.Duration(0)
 				local := local
 				env.Eng.Spawn("driver", func(p *sim.Proc) {
-					pm := core.NewPilotManager(env.Session)
+					pm := pilot.NewPilotManager(env.Session)
 					desc := pilotDesc(RP, machine, tc.Nodes)
 					desc.LocalSandbox = local
 					pl, err := pm.Submit(p, desc)
@@ -51,11 +51,11 @@ func RunShuffleAblation(seed int64) ([]*ShuffleAblationRow, error) {
 						runErr = err
 						return
 					}
-					if !pl.WaitState(p, core.PilotActive) {
+					if !pl.WaitState(p, pilot.PilotActive) {
 						runErr = fmt.Errorf("pilot ended %v", pl.State())
 						return
 					}
-					um := core.NewUnitManager(env.Session)
+					um := pilot.NewUnitManager(env.Session)
 					um.AddPilot(pl)
 					rng := sim.SubRNG(seed, fmt.Sprintf("ablate:%s:%d:%v", machine, tc.Tasks, local))
 					res, err := kmeans.RunWorkload(p, um, scn, tc.Tasks, model, rng)
@@ -121,7 +121,7 @@ func RunAMReuseAblation(seed int64) ([]*AMReuseRow, error) {
 			var mean time.Duration
 			reuse := reuse
 			env.Eng.Spawn("driver", func(p *sim.Proc) {
-				pm := core.NewPilotManager(env.Session)
+				pm := pilot.NewPilotManager(env.Session)
 				desc := pilotDesc(RPYARN, machine, 2)
 				desc.ReuseAM = reuse
 				pl, err := pm.Submit(p, desc)
@@ -129,15 +129,15 @@ func RunAMReuseAblation(seed int64) ([]*AMReuseRow, error) {
 					runErr = err
 					return
 				}
-				if !pl.WaitState(p, core.PilotActive) {
+				if !pl.WaitState(p, pilot.PilotActive) {
 					runErr = fmt.Errorf("pilot ended %v", pl.State())
 					return
 				}
-				um := core.NewUnitManager(env.Session)
+				um := pilot.NewUnitManager(env.Session)
 				um.AddPilot(pl)
-				var descs []core.ComputeUnitDescription
+				var descs []pilot.ComputeUnitDescription
 				for i := 0; i < 16; i++ {
-					descs = append(descs, core.ComputeUnitDescription{Executable: "/bin/date"})
+					descs = append(descs, pilot.ComputeUnitDescription{Executable: "/bin/date"})
 				}
 				units, err := um.Submit(p, descs)
 				if err != nil {
@@ -147,7 +147,7 @@ func RunAMReuseAblation(seed int64) ([]*AMReuseRow, error) {
 				um.WaitAll(p, units)
 				var s metrics.Sample
 				for _, u := range units {
-					if u.State() != core.UnitDone {
+					if u.State() != pilot.UnitDone {
 						runErr = fmt.Errorf("unit %s: %v (%v)", u.ID, u.State(), u.Err)
 						return
 					}

@@ -11,11 +11,11 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/hdfs"
 	"repro/internal/hpc"
 	"repro/internal/sim"
 	"repro/internal/yarn"
+	"repro/pilot"
 )
 
 // Env is one self-contained simulated machine environment. Every
@@ -25,8 +25,8 @@ type Env struct {
 	Eng     *sim.Engine
 	Machine *cluster.Machine
 	Batch   *hpc.Batch
-	Session *core.Session
-	Res     *core.Resource
+	Session *pilot.Session
+	Res     *pilot.Resource
 }
 
 // MachineName selects a machine profile.
@@ -58,8 +58,8 @@ func NewEnv(name MachineName, nodes int, seed int64) (*Env, error) {
 	batchCfg.Prolog = 8e9        // 8s
 	batchCfg.DefaultWallTime = 8 * 3600e9
 	b := hpc.NewBatch(m, batchCfg)
-	session := core.NewSession(eng, core.DefaultProfile(), seed)
-	res := &core.Resource{
+	session := pilot.NewSession(eng, pilot.WithSeed(seed))
+	res := &pilot.Resource{
 		Name:    string(name),
 		URL:     "slurm://" + string(name),
 		Machine: m,
@@ -100,8 +100,8 @@ const (
 )
 
 // pilotDesc builds the pilot description for a system.
-func pilotDesc(sys System, machine MachineName, nodes int) core.PilotDescription {
-	d := core.PilotDescription{
+func pilotDesc(sys System, machine MachineName, nodes int) pilot.PilotDescription {
+	d := pilot.PilotDescription{
 		Resource: string(machine),
 		Nodes:    nodes,
 		Runtime:  6 * 3600e9, // 6h walltime
@@ -109,9 +109,9 @@ func pilotDesc(sys System, machine MachineName, nodes int) core.PilotDescription
 	}
 	switch sys {
 	case RPYARN:
-		d.Mode = core.ModeYARN
+		d.Mode = pilot.ModeYARN
 	case RPYARNModeII:
-		d.Mode = core.ModeYARN
+		d.Mode = pilot.ModeYARN
 		d.ConnectDedicated = true
 	}
 	return d
@@ -119,17 +119,17 @@ func pilotDesc(sys System, machine MachineName, nodes int) core.PilotDescription
 
 // startPilot submits a pilot and waits until it is active, returning it
 // with its manager. The driver process p blocks meanwhile.
-func startPilot(p *sim.Proc, env *Env, sys System, machine MachineName, nodes int) (*core.Pilot, *core.UnitManager, error) {
-	pm := core.NewPilotManager(env.Session)
+func startPilot(p *sim.Proc, env *Env, sys System, machine MachineName, nodes int) (*pilot.Pilot, *pilot.UnitManager, error) {
+	pm := pilot.NewPilotManager(env.Session)
 	desc := pilotDesc(sys, machine, nodes)
 	pl, err := pm.Submit(p, desc)
 	if err != nil {
 		return nil, nil, err
 	}
-	if !pl.WaitState(p, core.PilotActive) {
+	if !pl.WaitState(p, pilot.PilotActive) {
 		return nil, nil, fmt.Errorf("experiments: pilot on %s (%s) ended %v", machine, sys, pl.State())
 	}
-	um := core.NewUnitManager(env.Session)
+	um := pilot.NewUnitManager(env.Session)
 	if err := um.AddPilot(pl); err != nil {
 		return nil, nil, err
 	}

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 // Fig5Row is one bar of Figure 5 (main): agent startup time per machine
@@ -97,7 +97,7 @@ func RunFig5(trials int, seed int64) (*Fig5Result, error) {
 					runErr = err
 					return
 				}
-				units, err := um.Submit(p, []core.ComputeUnitDescription{{
+				units, err := um.Submit(p, []pilot.ComputeUnitDescription{{
 					Executable: "/bin/date",
 				}})
 				if err != nil {
@@ -105,7 +105,7 @@ func RunFig5(trials int, seed int64) (*Fig5Result, error) {
 					return
 				}
 				um.WaitAll(p, units)
-				if units[0].State() != core.UnitDone {
+				if units[0].State() != pilot.UnitDone {
 					runErr = fmt.Errorf("probe unit %v: %v", units[0].State(), units[0].Err)
 					return
 				}

@@ -4,10 +4,10 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/hpc"
 	"repro/internal/kmeans"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 // TestFig6CellDeterministic re-runs one full Figure 6 cell with the same
@@ -46,19 +46,19 @@ func TestKMeansOnSparkPilot(t *testing.T) {
 	defer env.Close()
 	var makespan time.Duration
 	env.Eng.Spawn("driver", func(p *sim.Proc) {
-		pm := core.NewPilotManager(env.Session)
-		pl, err := pm.Submit(p, core.PilotDescription{
-			Resource: "wrangler", Nodes: 2, Runtime: 4 * time.Hour, Mode: core.ModeSpark,
+		pm := pilot.NewPilotManager(env.Session)
+		pl, err := pm.Submit(p, pilot.PilotDescription{
+			Resource: "wrangler", Nodes: 2, Runtime: 4 * time.Hour, Mode: pilot.ModeSpark,
 		})
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		if !pl.WaitState(p, core.PilotActive) {
+		if !pl.WaitState(p, pilot.PilotActive) {
 			t.Errorf("pilot %v", pl.State())
 			return
 		}
-		um := core.NewUnitManager(env.Session)
+		um := pilot.NewUnitManager(env.Session)
 		um.AddPilot(pl)
 		res, err := kmeans.RunWorkload(p, um, kmeans.PaperScenarios[0], 16,
 			kmeans.DefaultCostModel(), sim.NewRNG(31))
@@ -93,25 +93,25 @@ func TestPilotWalltimeDuringWorkload(t *testing.T) {
 	defer env.Close()
 	var workloadErr error
 	env.Eng.Spawn("driver", func(p *sim.Proc) {
-		pm := core.NewPilotManager(env.Session)
+		pm := pilot.NewPilotManager(env.Session)
 		// Walltime far shorter than the workload needs.
-		pl, err := pm.Submit(p, core.PilotDescription{
-			Resource: "stampede", Nodes: 1, Runtime: 5 * time.Minute, Mode: core.ModeHPC,
+		pl, err := pm.Submit(p, pilot.PilotDescription{
+			Resource: "stampede", Nodes: 1, Runtime: 5 * time.Minute, Mode: pilot.ModeHPC,
 		})
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		if !pl.WaitState(p, core.PilotActive) {
+		if !pl.WaitState(p, pilot.PilotActive) {
 			t.Errorf("pilot %v", pl.State())
 			return
 		}
-		um := core.NewUnitManager(env.Session)
+		um := pilot.NewUnitManager(env.Session)
 		um.AddPilot(pl)
 		_, workloadErr = kmeans.RunWorkload(p, um, kmeans.PaperScenarios[2], 8,
 			kmeans.DefaultCostModel(), sim.NewRNG(17))
 		pilotState := pl.Wait(p)
-		if pilotState != core.PilotFailed {
+		if pilotState != pilot.PilotFailed {
 			t.Errorf("pilot state = %v, want FAILED (walltime)", pilotState)
 		}
 	})
@@ -139,15 +139,15 @@ func TestBusyMachineDelaysPilot(t *testing.T) {
 		}
 		env.Eng.Spawn("driver", func(p *sim.Proc) {
 			p.Sleep(10 * time.Minute) // submit into the backlog
-			pm := core.NewPilotManager(env.Session)
-			pl, err := pm.Submit(p, core.PilotDescription{
-				Resource: "stampede", Nodes: 2, Runtime: time.Hour, Mode: core.ModeHPC,
+			pm := pilot.NewPilotManager(env.Session)
+			pl, err := pm.Submit(p, pilot.PilotDescription{
+				Resource: "stampede", Nodes: 2, Runtime: time.Hour, Mode: pilot.ModeHPC,
 			})
 			if err != nil {
 				t.Error(err)
 				return
 			}
-			if !pl.WaitState(p, core.PilotActive) {
+			if !pl.WaitState(p, pilot.PilotActive) {
 				t.Errorf("pilot %v", pl.State())
 				return
 			}

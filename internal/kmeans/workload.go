@@ -5,9 +5,9 @@ import (
 	"math/rand"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/pilot"
 )
 
 // emission records where one map task left its shuffle data.
@@ -40,7 +40,7 @@ type RunResult struct {
 // unit sandbox volume — Lustre under plain RADICAL-Pilot, node-local
 // disk under RADICAL-Pilot-YARN — is decided by the pilot's launch
 // method, exactly as in the paper.
-func RunWorkload(p *sim.Proc, um *core.UnitManager, s Scenario, nTasks int, m CostModel, rng *rand.Rand) (*RunResult, error) {
+func RunWorkload(p *sim.Proc, um *pilot.UnitManager, s Scenario, nTasks int, m CostModel, rng *rand.Rand) (*RunResult, error) {
 	if nTasks <= 0 {
 		return nil, fmt.Errorf("kmeans: task count must be positive, got %d", nTasks)
 	}
@@ -56,16 +56,16 @@ func RunWorkload(p *sim.Proc, um *core.UnitManager, s Scenario, nTasks int, m Co
 		iterStart := p.Now()
 		emissions := make([]emission, 0, nTasks)
 
-		descs := make([]core.ComputeUnitDescription, nTasks)
+		descs := make([]pilot.ComputeUnitDescription, nTasks)
 		for t := 0; t < nTasks; t++ {
 			jitter := 1 + m.ComputeJitter*(2*rng.Float64()-1)
 			compute := taskCost.ComputeSeconds * jitter
-			descs[t] = core.ComputeUnitDescription{
+			descs[t] = pilot.ComputeUnitDescription{
 				Name:       fmt.Sprintf("kmeans-map-i%d-t%d", iter, t),
 				Executable: "python kmeans_map.py",
 				Cores:      1,
 				MemoryMB:   2048,
-				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+				Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
 					// Read the input partition (and current centroids)
 					// from the shared filesystem.
 					ctx.Shared.StreamRead(bp, taskCost.InputBytes, 1+int(taskCost.InputBytes>>20))
@@ -88,7 +88,7 @@ func RunWorkload(p *sim.Proc, um *core.UnitManager, s Scenario, nTasks int, m Co
 		}
 		um.WaitAll(p, units)
 		for _, u := range units {
-			if u.State() != core.UnitDone {
+			if u.State() != pilot.UnitDone {
 				return nil, fmt.Errorf("kmeans: map unit %s finished %v: %v", u.ID, u.State(), u.Err)
 			}
 			res.UnitStartups = append(res.UnitStartups, u.StartupTime())
@@ -96,12 +96,12 @@ func RunWorkload(p *sim.Proc, um *core.UnitManager, s Scenario, nTasks int, m Co
 
 		// Reduce: one unit gathers every emission and computes the next
 		// centroids, writing them back to the shared filesystem.
-		aggDesc := core.ComputeUnitDescription{
+		aggDesc := pilot.ComputeUnitDescription{
 			Name:       fmt.Sprintf("kmeans-agg-i%d", iter),
 			Executable: "python kmeans_reduce.py",
 			Cores:      1,
 			MemoryMB:   2048,
-			Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+			Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
 				for _, em := range emissions {
 					// Sequential buffered read-back: one open plus one
 					// operation per megabyte, far cheaper than the
@@ -117,12 +117,12 @@ func RunWorkload(p *sim.Proc, um *core.UnitManager, s Scenario, nTasks int, m Co
 				ctx.Shared.Write(bp, int64(s.Clusters)*3*8)
 			},
 		}
-		aggUnits, err := um.Submit(p, []core.ComputeUnitDescription{aggDesc})
+		aggUnits, err := um.Submit(p, []pilot.ComputeUnitDescription{aggDesc})
 		if err != nil {
 			return nil, err
 		}
 		um.WaitAll(p, aggUnits)
-		if aggUnits[0].State() != core.UnitDone {
+		if aggUnits[0].State() != pilot.UnitDone {
 			return nil, fmt.Errorf("kmeans: aggregation finished %v: %v", aggUnits[0].State(), aggUnits[0].Err)
 		}
 		res.UnitStartups = append(res.UnitStartups, aggUnits[0].StartupTime())

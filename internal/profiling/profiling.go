@@ -12,9 +12,9 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 // Phase is one segment of a unit's lifetime.
@@ -53,12 +53,12 @@ func (b Breakdown) Total() time.Duration {
 
 // UnitBreakdown decomposes one finished unit's time-to-completion.
 // Returns an error if the unit did not complete.
-func UnitBreakdown(u *core.Unit) (Breakdown, error) {
-	if u.State() != core.UnitDone {
+func UnitBreakdown(u *pilot.Unit) (Breakdown, error) {
+	if u.State() != pilot.UnitDone {
 		return nil, fmt.Errorf("profiling: unit %s is %v, not DONE", u.ID, u.State())
 	}
 	ts := u.Timestamps
-	seg := func(from, to core.UnitState) time.Duration {
+	seg := func(from, to pilot.UnitState) time.Duration {
 		a, okA := ts[from]
 		b, okB := ts[to]
 		if !okA || !okB || b < a {
@@ -67,11 +67,11 @@ func UnitBreakdown(u *core.Unit) (Breakdown, error) {
 		return b - a
 	}
 	return Breakdown{
-		PhaseUnitManager:      seg(core.UnitSchedulingUM, core.UnitSchedulingAgent),
-		PhaseScheduling:       seg(core.UnitSchedulingAgent, core.UnitStagingInput),
-		PhaseStagingAndLaunch: seg(core.UnitStagingInput, core.UnitExecuting),
-		PhaseExecuting:        seg(core.UnitExecuting, core.UnitStagingOutput),
-		PhaseStagingOut:       seg(core.UnitStagingOutput, core.UnitDone),
+		PhaseUnitManager:      seg(pilot.UnitSchedulingUM, pilot.UnitSchedulingAgent),
+		PhaseScheduling:       seg(pilot.UnitSchedulingAgent, pilot.UnitStagingInput),
+		PhaseStagingAndLaunch: seg(pilot.UnitStagingInput, pilot.UnitExecuting),
+		PhaseExecuting:        seg(pilot.UnitExecuting, pilot.UnitStagingOutput),
+		PhaseStagingOut:       seg(pilot.UnitStagingOutput, pilot.UnitDone),
 	}, nil
 }
 
@@ -83,7 +83,7 @@ type Profile struct {
 
 // NewProfile builds an aggregate profile from finished units (units in
 // other states are skipped and counted separately).
-func NewProfile(units []*core.Unit) (*Profile, int) {
+func NewProfile(units []*pilot.Unit) (*Profile, int) {
 	p := &Profile{Phases: make(map[Phase]*metrics.Sample)}
 	for _, ph := range Phases {
 		p.Phases[ph] = &metrics.Sample{}
@@ -123,13 +123,13 @@ type Span struct {
 }
 
 // ExecutionSpans extracts the executing intervals of finished units.
-func ExecutionSpans(units []*core.Unit) []Span {
+func ExecutionSpans(units []*pilot.Unit) []Span {
 	var spans []Span
 	for _, u := range units {
-		start, ok1 := u.Timestamps[core.UnitExecuting]
-		end, ok2 := u.Timestamps[core.UnitStagingOutput]
+		start, ok1 := u.Timestamps[pilot.UnitExecuting]
+		end, ok2 := u.Timestamps[pilot.UnitStagingOutput]
 		if !ok2 {
-			end, ok2 = u.Timestamps[core.UnitDone]
+			end, ok2 = u.Timestamps[pilot.UnitDone]
 		}
 		if ok1 && ok2 && end > start {
 			spans = append(spans, Span{Start: start, End: end})
@@ -198,7 +198,7 @@ type PilotOverhead struct {
 }
 
 // PilotProfile extracts the startup overheads of a pilot.
-func PilotProfile(pl *core.Pilot) PilotOverhead {
+func PilotProfile(pl *pilot.Pilot) PilotOverhead {
 	return PilotOverhead{
 		QueueWait:    pl.QueueWait(),
 		AgentStartup: pl.AgentStartup(),

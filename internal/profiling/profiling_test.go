@@ -5,43 +5,43 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/pilot"
 )
 
 // runUnits drives a small pilot workload and returns its units and pilot.
-func runUnits(t *testing.T, mode core.PilotMode, n int) ([]*core.Unit, *core.Pilot) {
+func runUnits(t *testing.T, mode pilot.PilotMode, n int) ([]*pilot.Unit, *pilot.Pilot) {
 	t.Helper()
 	env, err := experiments.NewEnv(experiments.Wrangler, 3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer env.Close()
-	var units []*core.Unit
-	var pilot *core.Pilot
+	var units []*pilot.Unit
+	var pl *pilot.Pilot
 	env.Eng.Spawn("driver", func(p *sim.Proc) {
-		pm := core.NewPilotManager(env.Session)
-		pilot, err = pm.Submit(p, core.PilotDescription{
+		pm := pilot.NewPilotManager(env.Session)
+		pl, err = pm.Submit(p, pilot.PilotDescription{
 			Resource: "wrangler", Nodes: 2, Runtime: 2 * time.Hour, Mode: mode,
 		})
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		if !pilot.WaitState(p, core.PilotActive) {
-			t.Errorf("pilot %v", pilot.State())
+		if !pl.WaitState(p, pilot.PilotActive) {
+			t.Errorf("pilot %v", pl.State())
 			return
 		}
-		um := core.NewUnitManager(env.Session)
-		um.AddPilot(pilot)
-		descs := make([]core.ComputeUnitDescription, n)
+		um := pilot.NewUnitManager(env.Session)
+		um.AddPilot(pl)
+		descs := make([]pilot.ComputeUnitDescription, n)
 		for i := range descs {
-			descs[i] = core.ComputeUnitDescription{
+			descs[i] = pilot.ComputeUnitDescription{
 				Cores:              1,
 				InputStagingBytes:  8 << 20,
 				OutputStagingBytes: 4 << 20,
-				Body: func(bp *sim.Proc, ctx *core.UnitContext) {
+				Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
 					ctx.Node.Compute(bp, 30)
 				},
 			}
@@ -52,14 +52,14 @@ func runUnits(t *testing.T, mode core.PilotMode, n int) ([]*core.Unit, *core.Pil
 			return
 		}
 		um.WaitAll(p, units)
-		pilot.Cancel()
+		pl.Cancel()
 	})
 	env.Eng.Run()
-	return units, pilot
+	return units, pl
 }
 
 func TestUnitBreakdownSumsToTTC(t *testing.T) {
-	units, _ := runUnits(t, core.ModeHPC, 4)
+	units, _ := runUnits(t, pilot.ModeHPC, 4)
 	for _, u := range units {
 		b, err := UnitBreakdown(u)
 		if err != nil {
@@ -77,16 +77,15 @@ func TestUnitBreakdownSumsToTTC(t *testing.T) {
 func TestBreakdownRejectsUnfinishedUnit(t *testing.T) {
 	e := sim.NewEngine()
 	defer e.Close()
-	s := core.NewSession(e, core.DefaultProfile(), 1)
-	_ = s
-	u := &core.Unit{} // zero unit: state NEW
+	_ = pilot.NewSession(e)
+	u := &pilot.Unit{} // zero unit: state NEW
 	if _, err := UnitBreakdown(u); err == nil {
 		t.Fatal("breakdown of NEW unit accepted")
 	}
 }
 
 func TestProfileAggregatesAndRenders(t *testing.T) {
-	units, _ := runUnits(t, core.ModeYARN, 6)
+	units, _ := runUnits(t, pilot.ModeYARN, 6)
 	prof, skipped := NewProfile(units)
 	if skipped != 0 {
 		t.Fatalf("%d units skipped", skipped)
@@ -108,7 +107,7 @@ func TestProfileAggregatesAndRenders(t *testing.T) {
 }
 
 func TestConcurrencyAndUtilization(t *testing.T) {
-	units, _ := runUnits(t, core.ModeHPC, 8)
+	units, _ := runUnits(t, pilot.ModeHPC, 8)
 	spans := ExecutionSpans(units)
 	if len(spans) != 8 {
 		t.Fatalf("%d spans, want 8", len(spans))
@@ -142,8 +141,8 @@ func TestMaxConcurrencySynthetic(t *testing.T) {
 }
 
 func TestPilotProfile(t *testing.T) {
-	_, pilot := runUnits(t, core.ModeYARN, 2)
-	ov := PilotProfile(pilot)
+	_, pl := runUnits(t, pilot.ModeYARN, 2)
+	ov := PilotProfile(pl)
 	if ov.AgentStartup <= 0 || ov.QueueWait <= 0 {
 		t.Fatalf("overheads not populated: %+v", ov)
 	}

@@ -1,0 +1,232 @@
+package pilot_test
+
+import (
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/pilot"
+)
+
+func TestPilotStateCallbacks(t *testing.T) {
+	e := newTestEnv(t, 1)
+	var seen []pilot.PilotState
+	e.run(t, func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(e.session)
+		pl, err := pm.Submit(p, pilot.PilotDescription{
+			Resource: "tm", Nodes: 1, Runtime: time.Hour,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pl.OnStateChange(func(_ *pilot.Pilot, st pilot.PilotState) {
+			seen = append(seen, st)
+		})
+		pl.WaitState(p, pilot.PilotActive)
+		pl.Cancel()
+		pl.Wait(p)
+	})
+	if !slices.IsSorted(seen) {
+		t.Fatalf("callback states out of order: %v", seen)
+	}
+	for _, want := range []pilot.PilotState{pilot.PilotAgentStarting, pilot.PilotActive, pilot.PilotCanceled} {
+		if !slices.Contains(seen, want) {
+			t.Fatalf("callbacks %v missing %v", seen, want)
+		}
+	}
+}
+
+func TestUnitStateCallbacksAndWaitersOnSuccess(t *testing.T) {
+	e := newTestEnv(t, 1)
+	var seen []pilot.UnitState
+	e.run(t, func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(e.session)
+		pl, _ := pm.Submit(p, pilot.PilotDescription{
+			Resource: "tm", Nodes: 1, Runtime: time.Hour,
+		})
+		pl.WaitState(p, pilot.PilotActive)
+		um := pilot.NewUnitManager(e.session)
+		um.AddPilot(pl)
+		units, err := um.Submit(p, []pilot.ComputeUnitDescription{{
+			Body: func(bp *sim.Proc, ctx *pilot.UnitContext) { bp.Sleep(time.Second) },
+		}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		units[0].OnStateChange(func(_ *pilot.Unit, st pilot.UnitState) {
+			seen = append(seen, st)
+		})
+		um.WaitAll(p, units)
+		pl.Cancel()
+	})
+	if !slices.IsSorted(seen) {
+		t.Fatalf("callback states out of order: %v", seen)
+	}
+	for _, want := range []pilot.UnitState{pilot.UnitExecuting, pilot.UnitDone} {
+		if !slices.Contains(seen, want) {
+			t.Fatalf("callbacks %v missing %v", seen, want)
+		}
+	}
+	for _, never := range []pilot.UnitState{pilot.UnitCanceled, pilot.UnitFailed} {
+		if slices.Contains(seen, never) {
+			t.Fatalf("callbacks %v contain %v on a successful unit", seen, never)
+		}
+	}
+}
+
+// TestUnitFailureSkipsStateCallbacksButWakesWaiters covers the failure
+// path: a unit that can never be scheduled fails in agent scheduling.
+// Callbacks must not fire for the skipped states (staging, executing,
+// done), while waiters parked in Wait before the failure are still
+// woken.
+func TestUnitFailureSkipsStateCallbacksButWakesWaiters(t *testing.T) {
+	e := newTestEnv(t, 1)
+	var seen []pilot.UnitState
+	waiterWoken := false
+	e.run(t, func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(e.session)
+		pl, _ := pm.Submit(p, pilot.PilotDescription{
+			Resource: "tm", Nodes: 1, Runtime: time.Hour,
+		})
+		pl.WaitState(p, pilot.PilotActive)
+		um := pilot.NewUnitManager(e.session)
+		um.AddPilot(pl)
+		// 999 cores can never fit the 8-core node: Acquire fails fast.
+		units, err := um.Submit(p, []pilot.ComputeUnitDescription{{Cores: 999}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		u := units[0]
+		u.OnStateChange(func(_ *pilot.Unit, st pilot.UnitState) {
+			seen = append(seen, st)
+		})
+		// Park a second process in Wait before the failure lands.
+		e.session.Engine().Spawn("waiter", func(wp *sim.Proc) {
+			u.Wait(wp)
+			waiterWoken = true
+		})
+		if st := u.Wait(p); st != pilot.UnitFailed {
+			t.Errorf("unit = %v, want FAILED", st)
+		}
+		if u.Err == nil {
+			t.Error("failed unit has no cause")
+		}
+		pl.Cancel()
+	})
+	if !waiterWoken {
+		t.Fatal("parked waiter never woken by fail()")
+	}
+	if !slices.Contains(seen, pilot.UnitFailed) {
+		t.Fatalf("callbacks %v missing UnitFailed", seen)
+	}
+	for _, skipped := range []pilot.UnitState{
+		pilot.UnitStagingInput, pilot.UnitExecuting,
+		pilot.UnitStagingOutput, pilot.UnitDone, pilot.UnitCanceled,
+	} {
+		if slices.Contains(seen, skipped) {
+			t.Fatalf("callback fired for skipped state %v (seen %v)", skipped, seen)
+		}
+	}
+}
+
+// TestUnitCancelWakesParkedWaiters covers cancel(): units running when
+// the pilot is cancelled move to CANCELED and wake their waiters.
+func TestUnitCancelWakesParkedWaiters(t *testing.T) {
+	e := newTestEnv(t, 1)
+	var st pilot.UnitState
+	var seen []pilot.UnitState
+	e.run(t, func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(e.session)
+		pl, _ := pm.Submit(p, pilot.PilotDescription{
+			Resource: "tm", Nodes: 1, Runtime: time.Hour,
+		})
+		pl.WaitState(p, pilot.PilotActive)
+		um := pilot.NewUnitManager(e.session)
+		um.AddPilot(pl)
+		units, _ := um.Submit(p, []pilot.ComputeUnitDescription{{
+			Body: func(bp *sim.Proc, ctx *pilot.UnitContext) { bp.Sleep(time.Hour) },
+		}})
+		units[0].OnStateChange(func(_ *pilot.Unit, s pilot.UnitState) {
+			seen = append(seen, s)
+		})
+		p.Sleep(30 * time.Second) // let the unit reach EXECUTING
+		pl.Cancel()
+		st = units[0].Wait(p)
+	})
+	if st != pilot.UnitCanceled {
+		t.Fatalf("unit state = %v, want CANCELED", st)
+	}
+	if slices.Contains(seen, pilot.UnitDone) || slices.Contains(seen, pilot.UnitFailed) {
+		t.Fatalf("cancelled unit reported wrong final state: %v", seen)
+	}
+	if !slices.Contains(seen, pilot.UnitCanceled) {
+		t.Fatalf("callbacks %v missing UnitCanceled", seen)
+	}
+}
+
+// TestLateSubscriberSeesCurrentState: registering a callback after a
+// final state fires immediately with the current state, so reactive
+// code cannot deadlock on an already-finished entity.
+func TestLateSubscriberSeesCurrentState(t *testing.T) {
+	e := newTestEnv(t, 1)
+	var late []pilot.PilotState
+	e.run(t, func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(e.session)
+		pl, _ := pm.Submit(p, pilot.PilotDescription{
+			Resource: "tm", Nodes: 1, Runtime: time.Hour,
+		})
+		pl.WaitState(p, pilot.PilotActive)
+		pl.Cancel()
+		pl.Wait(p)
+		pl.OnStateChange(func(_ *pilot.Pilot, st pilot.PilotState) {
+			late = append(late, st)
+		})
+		// Waiting on an already-final pilot must return immediately too.
+		if st := pl.Wait(p); st != pilot.PilotCanceled {
+			t.Errorf("re-Wait = %v", st)
+		}
+	})
+	if len(late) != 1 || late[0] != pilot.PilotCanceled {
+		t.Fatalf("late subscriber saw %v, want exactly [CANCELED]", late)
+	}
+}
+
+// TestWalltimeFailureReleasesWaitState: a pilot that dies before
+// becoming active must release WaitState(PilotActive) with reached ==
+// false, and its callbacks must report FAILED but never ACTIVE.
+func TestWalltimeFailureReleasesWaitState(t *testing.T) {
+	// An agent bootstrap far longer than the walltime: the job is
+	// killed before PilotActive can be reached.
+	slow := fastProfile()
+	slow.AgentSetup = 10 * time.Minute
+	e := newTestEnvProfile(t, 1, slow)
+	var seen []pilot.PilotState
+	reached := true
+	e.run(t, func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(e.session)
+		pl, err := pm.Submit(p, pilot.PilotDescription{
+			Resource: "tm", Nodes: 1, Runtime: 2 * time.Minute,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pl.OnStateChange(func(_ *pilot.Pilot, st pilot.PilotState) {
+			seen = append(seen, st)
+		})
+		reached = pl.WaitState(p, pilot.PilotActive)
+	})
+	if reached {
+		t.Fatal("WaitState(PilotActive) reported reached on a failed pilot")
+	}
+	if !slices.Contains(seen, pilot.PilotFailed) {
+		t.Fatalf("callbacks %v missing PilotFailed", seen)
+	}
+	if slices.Contains(seen, pilot.PilotActive) {
+		t.Fatalf("callback fired for skipped PilotActive: %v", seen)
+	}
+}

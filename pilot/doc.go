@@ -1,0 +1,51 @@
+// Package pilot is the public Pilot-API of this repository: a stable,
+// idiomatic surface over the RADICAL-Pilot middleware reproduction in
+// internal/core. It is the package applications, examples and the repro
+// harness program against; internal/core is an implementation detail.
+//
+// # The Pilot-Abstraction
+//
+// The paper's core contribution is the Pilot-Abstraction as a uniform
+// API over heterogeneous runtimes: a placeholder job (the Pilot) is
+// scheduled through the machine's batch system, and application
+// workloads (Compute-Units) are then multiplexed onto it without
+// further queue waits. This package exposes that abstraction with two
+// extension seams:
+//
+//   - Execution backends. A PilotDescription's Mode names a Backend
+//     registered with RegisterBackend. The built-ins are ModeHPC (plain
+//     fork/mpiexec execution), ModeYARN (paper Mode I "Hadoop on HPC"
+//     spawning a cluster in the allocation, or Mode II "HPC on Hadoop"
+//     connecting to a dedicated cluster via ConnectDedicated), and
+//     ModeSpark (standalone Spark). New runtimes — a Dask- or
+//     Kubernetes-flavoured backend, say — implement the Backend
+//     interface and register; no core file changes.
+//
+//   - State callbacks. Pilot.OnStateChange and Unit.OnStateChange
+//     mirror RADICAL-Pilot's register_callback: subscribers observe
+//     every state an entity actually enters. Wait, WaitState and
+//     WaitAll are built on the same fabric, so blocking and reactive
+//     styles compose.
+//
+// # Quickstart
+//
+//	eng := sim.NewEngine()
+//	session := pilot.NewSession(eng, pilot.WithSeed(42))
+//	// register a Resource, then:
+//	eng.Spawn("driver", func(p *sim.Proc) {
+//		pm := pilot.NewPilotManager(session)
+//		pl, err := pm.Submit(p, pilot.PilotDescription{
+//			Resource: "stampede", Nodes: 2, Runtime: time.Hour,
+//		})
+//		// ...
+//		pl.WaitState(p, pilot.PilotActive)
+//		um := pilot.NewUnitManager(session)
+//		um.AddPilot(pl)
+//		units, _ := um.Submit(p, descs)
+//		um.WaitAll(p, units)
+//	})
+//	eng.Run()
+//
+// See README.md for the full tour and the examples/ directory for
+// runnable programs.
+package pilot

@@ -1,0 +1,208 @@
+package pilot_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hpc"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/pilot"
+)
+
+// testEnv is a self-contained simulated machine with a session, built
+// entirely through the public API surface.
+type testEnv struct {
+	eng     *sim.Engine
+	machine *cluster.Machine
+	session *pilot.Session
+}
+
+func testSpec(nodes int) cluster.MachineSpec {
+	return cluster.MachineSpec{
+		Name:  "tm",
+		Nodes: nodes,
+		Node: cluster.NodeSpec{
+			Cores: 8, MemoryMB: 32 * 1024, DiskBW: 200e6,
+			DiskOpLatency: time.Millisecond, NICBW: 1e9,
+		},
+		FabricBW: 10e9,
+		Lustre: storage.LustreSpec{
+			AggregateBW: 2e9, MDSServers: 4,
+			MDSServiceTime: 2 * time.Millisecond, ClientLatency: 3 * time.Millisecond,
+		},
+		CPUFactor:  1,
+		ExternalBW: 100e6,
+	}
+}
+
+// fastProfile shrinks bootstrap costs so lifecycle tests stay quick.
+func fastProfile() pilot.BootstrapProfile {
+	p := pilot.DefaultProfile()
+	p.AgentSetup = 2 * time.Second
+	p.AgentVenvOps = 50
+	p.AgentComponents = time.Second
+	p.HadoopUnpackOps = 50
+	p.HadoopDownloadBytes = 50 << 20
+	p.UnitWrapperOps = 20
+	p.UnitWrapperSetup = 2 * time.Second
+	p.Jitter = 0
+	return p
+}
+
+func newTestEnv(t *testing.T, nodes int) *testEnv {
+	return newTestEnvProfile(t, nodes, fastProfile())
+}
+
+func newTestEnvProfile(t *testing.T, nodes int, prof pilot.BootstrapProfile) *testEnv {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := cluster.New(eng, testSpec(nodes))
+	b := hpc.NewBatch(m, hpc.Config{
+		SchedCycle:      10 * time.Second,
+		Prolog:          2 * time.Second,
+		MinQueueWait:    time.Second,
+		DefaultWallTime: 4 * time.Hour,
+		Seed:            3,
+	})
+	s := pilot.NewSession(eng, pilot.WithProfile(prof), pilot.WithSeed(42))
+	if err := s.AddResource(&pilot.Resource{Name: "tm", URL: "slurm://tm", Machine: m, Batch: b}); err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{eng: eng, machine: m, session: s}
+}
+
+func (e *testEnv) run(t *testing.T, driver func(p *sim.Proc)) {
+	t.Helper()
+	e.eng.Spawn("driver", driver)
+	e.eng.Run()
+	e.eng.Close()
+}
+
+func TestSessionOptions(t *testing.T) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	prof := fastProfile()
+	s := pilot.NewSession(eng, pilot.WithProfile(prof), pilot.WithSeed(7))
+	if got := s.Profile(); got != prof {
+		t.Fatalf("WithProfile not applied: got %+v", got)
+	}
+	// Defaults: no options means the calibrated profile.
+	d := pilot.NewSession(eng)
+	if got := d.Profile(); got != pilot.DefaultProfile() {
+		t.Fatalf("default session profile = %+v", got)
+	}
+}
+
+func TestEndToEndThroughPublicAPI(t *testing.T) {
+	e := newTestEnv(t, 2)
+	done := 0
+	e.run(t, func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(e.session)
+		pl, err := pm.Submit(p, pilot.PilotDescription{
+			Resource: "tm", Nodes: 2, Runtime: time.Hour, Mode: pilot.ModeHPC,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !pl.WaitState(p, pilot.PilotActive) {
+			t.Errorf("pilot never active: %v", pl.State())
+			return
+		}
+		um := pilot.NewUnitManager(e.session)
+		um.AddPilot(pl)
+		var descs []pilot.ComputeUnitDescription
+		for i := 0; i < 4; i++ {
+			descs = append(descs, pilot.ComputeUnitDescription{
+				Cores: 2,
+				Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
+					bp.Sleep(5 * time.Second)
+					done++
+				},
+			})
+		}
+		units, err := um.Submit(p, descs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		um.WaitAll(p, units)
+		for _, u := range units {
+			if u.State() != pilot.UnitDone {
+				t.Errorf("unit %s = %v (%v)", u.ID, u.State(), u.Err)
+			}
+		}
+		pl.Cancel()
+	})
+	if done != 4 {
+		t.Fatalf("%d unit bodies ran, want 4", done)
+	}
+}
+
+// TestSubmitSkipsFinalPilots is the regression test for the
+// Unit-Manager round-robin: a pilot in a final state must be skipped
+// and its share routed to the remaining live pilots; units fail only
+// when no live pilot remains.
+func TestSubmitSkipsFinalPilots(t *testing.T) {
+	e := newTestEnv(t, 4)
+	counts := make(map[string]int)
+	e.run(t, func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(e.session)
+		var pilots []*pilot.Pilot
+		for i := 0; i < 2; i++ {
+			pl, err := pm.Submit(p, pilot.PilotDescription{
+				Resource: "tm", Nodes: 2, Runtime: time.Hour,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			pilots = append(pilots, pl)
+		}
+		um := pilot.NewUnitManager(e.session)
+		for _, pl := range pilots {
+			pl.WaitState(p, pilot.PilotActive)
+			um.AddPilot(pl)
+		}
+		// Kill the first pilot; the round-robin starts at it.
+		pilots[0].Cancel()
+		var descs []pilot.ComputeUnitDescription
+		for i := 0; i < 4; i++ {
+			descs = append(descs, pilot.ComputeUnitDescription{
+				Body: func(bp *sim.Proc, ctx *pilot.UnitContext) { bp.Sleep(time.Second) },
+			})
+		}
+		units, err := um.Submit(p, descs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		um.WaitAll(p, units)
+		for _, u := range units {
+			if u.State() != pilot.UnitDone {
+				t.Errorf("unit %s = %v (%v), want DONE on the live pilot", u.ID, u.State(), u.Err)
+			}
+			counts[u.Pilot.ID]++
+		}
+		// Now kill the survivor too: units must fail, not hang.
+		pilots[1].Cancel()
+		failedUnits, err := um.Submit(p, descs[:1])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if st := failedUnits[0].State(); st != pilot.UnitFailed {
+			t.Errorf("unit with no live pilots = %v, want FAILED", st)
+		}
+	})
+	if len(counts) != 1 {
+		t.Fatalf("units spread over %d pilots, want only the live one (%v)", len(counts), counts)
+	}
+	for id, n := range counts {
+		if n != 4 {
+			t.Fatalf("live pilot %s got %d units, want all 4", id, n)
+		}
+	}
+}

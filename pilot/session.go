@@ -1,0 +1,36 @@
+package pilot
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Option configures a Session built by NewSession.
+type Option func(*sessionConfig)
+
+type sessionConfig struct {
+	profile BootstrapProfile
+	seed    int64
+}
+
+// WithProfile sets the bootstrap cost model (default: DefaultProfile).
+func WithProfile(p BootstrapProfile) Option {
+	return func(c *sessionConfig) { c.profile = p }
+}
+
+// WithSeed sets the session RNG seed; runs are deterministic per seed
+// (default: 1).
+func WithSeed(seed int64) Option {
+	return func(c *sessionConfig) { c.seed = seed }
+}
+
+// NewSession creates a session on the engine with the given options.
+//
+//	session := pilot.NewSession(eng, pilot.WithProfile(prof), pilot.WithSeed(42))
+func NewSession(eng *sim.Engine, opts ...Option) *Session {
+	cfg := sessionConfig{profile: core.DefaultProfile(), seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.NewSession(eng, cfg.profile, cfg.seed)
+}
