@@ -98,7 +98,11 @@ func BenchmarkFig5UnitStartup(b *testing.B) {
 						b.Errorf("pilot ended %v", pl.State())
 						return
 					}
-					um := pilot.NewUnitManager(env.Session)
+					um, err := pilot.NewUnitManager(env.Session)
+					if err != nil {
+						b.Error(err)
+						return
+					}
 					um.AddPilot(pl)
 					units, err := um.Submit(p, []pilot.ComputeUnitDescription{{Executable: "/bin/date"}})
 					if err != nil {
@@ -156,7 +160,11 @@ func BenchmarkFig6KMeans(b *testing.B) {
 								b.Errorf("pilot ended %v", pl.State())
 								return
 							}
-							um := pilot.NewUnitManager(env.Session)
+							um, err := pilot.NewUnitManager(env.Session)
+							if err != nil {
+								b.Error(err)
+								return
+							}
 							um.AddPilot(pl)
 							res, err := kmeans.RunWorkload(p, um, scn, tc.Tasks, kmeans.DefaultCostModel(), sim.NewRNG(int64(i)))
 							if err != nil {
@@ -218,4 +226,30 @@ func BenchmarkAblationAMReuse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSchedulerComparison regenerates the unit-scheduler comparison
+// (heterogeneous two-pilot workloads, all built-in policies), reporting
+// the round-robin-to-backfill makespan gain on the burst workload as
+// "speedup".
+func BenchmarkSchedulerComparison(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunSchedulerComparison(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		byPolicy := make(map[string]*experiments.SchedRow)
+		for _, r := range rows {
+			if r.Workload == experiments.WorkloadBurst {
+				byPolicy[r.Policy] = r
+			}
+		}
+		rr, bf := byPolicy[pilot.SchedulerRoundRobin], byPolicy[pilot.SchedulerBackfill]
+		if rr == nil || bf == nil {
+			b.Fatal("comparison missing policies")
+		}
+		speedup += rr.Makespan.Seconds() / bf.Makespan.Seconds()
+	}
+	b.ReportMetric(speedup/float64(b.N), "speedup")
 }

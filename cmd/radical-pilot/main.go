@@ -13,6 +13,7 @@
 //	  "machine": "wrangler",       // stampede | wrangler
 //	  "mode": "yarn",              // hpc | yarn | spark
 //	  "mode2": false,              // connect to dedicated cluster (yarn)
+//	  "scheduler": "round-robin",  // round-robin | least-loaded | backfill | locality
 //	  "nodes": 2,
 //	  "runtime_min": 120,
 //	  "units": 16,
@@ -41,6 +42,7 @@ type workload struct {
 	Machine     string `json:"machine"`
 	Mode        string `json:"mode"`
 	Mode2       bool   `json:"mode2"`
+	Scheduler   string `json:"scheduler"` // unit-scheduling policy; empty = round-robin
 	Nodes       int    `json:"nodes"`
 	RuntimeMin  int    `json:"runtime_min"`
 	Units       int    `json:"units"`
@@ -73,11 +75,17 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	// Any backend registered with the pilot package is a valid mode.
+	// Any backend registered with the pilot package is a valid mode, and
+	// any registered unit scheduler a valid policy (empty = round-robin).
 	pm := pilot.PilotMode(wl.Mode)
 	if !slices.Contains(pilot.Backends(), wl.Mode) {
 		fmt.Fprintf(os.Stderr, "radical-pilot: unknown mode %q (registered: %s)\n",
 			wl.Mode, strings.Join(pilot.Backends(), ", "))
+		os.Exit(2)
+	}
+	if wl.Scheduler != "" && !slices.Contains(pilot.UnitSchedulers(), wl.Scheduler) {
+		fmt.Fprintf(os.Stderr, "radical-pilot: unknown scheduler %q (registered: %s)\n",
+			wl.Scheduler, strings.Join(pilot.UnitSchedulers(), ", "))
 		os.Exit(2)
 	}
 	env, err := experiments.NewEnv(experiments.MachineName(wl.Machine), wl.Nodes+1, wl.Seed)
@@ -115,7 +123,12 @@ func main() {
 		if pl.HadoopSpawnTime > 0 {
 			fmt.Printf("[%10s] hadoop cluster spawned in %s\n", p.Now(), metrics.Seconds(pl.HadoopSpawnTime))
 		}
-		um := pilot.NewUnitManager(env.Session)
+		um, err := pilot.NewUnitManager(env.Session, pilot.WithScheduler(wl.Scheduler))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "radical-pilot:", err)
+			failed = true
+			return
+		}
 		um.AddPilot(pl)
 		descs := make([]pilot.ComputeUnitDescription, wl.Units)
 		for i := range descs {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|breakdown|all
+//	repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|breakdown|all
 package main
 
 import (
@@ -23,7 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
 	trials := flag.Int("trials", 3, "trials per Figure 5 bar")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|all\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|breakdown|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,7 +43,8 @@ func main() {
 		fmt.Println()
 	}
 	known := map[string]bool{"fig5": true, "fig6": true, "speedups": true,
-		"ablate-shuffle": true, "ablate-amreuse": true, "breakdown": true, "all": true}
+		"ablate-shuffle": true, "ablate-amreuse": true, "sched": true,
+		"breakdown": true, "all": true}
 	if !known[cmd] {
 		flag.Usage()
 		os.Exit(2)
@@ -96,6 +97,14 @@ func main() {
 		experiments.WriteAMReuseAblation(os.Stdout, rows)
 		return nil
 	})
+	run("sched", func() error {
+		rows, err := experiments.RunSchedulerComparison(*seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteSchedulerComparison(os.Stdout, rows)
+		return nil
+	})
 	run("breakdown", func() error { return breakdown(*seed) })
 }
 
@@ -128,7 +137,11 @@ func breakdown(seed int64) error {
 				runErr = fmt.Errorf("pilot ended %v", pl.State())
 				return
 			}
-			um := pilot.NewUnitManager(env.Session)
+			um, err := pilot.NewUnitManager(env.Session)
+			if err != nil {
+				runErr = err
+				return
+			}
 			um.AddPilot(pl)
 			descs := make([]pilot.ComputeUnitDescription, 16)
 			for i := range descs {

@@ -45,7 +45,10 @@ func main() {
 			if !pl.WaitState(p, pilot.PilotActive) {
 				log.Fatalf("pilot ended %v", pl.State())
 			}
-			um := pilot.NewUnitManager(env.Session)
+			um, err := pilot.NewUnitManager(env.Session)
+			if err != nil {
+				log.Fatal(err)
+			}
 			um.AddPilot(pl)
 			descs := make([]pilot.ComputeUnitDescription, 8)
 			for i := range descs {

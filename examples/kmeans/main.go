@@ -90,7 +90,10 @@ func simulatedKMeans() {
 			if !pl.WaitState(p, pilot.PilotActive) {
 				log.Fatalf("pilot ended %v", pl.State())
 			}
-			um := pilot.NewUnitManager(env.Session)
+			um, err := pilot.NewUnitManager(env.Session)
+			if err != nil {
+				log.Fatal(err)
+			}
 			um.AddPilot(pl)
 			res, err := kmeans.RunWorkload(p, um, scn, tasks, kmeans.DefaultCostModel(), sim.NewRNG(42))
 			if err != nil {

@@ -65,7 +65,10 @@ func main() {
 
 		// Stage 1: the simulation ensemble (MPI launch method, 8 cores
 		// each), writing trajectories to the shared filesystem.
-		simUM := pilot.NewUnitManager(env.Session)
+		simUM, err := pilot.NewUnitManager(env.Session)
+		if err != nil {
+			log.Fatal(err)
+		}
 		simUM.AddPilot(simPilot)
 		simDescs := make([]pilot.ComputeUnitDescription, replicas)
 		for i := range simDescs {
@@ -96,7 +99,10 @@ func main() {
 
 		// Stage 2: trajectory analysis on the Spark pilot — read the
 		// trajectories, featurize, cluster conformations.
-		anaUM := pilot.NewUnitManager(env.Session)
+		anaUM, err := pilot.NewUnitManager(env.Session)
+		if err != nil {
+			log.Fatal(err)
+		}
 		anaUM.AddPilot(anaPilot)
 		anaDescs := make([]pilot.ComputeUnitDescription, replicas)
 		for i := range anaDescs {

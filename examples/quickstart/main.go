@@ -43,7 +43,10 @@ func main() {
 			metrics.Seconds(pl.QueueWait()), metrics.Seconds(pl.AgentStartup()))
 
 		// 2. Bind a Unit-Manager to the pilot and submit Compute-Units.
-		um := pilot.NewUnitManager(env.Session)
+		um, err := pilot.NewUnitManager(env.Session)
+		if err != nil {
+			log.Fatal(err)
+		}
 		um.AddPilot(pl)
 		descs := make([]pilot.ComputeUnitDescription, 8)
 		for i := range descs {

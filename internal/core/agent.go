@@ -101,6 +101,12 @@ func (a *agent) mainLoop(p *sim.Proc) {
 			continue
 		}
 		u := item.(*Unit)
+		if u.Pilot != a.pilot || u.State().Final() {
+			// Stale queue entry: the Unit-Manager rebound the unit to
+			// another pilot (failover) or it already reached a final
+			// state; executing it here would double-run it.
+			continue
+		}
 		u.advance(UnitSchedulingAgent)
 		proc := a.session.eng.Spawn("exec:"+u.ID, func(up *sim.Proc) {
 			defer delete(a.unitProcs, u)

@@ -132,8 +132,8 @@ func Backends() []string {
 func newBackend(mode PilotMode) (Backend, error) {
 	factory, ok := backendFactories[string(mode)]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown backend %q (registered: %s)",
-			mode, strings.Join(Backends(), ", "))
+		return nil, fmt.Errorf("core: %w %q (registered: %s)",
+			ErrUnknownBackend, mode, strings.Join(Backends(), ", "))
 	}
 	return factory(), nil
 }

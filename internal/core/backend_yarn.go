@@ -177,7 +177,18 @@ func (b *yarnBackend) YARNMetrics() *yarn.ClusterMetrics {
 
 // YARNMetricsProvider is implemented by backends that run on a YARN
 // cluster and can report its metrics (used by tests and the repro
-// harness through Pilot.YARNMetrics).
+// harness through Pilot.YARNMetrics, and by the "backfill" unit
+// scheduler for capacity estimates).
 type YARNMetricsProvider interface {
 	YARNMetrics() *yarn.ClusterMetrics
+}
+
+// HDFS exposes the filesystem the backend's units read from, satisfying
+// HDFSProvider; nil until Bootstrap has run.
+func (b *yarnBackend) HDFS() *hdfs.FileSystem { return b.fs }
+
+// HDFSProvider is implemented by backends whose pilots carry an HDFS
+// filesystem (used by the "locality" unit scheduler through Pilot.HDFS).
+type HDFSProvider interface {
+	HDFS() *hdfs.FileSystem
 }

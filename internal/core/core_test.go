@@ -92,6 +92,16 @@ func (e *env) addDedicatedYARN(t *testing.T) {
 	e.res.DedicatedHDFS = fs
 }
 
+// newUM builds a unit manager, failing the test on a bad option.
+func newUM(t testing.TB, s *Session, opts ...UnitManagerOption) *UnitManager {
+	t.Helper()
+	um, err := NewUnitManager(s, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return um
+}
+
 func submitPilot(t *testing.T, p *sim.Proc, e *env, desc PilotDescription) *Pilot {
 	t.Helper()
 	pm := NewPilotManager(e.session)
@@ -114,7 +124,7 @@ func TestPilotLifecyclePlain(t *testing.T) {
 			t.Errorf("pilot never became active: %v", pl.State())
 			return
 		}
-		um := NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		var descs []ComputeUnitDescription
 		for i := 0; i < 6; i++ {
@@ -158,7 +168,7 @@ func TestUnitStateTimestampsMonotonic(t *testing.T) {
 			Resource: "tm", Nodes: 1, Runtime: time.Hour, Mode: ModeHPC,
 		})
 		pl.WaitState(p, PilotActive)
-		um := NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		units, _ := um.Submit(p, []ComputeUnitDescription{{
 			InputStagingBytes:  10 << 20,
@@ -205,7 +215,7 @@ func TestSandboxVolumesByMode(t *testing.T) {
 				t.Errorf("%v pilot failed: %v", mode, pl.State())
 				return
 			}
-			um := NewUnitManager(e.session)
+			um := newUM(t, e.session)
 			um.AddPilot(pl)
 			units, _ := um.Submit(p, []ComputeUnitDescription{{
 				Body: func(bp *sim.Proc, ctx *UnitContext) { name = ctx.Sandbox.Name() },
@@ -280,7 +290,7 @@ func TestUnitStartupForkVsYARN(t *testing.T) {
 				t.Errorf("pilot failed: %v", pl.State())
 				return
 			}
-			um := NewUnitManager(e.session)
+			um := newUM(t, e.session)
 			um.AddPilot(pl)
 			units, _ := um.Submit(p, []ComputeUnitDescription{{Executable: "/bin/date"}})
 			um.WaitAll(p, units)
@@ -323,7 +333,7 @@ func TestRoundRobinOverPilots(t *testing.T) {
 			}
 			pilots = append(pilots, pl)
 		}
-		um := NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		for _, pl := range pilots {
 			pl.WaitState(p, PilotActive)
 			um.AddPilot(pl)
@@ -363,7 +373,7 @@ func TestCancelPilotCancelsRunningUnits(t *testing.T) {
 			Resource: "tm", Nodes: 1, Runtime: time.Hour, Mode: ModeHPC,
 		})
 		pl.WaitState(p, PilotActive)
-		um := NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		units, _ := um.Submit(p, []ComputeUnitDescription{{
 			Body: func(bp *sim.Proc, ctx *UnitContext) { bp.Sleep(time.Hour) },
@@ -403,7 +413,7 @@ func TestOversizeUnitFails(t *testing.T) {
 			Resource: "tm", Nodes: 1, Runtime: time.Hour, Mode: ModeHPC,
 		})
 		pl.WaitState(p, PilotActive)
-		um := NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		units, _ := um.Submit(p, []ComputeUnitDescription{{Cores: 999}})
 		um.WaitAll(p, units)
@@ -428,7 +438,7 @@ func TestSparkModeRunsUnits(t *testing.T) {
 			t.Errorf("spark pilot failed: %v", pl.State())
 			return
 		}
-		um := NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		var descs []ComputeUnitDescription
 		for i := 0; i < 4; i++ {
@@ -477,7 +487,7 @@ func TestDescriptionValidation(t *testing.T) {
 
 func TestUnitManagerValidation(t *testing.T) {
 	e := newEnv(t, 1, fastProfile())
-	um := NewUnitManager(e.session)
+	um := newUM(t, e.session)
 	e.eng.Spawn("driver", func(p *sim.Proc) {
 		if _, err := um.Submit(p, []ComputeUnitDescription{{}}); err == nil {
 			t.Error("submit without pilots accepted")
@@ -520,7 +530,7 @@ func TestAgentSchedulerNoOvercommit(t *testing.T) {
 			Resource: "tm", Nodes: 1, Runtime: time.Hour, Mode: ModeHPC,
 		})
 		pl.WaitState(p, PilotActive)
-		um := NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		var descs []ComputeUnitDescription
 		for i := 0; i < 6; i++ {
@@ -560,7 +570,7 @@ func TestYARNModeRunsUnitsThroughContainers(t *testing.T) {
 			return
 		}
 		metrics = pl.YARNMetrics()
-		um := NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		var descs []ComputeUnitDescription
 		for i := 0; i < 4; i++ {

@@ -161,6 +161,11 @@ type ComputeUnitDescription struct {
 	// MemoryMB sizes the unit's YARN container in ModeYARN (default
 	// 2048).
 	MemoryMB int64
+	// InputData lists the HDFS paths the unit reads, as a placement hint:
+	// the "locality" unit scheduler prefers the pilot whose filesystem
+	// hosts them. It does not trigger staging by itself — the unit's Body
+	// (or InputStagingBytes) still performs the reads.
+	InputData []string
 	// InputStagingBytes are staged from the shared filesystem into the
 	// sandbox before execution.
 	InputStagingBytes int64

@@ -20,7 +20,7 @@ func launchStartup(t *testing.T, lm LaunchMethod, localSandbox bool) (time.Durat
 			Mode: ModeHPC, LocalSandbox: localSandbox,
 		})
 		pl.WaitState(p, PilotActive)
-		um := NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		units, _ := um.Submit(p, []ComputeUnitDescription{{
 			Executable: "/bin/probe",
@@ -100,7 +100,7 @@ func TestReuseAMRunsUnitsAndValidates(t *testing.T) {
 			t.Errorf("pilot %v", pl.State())
 			return
 		}
-		um := NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		descs := make([]ComputeUnitDescription, 5)
 		for i := range descs {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/hdfs"
 	"repro/internal/hpc"
 	"repro/internal/saga"
 	"repro/internal/sim"
@@ -135,6 +136,23 @@ func (pl *Pilot) YARNMetrics() *yarn.ClusterMetrics {
 	return prov.YARNMetrics()
 }
 
+// HDFS returns the HDFS filesystem the pilot's units see: the one its
+// backend runs on (a Mode I pilot's spawned cluster), or the resource's
+// dedicated filesystem for ConnectDedicated pilots before their backend
+// is bootstrapped. Nil when the pilot has no HDFS (plain HPC, Spark).
+// The "locality" unit scheduler places units through it.
+func (pl *Pilot) HDFS() *hdfs.FileSystem {
+	if prov, ok := pl.backend.(HDFSProvider); ok {
+		if fs := prov.HDFS(); fs != nil {
+			return fs
+		}
+	}
+	if pl.Desc.ConnectDedicated && pl.res != nil {
+		return pl.res.DedicatedHDFS
+	}
+	return nil
+}
+
 // PilotManager submits and tracks pilots (paper Figure 3, steps P.1–P.7).
 type PilotManager struct {
 	session *Session
@@ -160,7 +178,7 @@ func (pm *PilotManager) Submit(p *sim.Proc, desc PilotDescription) (*Pilot, erro
 	}
 	res, ok := pm.session.Resource(desc.Resource)
 	if !ok {
-		return nil, fmt.Errorf("core: unknown resource %q", desc.Resource)
+		return nil, fmt.Errorf("core: %w %q", ErrUnknownResource, desc.Resource)
 	}
 	backend, err := newBackend(desc.Mode)
 	if err != nil {
@@ -183,7 +201,7 @@ func (pm *PilotManager) Submit(p *sim.Proc, desc PilotDescription) (*Pilot, erro
 	pl.Timestamps[PilotNew] = pm.session.eng.Now()
 	pl.advance(PilotLaunching)
 
-	js, err := saga.NewJobService(res.URL, res.Batch)
+	js, err := saga.NewJobService(res.EffectiveURL(), res.Batch)
 	if err != nil {
 		pl.advance(PilotFailed)
 		return nil, fmt.Errorf("core: pilot %s: %w", pl.ID, err)

@@ -36,6 +36,10 @@ type continuousScheduler struct {
 	nodes   []*cluster.Node
 	free    []int
 	waiters []*schedWaiter
+	// maxCores is the largest per-node core count, fixed at construction
+	// so the can-it-ever-fit check in Acquire is O(1) instead of
+	// rescanning every node on every call.
+	maxCores int
 }
 
 type schedWaiter struct {
@@ -51,6 +55,9 @@ func NewContinuousScheduler(e *sim.Engine, nodes []*cluster.Node) AgentScheduler
 	s := &continuousScheduler{eng: e, nodes: nodes}
 	for _, n := range nodes {
 		s.free = append(s.free, n.Spec.Cores)
+		if n.Spec.Cores > s.maxCores {
+			s.maxCores = n.Spec.Cores
+		}
 	}
 	return s
 }
@@ -67,14 +74,9 @@ func (s *continuousScheduler) tryPlace(cores int) *Slot {
 
 func (s *continuousScheduler) Acquire(p *sim.Proc, u *Unit) (*Slot, error) {
 	cores := u.Desc.Cores
-	max := 0
-	for _, n := range s.nodes {
-		if n.Spec.Cores > max {
-			max = n.Spec.Cores
-		}
-	}
-	if cores > max {
-		return nil, fmt.Errorf("core: unit %s needs %d cores but the largest node has %d", u.ID, cores, max)
+	if cores > s.maxCores {
+		return nil, fmt.Errorf("core: unit %s: %w: needs %d cores but the largest node has %d",
+			u.ID, ErrUnschedulable, cores, s.maxCores)
 	}
 	if len(s.waiters) == 0 {
 		if sl := s.tryPlace(cores); sl != nil {
@@ -176,8 +178,8 @@ func (s *yarnScheduler) demand(u *Unit) (int64, int) {
 func (s *yarnScheduler) Acquire(p *sim.Proc, u *Unit) (*Slot, error) {
 	mb, cores := s.demand(u)
 	if mb > s.totalMB || cores > s.totCores {
-		return nil, fmt.Errorf("core: unit %s (%d MB, %d cores + AM) exceeds cluster capacity (%d MB, %d cores)",
-			u.ID, u.Desc.MemoryMB, u.Desc.Cores, s.totalMB, s.totCores)
+		return nil, fmt.Errorf("core: unit %s: %w: (%d MB, %d cores + AM) exceeds cluster capacity (%d MB, %d cores)",
+			u.ID, ErrUnschedulable, u.Desc.MemoryMB, u.Desc.Cores, s.totalMB, s.totCores)
 	}
 	if len(s.waiters) == 0 && mb <= s.freeMB && cores <= s.freeCores {
 		s.freeMB -= mb
@@ -251,7 +253,8 @@ func NewPoolScheduler(e *sim.Engine, cores int) AgentScheduler {
 
 func (s *poolScheduler) Acquire(p *sim.Proc, u *Unit) (*Slot, error) {
 	if u.Desc.Cores > s.res.Capacity() {
-		return nil, fmt.Errorf("core: unit %s needs %d cores but the pool has %d", u.ID, u.Desc.Cores, s.res.Capacity())
+		return nil, fmt.Errorf("core: unit %s: %w: needs %d cores but the pool has %d",
+			u.ID, ErrUnschedulable, u.Desc.Cores, s.res.Capacity())
 	}
 	s.res.Acquire(p, u.Desc.Cores)
 	return &Slot{Cores: u.Desc.Cores}, nil

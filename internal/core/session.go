@@ -120,6 +120,16 @@ type Resource struct {
 	DedicatedHDFS *hdfs.FileSystem
 }
 
+// EffectiveURL returns the resource's SAGA URL, defaulting to
+// "slurm://<name>" when URL is unset. The default is resolved here at
+// use time: AddResource never writes it back into the caller's Resource.
+func (r *Resource) EffectiveURL() string {
+	if r.URL == "" {
+		return "slurm://" + r.Name
+	}
+	return r.URL
+}
+
 // Session owns the client-side managers, the coordination store, and the
 // resource registry. It corresponds to radical.pilot.Session.
 type Session struct {
@@ -131,6 +141,7 @@ type Session struct {
 	seed      int64
 	nextPilot int
 	nextUnit  int
+	nextUM    int
 }
 
 // NewSession creates a session with the given bootstrap profile and RNG
@@ -156,16 +167,15 @@ func (s *Session) Store() *coord.Store { return s.store }
 func (s *Session) Profile() BootstrapProfile { return s.profile }
 
 // AddResource registers a machine. The URL scheme selects the SAGA
-// adaptor (slurm, pbs, sge, fork).
+// adaptor (slurm, pbs, sge, fork); an empty URL means "slurm://<name>"
+// (see Resource.EffectiveURL). AddResource never mutates r, so a caller
+// may safely reuse one Resource value across sessions.
 func (s *Session) AddResource(r *Resource) error {
 	if r == nil || r.Name == "" {
 		return fmt.Errorf("core: resource needs a name")
 	}
 	if r.Machine == nil || r.Batch == nil {
 		return fmt.Errorf("core: resource %q needs a machine and a batch scheduler", r.Name)
-	}
-	if r.URL == "" {
-		r.URL = "slurm://" + r.Name
 	}
 	if _, dup := s.resources[r.Name]; dup {
 		return fmt.Errorf("core: duplicate resource %q", r.Name)

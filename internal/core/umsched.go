@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// The built-in unit-scheduler policies. Any name registered through
+// RegisterUnitScheduler is equally valid for WithScheduler.
+const (
+	// SchedulerRoundRobin binds each unit eagerly to the next live pilot
+	// in rotation — the v1 behavior and the default.
+	SchedulerRoundRobin = "round-robin"
+	// SchedulerLeastLoaded binds eagerly to the live pilot with the
+	// fewest in-flight units (units bound but not yet final), tracked
+	// through the state-callback fabric.
+	SchedulerLeastLoaded = "least-loaded"
+	// SchedulerBackfill late-binds: units park in the manager's queue and
+	// bind only to Active pilots with free core capacity, consulting the
+	// pilot's YARN cluster metrics where available. Capacity freed by
+	// finishing units is backfilled immediately.
+	SchedulerBackfill = "backfill"
+	// SchedulerLocality prefers the pilot whose filesystem hosts the
+	// unit's ComputeUnitDescription.InputData paths (HDFS block locality
+	// across pilots), falling back to least-loaded placement.
+	SchedulerLocality = "locality"
+)
+
+// Candidate is one pilot a UnitScheduler may bind a unit to, together
+// with the Unit-Manager's bookkeeping for it. Managers only offer pilots
+// that have not reached a final state.
+type Candidate struct {
+	Pilot *Pilot
+	// InFlightUnits counts units bound to the pilot that have not yet
+	// reached a final state; InFlightCores is their summed core demand.
+	InFlightUnits int
+	InFlightCores int
+}
+
+// CoreCapacity estimates the pilot's total core capacity: the connected
+// YARN cluster's vcore count when the pilot exposes cluster metrics, and
+// the allocation size (nodes × per-node cores) otherwise. Zero means the
+// capacity is unknown.
+func (c *Candidate) CoreCapacity() int {
+	if m := c.Pilot.YARNMetrics(); m != nil && m.TotalVCores > 0 {
+		return m.TotalVCores
+	}
+	res := c.Pilot.Resource()
+	if res == nil || res.Machine == nil {
+		return 0
+	}
+	return c.Pilot.Desc.Nodes * res.Machine.Spec.Node.Cores
+}
+
+// FreeCores is CoreCapacity minus the cores already in flight.
+func (c *Candidate) FreeCores() int { return c.CoreCapacity() - c.InFlightCores }
+
+// UnitScheduler is the Unit-Manager's pluggable placement policy: it
+// decides which pilot each submitted unit binds to, and when. One
+// instance is created per UnitManager (factories may keep per-manager
+// state such as a rotation cursor).
+//
+// Pick is called with the manager's live (non-final) candidates, at
+// submission time and again on every scheduling event (pilot state
+// change, unit completion, new pilot) while the unit is unbound. It
+// returns one of three outcomes:
+//
+//   - a candidate's pilot: the unit binds to it now;
+//   - (nil, nil): leave the unit pending — late binding; the manager
+//     retries on the next scheduling event;
+//   - an error: the unit fails with that error as its cause (wrap
+//     ErrUnschedulable for demands that can never be met).
+//
+// Pick runs inside the manager's scheduling pass on process p and may
+// block in virtual time (e.g. for filesystem metadata lookups).
+type UnitScheduler interface {
+	// Name is the registry key the policy was registered under.
+	Name() string
+	Pick(p *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error)
+}
+
+// unitSchedulerFactories is the registry: policy name to per-manager
+// factory.
+var unitSchedulerFactories = map[string]func() UnitScheduler{}
+
+// RegisterUnitScheduler adds a unit-scheduler factory under name, the
+// key WithScheduler selects it by. Instances the factory constructs
+// should report the same string from Name(). The factory is invoked once
+// per UnitManager. Registration fails on nil factories, empty names, and
+// duplicates.
+func RegisterUnitScheduler(name string, factory func() UnitScheduler) error {
+	if factory == nil {
+		return fmt.Errorf("core: nil unit-scheduler factory")
+	}
+	if name == "" {
+		return fmt.Errorf("core: unit scheduler needs a name")
+	}
+	if _, dup := unitSchedulerFactories[name]; dup {
+		return fmt.Errorf("core: unit scheduler %q already registered", name)
+	}
+	unitSchedulerFactories[name] = factory
+	return nil
+}
+
+// UnitSchedulers lists the registered policy names, sorted.
+func UnitSchedulers() []string {
+	names := make([]string, 0, len(unitSchedulerFactories))
+	for name := range unitSchedulerFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newUnitScheduler instantiates the policy name selects; the empty name
+// selects the default round-robin.
+func newUnitScheduler(name string) (UnitScheduler, error) {
+	if name == "" {
+		name = SchedulerRoundRobin
+	}
+	factory, ok := unitSchedulerFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("core: %w %q (registered: %s)",
+			ErrUnknownScheduler, name, strings.Join(UnitSchedulers(), ", "))
+	}
+	return factory(), nil
+}
+
+func mustRegisterUnitScheduler(name string, factory func() UnitScheduler) {
+	if err := RegisterUnitScheduler(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegisterUnitScheduler(SchedulerRoundRobin, func() UnitScheduler { return &rrScheduler{} })
+	mustRegisterUnitScheduler(SchedulerLeastLoaded, func() UnitScheduler { return &leastLoadedScheduler{} })
+	mustRegisterUnitScheduler(SchedulerBackfill, func() UnitScheduler { return &backfillScheduler{} })
+	mustRegisterUnitScheduler(SchedulerLocality, func() UnitScheduler { return &localityScheduler{} })
+}
+
+// rrScheduler rotates over the live candidates — eager binding, blind to
+// load and pilot readiness, exactly the v1 Submit behavior.
+type rrScheduler struct {
+	next int
+}
+
+func (*rrScheduler) Name() string { return SchedulerRoundRobin }
+
+func (s *rrScheduler) Pick(_ *sim.Proc, _ *Unit, cands []*Candidate) (*Pilot, error) {
+	pl := cands[s.next%len(cands)].Pilot
+	s.next++
+	return pl, nil
+}
+
+// leastLoadedScheduler binds eagerly to the candidate with the fewest
+// in-flight units, ties resolved by registration order.
+type leastLoadedScheduler struct{}
+
+func (*leastLoadedScheduler) Name() string { return SchedulerLeastLoaded }
+
+func (*leastLoadedScheduler) Pick(_ *sim.Proc, _ *Unit, cands []*Candidate) (*Pilot, error) {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.InFlightUnits < best.InFlightUnits {
+			best = c
+		}
+	}
+	return best.Pilot, nil
+}
+
+// backfillScheduler is the capacity-aware late binder: a unit binds only
+// when an Active pilot has enough free cores for it, and otherwise parks
+// in the manager's queue until capacity frees up or another pilot comes
+// up — so work is never committed to a pilot that is still in the batch
+// queue or already saturated. Among eligible pilots the least committed
+// one (fewest in-flight cores) wins.
+type backfillScheduler struct{}
+
+func (*backfillScheduler) Name() string { return SchedulerBackfill }
+
+func (*backfillScheduler) Pick(_ *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error) {
+	var best *Candidate
+	couldEverFit := false
+	for _, c := range cands {
+		capacity := c.CoreCapacity()
+		if capacity == 0 || capacity >= u.Desc.Cores {
+			// Unknown capacity counts as potentially fitting.
+			couldEverFit = true
+		}
+		if c.Pilot.State() != PilotActive {
+			continue
+		}
+		if capacity > 0 && capacity-c.InFlightCores < u.Desc.Cores {
+			continue
+		}
+		if best == nil || c.InFlightCores < best.InFlightCores {
+			best = c
+		}
+	}
+	if best != nil {
+		return best.Pilot, nil
+	}
+	if !couldEverFit {
+		return nil, fmt.Errorf("%w: needs %d cores, beyond every pilot's capacity",
+			ErrUnschedulable, u.Desc.Cores)
+	}
+	return nil, nil // park until capacity frees or a pilot becomes Active
+}
+
+// localityScheduler implements the paper's data-locality argument at the
+// Unit-Manager level: a unit naming HDFS inputs goes to the pilot whose
+// filesystem hosts them (most paths present wins; ties and data-free
+// units fall back to least-loaded placement). Each lookup pays the
+// NameNode round trip, like the real scheduler's metadata queries.
+type localityScheduler struct {
+	fallback leastLoadedScheduler
+}
+
+func (*localityScheduler) Name() string { return SchedulerLocality }
+
+func (s *localityScheduler) Pick(p *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error) {
+	if len(u.Desc.InputData) > 0 {
+		var best *Candidate
+		bestScore := 0
+		for _, c := range cands {
+			fs := c.Pilot.HDFS()
+			if fs == nil {
+				continue
+			}
+			score := 0
+			for _, path := range u.Desc.InputData {
+				if fs.Exists(p, path) {
+					score++
+				}
+			}
+			if score == 0 {
+				continue
+			}
+			if best == nil || score > bestScore ||
+				(score == bestScore && c.InFlightUnits < best.InFlightUnits) {
+				best, bestScore = c, score
+			}
+		}
+		if best != nil {
+			return best.Pilot, nil
+		}
+	}
+	return s.fallback.Pick(p, u, cands)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -17,7 +18,9 @@ type Unit struct {
 	watch      *notifier[UnitState]
 	Timestamps map[UnitState]sim.Duration
 
-	// Pilot is the pilot the Unit-Manager bound this unit to.
+	// Pilot is the pilot the Unit-Manager bound this unit to. It is nil
+	// before the first binding and between a pilot's death and the
+	// failover rebinding.
 	Pilot *Pilot
 	// Err records the failure cause for UnitFailed.
 	Err error
@@ -103,18 +106,87 @@ func (u *Unit) cancel() {
 
 // UnitManager binds Compute-Units to pilots and dispatches them through
 // the coordination store (paper Figure 3, steps U.1–U.7).
+//
+// Since v2 the binding decision is delegated to a pluggable
+// UnitScheduler (see WithScheduler and RegisterUnitScheduler), and the
+// manager runs a bind loop instead of pushing eagerly at Submit: units a
+// policy defers park in a manager-level queue and are retried on every
+// scheduling event (pilot state change, unit completion, new pilot).
+// Units bound to a pilot that reaches a final state while they still
+// wait in the coordination store (before its agent picked them up) are
+// rebound to the surviving pilots — fault-tolerant failover, under
+// every policy; units the agent already started processing are canceled
+// with the pilot.
 type UnitManager struct {
 	session *Session
+	policy  UnitScheduler
 	pilots  []*Pilot
-	rr      int
+
+	// load tracks per-pilot in-flight demand; charged maps each bound,
+	// not-yet-final unit to the pilot currently charged for it.
+	load    map[*Pilot]*pilotLoad
+	charged map[*Unit]*Pilot
+
+	// pending holds units awaiting (re)binding, in submission order.
+	pending []*Unit
+	// wake signals the bind loop; kicks coalesce while a pass runs.
+	wake *sim.Queue[struct{}]
+	// passing marks a scheduling pass in flight (its store round trips
+	// block in virtual time); rerun asks it to go around once more, and
+	// passDone wakes processes waiting for it to retire.
+	passing  bool
+	rerun    bool
+	passDone *sim.Event
+}
+
+type pilotLoad struct {
+	units int
+	cores int
+}
+
+// UnitManagerOption configures a UnitManager built by NewUnitManager.
+type UnitManagerOption func(*umConfig)
+
+type umConfig struct {
+	scheduler string
+}
+
+// WithScheduler selects the manager's unit-scheduling policy by
+// registered name (default: SchedulerRoundRobin). NewUnitManager fails
+// with ErrUnknownScheduler for names never registered.
+func WithScheduler(name string) UnitManagerOption {
+	return func(c *umConfig) { c.scheduler = name }
 }
 
 // NewUnitManager creates a unit manager on the session.
-func NewUnitManager(s *Session) *UnitManager {
-	return &UnitManager{session: s}
+func NewUnitManager(s *Session, opts ...UnitManagerOption) (*UnitManager, error) {
+	cfg := umConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	policy, err := newUnitScheduler(cfg.scheduler)
+	if err != nil {
+		return nil, err
+	}
+	um := &UnitManager{
+		session: s,
+		policy:  policy,
+		load:    make(map[*Pilot]*pilotLoad),
+		charged: make(map[*Unit]*Pilot),
+		wake:    sim.NewQueue[struct{}](s.eng),
+	}
+	s.nextUM++
+	s.eng.SpawnDaemon(fmt.Sprintf("umgr:%02d", s.nextUM), um.bindLoop)
+	return um, nil
 }
 
-// AddPilot registers a pilot as an execution target.
+// Scheduler returns the manager's unit-scheduling policy name.
+func (um *UnitManager) Scheduler() string { return um.policy.Name() }
+
+// AddPilot registers a pilot as an execution target and hooks its state
+// transitions into the bind loop: a pilot becoming Active can unblock
+// late-binding policies, and a pilot reaching a final state triggers
+// failover rebinding of its still-queued units.
 func (um *UnitManager) AddPilot(pl *Pilot) error {
 	if pl == nil {
 		return fmt.Errorf("core: nil pilot")
@@ -125,31 +197,173 @@ func (um *UnitManager) AddPilot(pl *Pilot) error {
 		}
 	}
 	um.pilots = append(um.pilots, pl)
+	um.load[pl] = &pilotLoad{}
+	pl.OnStateChange(func(pl *Pilot, st PilotState) {
+		if st.Final() {
+			um.rebindOrphans(pl)
+		}
+		um.kick()
+	})
 	return nil
 }
 
-// nextLivePilot picks the next pilot in round-robin order, skipping
-// pilots already in a final state; it returns nil when no live pilot
-// remains.
-func (um *UnitManager) nextLivePilot() *Pilot {
-	for range um.pilots {
-		pl := um.pilots[um.rr%len(um.pilots)]
-		um.rr++
+// livePilots returns the registered pilots not in a final state.
+func (um *UnitManager) livePilots() []*Pilot {
+	live := make([]*Pilot, 0, len(um.pilots))
+	for _, pl := range um.pilots {
 		if !pl.State().Final() {
-			return pl
+			live = append(live, pl)
 		}
 	}
-	return nil
+	return live
 }
 
-// Submit schedules units round-robin over the manager's live pilots and
-// queues them in the coordination store for the agents (steps U.1–U.2).
-// Pilots that have already reached a final state are skipped; a unit
-// fails only when no live pilot remains. Submit blocks p for the store
-// round trips.
+// kick wakes the bind loop; kicks coalesce (at most one wake buffered).
+func (um *UnitManager) kick() {
+	if um.wake.Len() == 0 {
+		um.wake.Put(struct{}{})
+	}
+}
+
+// bindLoop is the manager's scheduling daemon: it re-runs the scheduling
+// pass on every kick (pilot state change, unit completion, new pilot),
+// binding parked units and failing the hopeless ones.
+func (um *UnitManager) bindLoop(p *sim.Proc) {
+	for {
+		um.wake.Get(p)
+		um.schedulePass(p)
+	}
+}
+
+// schedulePass offers every pending unit to the policy once. Passes are
+// single-flight: a pass requested while one runs (whose store round
+// trips block in virtual time) first asks the running pass to go around
+// again, then blocks until it retires — so when Submit's pass call
+// returns, every unit submitted before it has been offered to the
+// policy (eager policies: bound), no matter which process placed it.
+func (um *UnitManager) schedulePass(p *sim.Proc) {
+	for um.passing {
+		um.rerun = true
+		p.Wait(um.passDone)
+	}
+	um.passing = true
+	um.passDone = sim.NewEvent(um.session.eng)
+	defer func() {
+		um.passing = false
+		um.passDone.Trigger()
+	}()
+	for {
+		um.rerun = false
+		batch := um.pending
+		um.pending = nil
+		for _, u := range batch {
+			um.placeOne(p, u)
+		}
+		if !um.rerun {
+			return
+		}
+	}
+}
+
+// placeOne runs the policy for one unit: bind, park, or fail.
+func (um *UnitManager) placeOne(p *sim.Proc, u *Unit) {
+	if u.State().Final() {
+		return
+	}
+	live := um.livePilots()
+	if len(live) == 0 {
+		u.fail(fmt.Errorf("core: unit %s: %w among %d registered", u.ID, ErrNoLivePilot, len(um.pilots)))
+		return
+	}
+	cands := make([]*Candidate, len(live))
+	for i, pl := range live {
+		ld := um.load[pl]
+		cands[i] = &Candidate{Pilot: pl, InFlightUnits: ld.units, InFlightCores: ld.cores}
+	}
+	pl, err := um.policy.Pick(p, u, cands)
+	if err != nil {
+		u.fail(fmt.Errorf("core: unit %s: %w", u.ID, err))
+		return
+	}
+	if pl == nil {
+		// Deferred (late binding): park until the next scheduling event.
+		um.pending = append(um.pending, u)
+		return
+	}
+	offered := false
+	for _, c := range cands {
+		if c.Pilot == pl {
+			offered = true
+			break
+		}
+	}
+	if !offered {
+		// A (custom) policy returned a pilot outside the candidates it
+		// was offered — foreign, or already final before the pass: fail
+		// the unit rather than corrupt bookkeeping or retry forever.
+		u.fail(fmt.Errorf("core: unit %s: scheduler %q picked pilot %s, which was not offered to it",
+			u.ID, um.policy.Name(), pl.ID))
+		return
+	}
+	if pl.State().Final() {
+		// The picked pilot died while the policy blocked in virtual
+		// time: park and retry with fresh candidates.
+		um.pending = append(um.pending, u)
+		um.kick()
+		return
+	}
+	u.Pilot = pl
+	um.charged[u] = pl
+	ld := um.load[pl]
+	ld.units++
+	ld.cores += u.Desc.Cores
+	u.advance(UnitPendingAgent)
+	um.session.store.Push(p, pl.queueName, u)
+}
+
+// uncharge drops the unit from the in-flight bookkeeping.
+func (um *UnitManager) uncharge(u *Unit) {
+	pl, ok := um.charged[u]
+	if !ok {
+		return
+	}
+	delete(um.charged, u)
+	if ld := um.load[pl]; ld != nil {
+		ld.units--
+		ld.cores -= u.Desc.Cores
+	}
+}
+
+// rebindOrphans moves units that were bound to the dead pilot but never
+// picked up by its agent back into the pending queue. Clearing u.Pilot
+// makes the dead pilot's queued copy stale (the agent-side guard drops
+// it), so a unit can never run twice.
+func (um *UnitManager) rebindOrphans(dead *Pilot) {
+	var orphans []*Unit
+	for u, pl := range um.charged {
+		if pl == dead && u.State() == UnitPendingAgent {
+			orphans = append(orphans, u)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].ID < orphans[j].ID })
+	for _, u := range orphans {
+		um.uncharge(u)
+		u.Pilot = nil
+		um.pending = append(um.pending, u)
+	}
+}
+
+// Submit registers the units with the manager and runs a scheduling pass
+// on p (paying the store round trips for units that bind immediately,
+// steps U.1–U.2). Eager policies — round-robin, least-loaded — bind
+// every unit before Submit returns, as in v1; late-binding policies may
+// leave units parked, to be bound by the bind loop once an eligible
+// pilot is available. Submit fails with ErrNoPilots when no pilot was
+// added; a unit that can never be placed fails individually (see
+// ErrNoLivePilot, ErrUnschedulable) rather than failing the batch.
 func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*Unit, error) {
 	if len(um.pilots) == 0 {
-		return nil, fmt.Errorf("core: unit manager has no pilots")
+		return nil, fmt.Errorf("core: %w", ErrNoPilots)
 	}
 	units := make([]*Unit, 0, len(descs))
 	for _, d := range descs {
@@ -162,18 +376,17 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 			Timestamps: make(map[UnitState]sim.Duration),
 		}
 		u.Timestamps[UnitNew] = um.session.eng.Now()
+		u.OnStateChange(func(u *Unit, st UnitState) {
+			if st.Final() {
+				um.uncharge(u)
+				um.kick() // freed capacity may unblock parked units
+			}
+		})
 		u.advance(UnitSchedulingUM)
-		pl := um.nextLivePilot()
-		if pl == nil {
-			u.fail(fmt.Errorf("core: no live pilot among %d registered", len(um.pilots)))
-			units = append(units, u)
-			continue
-		}
-		u.Pilot = pl
-		u.advance(UnitPendingAgent)
-		um.session.store.Push(p, pl.queueName, u)
+		um.pending = append(um.pending, u)
 		units = append(units, u)
 	}
+	um.schedulePass(p)
 	return units, nil
 }
 

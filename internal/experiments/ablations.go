@@ -55,7 +55,11 @@ func RunShuffleAblation(seed int64) ([]*ShuffleAblationRow, error) {
 						runErr = fmt.Errorf("pilot ended %v", pl.State())
 						return
 					}
-					um := pilot.NewUnitManager(env.Session)
+					um, err := pilot.NewUnitManager(env.Session)
+					if err != nil {
+						runErr = err
+						return
+					}
 					um.AddPilot(pl)
 					rng := sim.SubRNG(seed, fmt.Sprintf("ablate:%s:%d:%v", machine, tc.Tasks, local))
 					res, err := kmeans.RunWorkload(p, um, scn, tc.Tasks, model, rng)
@@ -133,7 +137,11 @@ func RunAMReuseAblation(seed int64) ([]*AMReuseRow, error) {
 					runErr = fmt.Errorf("pilot ended %v", pl.State())
 					return
 				}
-				um := pilot.NewUnitManager(env.Session)
+				um, err := pilot.NewUnitManager(env.Session)
+				if err != nil {
+					runErr = err
+					return
+				}
 				um.AddPilot(pl)
 				var descs []pilot.ComputeUnitDescription
 				for i := 0; i < 16; i++ {

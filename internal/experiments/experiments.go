@@ -129,7 +129,10 @@ func startPilot(p *sim.Proc, env *Env, sys System, machine MachineName, nodes in
 	if !pl.WaitState(p, pilot.PilotActive) {
 		return nil, nil, fmt.Errorf("experiments: pilot on %s (%s) ended %v", machine, sys, pl.State())
 	}
-	um := pilot.NewUnitManager(env.Session)
+	um, err := pilot.NewUnitManager(env.Session)
+	if err != nil {
+		return nil, nil, err
+	}
 	if err := um.AddPilot(pl); err != nil {
 		return nil, nil, err
 	}

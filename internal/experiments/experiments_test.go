@@ -215,6 +215,55 @@ func TestAMReuseReducesStartup(t *testing.T) {
 	}
 }
 
+// TestSchedulerComparisonShapes is the tentpole acceptance check for
+// the Unit-Manager scheduling API v2: on the heterogeneous two-pilot
+// (HPC + YARN) workloads, the backfill policy beats round-robin on the
+// burst workload (late binding avoids committing work to the pilot that
+// is still spawning Hadoop), and the locality policy beats round-robin
+// on the data workload (units run where their HDFS blocks live instead
+// of refetching them over the slow external link).
+func TestSchedulerComparisonShapes(t *testing.T) {
+	rows, err := RunSchedulerComparison(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(wl, policy string) *SchedRow {
+		for _, r := range rows {
+			if r.Workload == wl && r.Policy == policy {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", wl, policy)
+		return nil
+	}
+	for _, r := range rows {
+		if r.Makespan <= 0 {
+			t.Errorf("%s/%s: non-positive makespan %v", r.Workload, r.Policy, r.Makespan)
+		}
+	}
+	rrBurst := get(WorkloadBurst, "round-robin").Makespan
+	bfBurst := get(WorkloadBurst, "backfill").Makespan
+	if bfBurst >= rrBurst {
+		t.Errorf("burst: backfill (%v) not faster than round-robin (%v)", bfBurst, rrBurst)
+	}
+	rrData := get(WorkloadDataLocality, "round-robin").Makespan
+	locData := get(WorkloadDataLocality, "locality").Makespan
+	if locData >= rrData {
+		t.Errorf("data-locality: locality (%v) not faster than round-robin (%v)", locData, rrData)
+	}
+	// The mechanism, not just the outcome: locality routes every data
+	// unit to the HDFS-hosting YARN pilot; round-robin splits them.
+	if loc := get(WorkloadDataLocality, "locality"); loc.UnitsYARN < schedDataFiles {
+		t.Errorf("locality placed only %d units on the YARN pilot, want at least the %d data units",
+			loc.UnitsYARN, schedDataFiles)
+	}
+	var buf bytes.Buffer
+	WriteSchedulerComparison(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty rendering")
+	}
+}
+
 func TestNewEnvValidation(t *testing.T) {
 	if _, err := NewEnv("nonsense", 2, 1); err == nil {
 		t.Fatal("unknown machine accepted")

@@ -58,7 +58,11 @@ func TestKMeansOnSparkPilot(t *testing.T) {
 			t.Errorf("pilot %v", pl.State())
 			return
 		}
-		um := pilot.NewUnitManager(env.Session)
+		um, err := pilot.NewUnitManager(env.Session)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		um.AddPilot(pl)
 		res, err := kmeans.RunWorkload(p, um, kmeans.PaperScenarios[0], 16,
 			kmeans.DefaultCostModel(), sim.NewRNG(31))
@@ -106,7 +110,11 @@ func TestPilotWalltimeDuringWorkload(t *testing.T) {
 			t.Errorf("pilot %v", pl.State())
 			return
 		}
-		um := pilot.NewUnitManager(env.Session)
+		um, err := pilot.NewUnitManager(env.Session)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		um.AddPilot(pl)
 		_, workloadErr = kmeans.RunWorkload(p, um, kmeans.PaperScenarios[2], 8,
 			kmeans.DefaultCostModel(), sim.NewRNG(17))

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/hpc"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/yarn"
+	"repro/pilot"
+)
+
+// The scheduler-comparison workloads, both over a heterogeneous
+// two-pilot setup (one plain HPC pilot, one YARN pilot).
+const (
+	// WorkloadBurst: a burst of short compute units submitted while the
+	// Mode I YARN pilot is still spawning its Hadoop cluster. Eager
+	// policies commit half the burst to the not-yet-ready pilot; the
+	// backfill policy late-binds onto whatever is Active with free
+	// capacity.
+	WorkloadBurst = "burst"
+	// WorkloadDataLocality: a mix of data-intensive units (inputs hosted
+	// on the Mode II pilot's dedicated HDFS) and compute units. Policies
+	// blind to data placement send half the data units to the HPC pilot,
+	// which must fetch the inputs over the slow external link; the
+	// locality policy routes them to the pilot hosting the blocks.
+	WorkloadDataLocality = "data-locality"
+)
+
+// SchedRow is one (workload, policy) cell of the comparison.
+type SchedRow struct {
+	Workload string
+	Policy   string
+	// Makespan is submission of the batch to the last unit's final state.
+	Makespan time.Duration
+	// UnitsHPC and UnitsYARN count where the units finished.
+	UnitsHPC  int
+	UnitsYARN int
+}
+
+// schedSpec is the comparison machine: five 8-core nodes behind a slow
+// external uplink, so remote data fetches are painful and per-pilot core
+// capacity is small enough for placement to matter.
+func schedSpec() cluster.MachineSpec {
+	return cluster.MachineSpec{
+		Name:  "hetero",
+		Nodes: 5,
+		Node: cluster.NodeSpec{
+			Cores: 8, MemoryMB: 32 * 1024, DiskBW: 200e6,
+			DiskOpLatency: time.Millisecond, NICBW: 1e9,
+		},
+		FabricBW: 10e9,
+		Lustre: storage.LustreSpec{
+			AggregateBW: 2e9, MDSServers: 4,
+			MDSServiceTime: 2 * time.Millisecond, ClientLatency: 3 * time.Millisecond,
+		},
+		CPUFactor:  1,
+		ExternalBW: 40e6, // slow campus uplink
+	}
+}
+
+// schedProfile trims the generic agent bootstrap so runs stay quick, but
+// keeps the Mode I Hadoop spawn at its calibrated tens of seconds — the
+// readiness gap the burst workload probes.
+func schedProfile() pilot.BootstrapProfile {
+	prof := pilot.DefaultProfile()
+	prof.AgentSetup = 2 * time.Second
+	prof.AgentVenvOps = 50
+	prof.AgentComponents = time.Second
+	prof.UnitWrapperOps = 20
+	prof.UnitWrapperSetup = 2 * time.Second
+	prof.Jitter = 0
+	return prof
+}
+
+const (
+	schedDataFiles = 12
+	schedDataBytes = 512 << 20
+)
+
+// RunSchedulerComparison runs both workloads under every built-in
+// unit-scheduling policy and returns one row per (workload, policy).
+func RunSchedulerComparison(seed int64) ([]*SchedRow, error) {
+	policies := []string{
+		pilot.SchedulerRoundRobin, pilot.SchedulerLeastLoaded,
+		pilot.SchedulerBackfill, pilot.SchedulerLocality,
+	}
+	var rows []*SchedRow
+	for _, wl := range []string{WorkloadBurst, WorkloadDataLocality} {
+		for _, policy := range policies {
+			row, err := runSchedCell(wl, policy, seed)
+			if err != nil {
+				return nil, fmt.Errorf("scheduler comparison %s/%s: %w", wl, policy, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runSchedCell executes one workload under one policy on a fresh
+// environment.
+func runSchedCell(wl, policy string, seed int64) (*SchedRow, error) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	m := cluster.New(eng, schedSpec())
+	batch := hpc.NewBatch(m, hpc.Config{
+		SchedCycle:      10 * time.Second,
+		Prolog:          2 * time.Second,
+		MinQueueWait:    time.Second,
+		DefaultWallTime: 4 * time.Hour,
+		Seed:            seed,
+	})
+	fs, err := hdfs.New(eng, hdfs.DefaultConfig(), m.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	ycfg := yarn.DefaultConfig()
+	ycfg.Seed = seed
+	ycfg.Fetcher = yarn.VolumeFetcher{Volume: m.Lustre}
+	rm, err := yarn.NewResourceManager(eng, ycfg, m.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	session := pilot.NewSession(eng, pilot.WithProfile(schedProfile()), pilot.WithSeed(seed))
+	res := &pilot.Resource{
+		Name: "hetero", URL: "slurm://hetero", Machine: m, Batch: batch,
+		DedicatedYARN: rm, DedicatedHDFS: fs,
+	}
+	if err := session.AddResource(res); err != nil {
+		return nil, err
+	}
+
+	row := &SchedRow{Workload: wl, Policy: policy}
+	var runErr error
+	eng.Spawn("driver", func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(session)
+		hpcPl, err := pm.Submit(p, pilot.PilotDescription{
+			Resource: "hetero", Nodes: 2, Runtime: 2 * time.Hour, Mode: pilot.ModeHPC,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		yarnDesc := pilot.PilotDescription{
+			Resource: "hetero", Nodes: 2, Runtime: 2 * time.Hour, Mode: pilot.ModeYARN,
+		}
+		if wl == WorkloadDataLocality {
+			// Mode II: connect to the dedicated cluster that hosts the
+			// input blocks; AM reuse keeps the per-unit overhead low.
+			yarnDesc.ConnectDedicated = true
+			yarnDesc.ReuseAM = true
+		}
+		yarnPl, err := pm.Submit(p, yarnDesc)
+		if err != nil {
+			runErr = err
+			return
+		}
+		um, err := pilot.NewUnitManager(session, pilot.WithScheduler(policy))
+		if err != nil {
+			runErr = err
+			return
+		}
+		um.AddPilot(hpcPl)
+		um.AddPilot(yarnPl)
+		if !hpcPl.WaitState(p, pilot.PilotActive) {
+			runErr = fmt.Errorf("HPC pilot ended %v", hpcPl.State())
+			return
+		}
+
+		var descs []pilot.ComputeUnitDescription
+		switch wl {
+		case WorkloadBurst:
+			// Submit while the Mode I pilot is still spawning Hadoop.
+			for i := 0; i < 32; i++ {
+				descs = append(descs, pilot.ComputeUnitDescription{
+					Name:  fmt.Sprintf("burst-%02d", i),
+					Cores: 2,
+					Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
+						ctx.Node.Compute(bp, 8)
+					},
+				})
+			}
+		case WorkloadDataLocality:
+			if !yarnPl.WaitState(p, pilot.PilotActive) {
+				runErr = fmt.Errorf("YARN pilot ended %v", yarnPl.State())
+				return
+			}
+			for i := 0; i < schedDataFiles; i++ {
+				path := fmt.Sprintf("/data/part-%02d", i)
+				if err := fs.Write(p, path, schedDataBytes, m.Nodes[i%len(m.Nodes)]); err != nil {
+					runErr = err
+					return
+				}
+				descs = append(descs, pilot.ComputeUnitDescription{
+					Name:      fmt.Sprintf("data-%02d", i),
+					Cores:     2,
+					InputData: []string{path},
+					Body:      schedDataBody(path),
+				})
+			}
+			for i := 0; i < 20; i++ {
+				descs = append(descs, pilot.ComputeUnitDescription{
+					Name:  fmt.Sprintf("compute-%02d", i),
+					Cores: 2,
+					Body: func(bp *sim.Proc, ctx *pilot.UnitContext) {
+						ctx.Node.Compute(bp, 8)
+					},
+				})
+			}
+		}
+
+		start := p.Now()
+		units, err := um.Submit(p, descs)
+		if err != nil {
+			runErr = err
+			return
+		}
+		um.WaitAll(p, units)
+		row.Makespan = p.Now() - start
+		for _, u := range units {
+			if u.State() != pilot.UnitDone {
+				runErr = fmt.Errorf("unit %s finished %v: %v", u.ID, u.State(), u.Err)
+				return
+			}
+			switch u.Pilot {
+			case hpcPl:
+				row.UnitsHPC++
+			case yarnPl:
+				row.UnitsYARN++
+			}
+		}
+		hpcPl.Cancel()
+		yarnPl.Cancel()
+	})
+	eng.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	return row, nil
+}
+
+// schedDataBody reads the unit's input from the pilot's HDFS when it
+// hosts it, and falls back to fetching it over the machine's external
+// link — the cost a locality-blind placement pays.
+func schedDataBody(path string) pilot.UnitBody {
+	return func(bp *sim.Proc, ctx *pilot.UnitContext) {
+		if fs := ctx.Unit.Pilot.HDFS(); fs != nil && fs.Exists(bp, path) {
+			_ = fs.Read(bp, path, ctx.Node)
+		} else {
+			ctx.Machine.DownloadExternal(bp, schedDataBytes)
+		}
+		ctx.Node.Compute(bp, 4)
+	}
+}
+
+// WriteSchedulerComparison renders the comparison table.
+func WriteSchedulerComparison(w io.Writer, rows []*SchedRow) {
+	fmt.Fprintln(w, "Unit-scheduler comparison: heterogeneous two-pilot (HPC + YARN) workloads")
+	t := metrics.NewTable("workload", "policy", "makespan (s)", "units on hpc", "units on yarn")
+	for _, r := range rows {
+		t.AddRow(r.Workload, r.Policy, metrics.Seconds(r.Makespan),
+			fmt.Sprintf("%d", r.UnitsHPC), fmt.Sprintf("%d", r.UnitsYARN))
+	}
+	t.Write(w)
+}

@@ -33,7 +33,11 @@ func runUnits(t *testing.T, mode pilot.PilotMode, n int) ([]*pilot.Unit, *pilot.
 			t.Errorf("pilot %v", pl.State())
 			return
 		}
-		um := pilot.NewUnitManager(env.Session)
+		um, err := pilot.NewUnitManager(env.Session)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		um.AddPilot(pl)
 		descs := make([]pilot.ComputeUnitDescription, n)
 		for i := range descs {

@@ -81,7 +81,7 @@ func TestToyBackendRunsUnits(t *testing.T) {
 			t.Errorf("toy pilot never active: %v", pl.State())
 			return
 		}
-		um := pilot.NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		units, err := um.Submit(p, []pilot.ComputeUnitDescription{{
 			Executable: "/bin/toy",

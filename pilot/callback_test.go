@@ -47,7 +47,7 @@ func TestUnitStateCallbacksAndWaitersOnSuccess(t *testing.T) {
 			Resource: "tm", Nodes: 1, Runtime: time.Hour,
 		})
 		pl.WaitState(p, pilot.PilotActive)
-		um := pilot.NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		units, err := um.Submit(p, []pilot.ComputeUnitDescription{{
 			Body: func(bp *sim.Proc, ctx *pilot.UnitContext) { bp.Sleep(time.Second) },
@@ -92,7 +92,7 @@ func TestUnitFailureSkipsStateCallbacksButWakesWaiters(t *testing.T) {
 			Resource: "tm", Nodes: 1, Runtime: time.Hour,
 		})
 		pl.WaitState(p, pilot.PilotActive)
-		um := pilot.NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		// 999 cores can never fit the 8-core node: Acquire fails fast.
 		units, err := um.Submit(p, []pilot.ComputeUnitDescription{{Cores: 999}})
@@ -145,7 +145,7 @@ func TestUnitCancelWakesParkedWaiters(t *testing.T) {
 			Resource: "tm", Nodes: 1, Runtime: time.Hour,
 		})
 		pl.WaitState(p, pilot.PilotActive)
-		um := pilot.NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		units, _ := um.Submit(p, []pilot.ComputeUnitDescription{{
 			Body: func(bp *sim.Proc, ctx *pilot.UnitContext) { bp.Sleep(time.Hour) },

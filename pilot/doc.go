@@ -21,11 +21,27 @@
 //     Kubernetes-flavoured backend, say — implement the Backend
 //     interface and register; no core file changes.
 //
+//   - Unit schedulers. NewUnitManager takes WithScheduler to select the
+//     policy that binds Compute-Units to pilots: the built-ins are
+//     "round-robin" (the default), "least-loaded", "backfill"
+//     (capacity-aware late binding), and "locality" (HDFS-aware
+//     placement via ComputeUnitDescription.InputData). New policies
+//     implement UnitScheduler and register with RegisterUnitScheduler.
+//     Under every policy, units bound to a pilot that dies while they
+//     are still queued in the coordination store are rebound to the
+//     surviving pilots; units its agent had already started processing
+//     are canceled with it.
+//
 //   - State callbacks. Pilot.OnStateChange and Unit.OnStateChange
 //     mirror RADICAL-Pilot's register_callback: subscribers observe
 //     every state an entity actually enters. Wait, WaitState and
 //     WaitAll are built on the same fabric, so blocking and reactive
 //     styles compose.
+//
+// Failure modes carry typed causes: match Submit errors and Unit.Err
+// against the ErrNoPilots, ErrNoLivePilot, ErrUnschedulable,
+// ErrUnknownScheduler, ErrUnknownResource and ErrUnknownBackend
+// sentinels with errors.Is.
 //
 // # Quickstart
 //
@@ -39,7 +55,7 @@
 //		})
 //		// ...
 //		pl.WaitState(p, pilot.PilotActive)
-//		um := pilot.NewUnitManager(session)
+//		um, _ := pilot.NewUnitManager(session, pilot.WithScheduler("backfill"))
 //		um.AddPilot(pl)
 //		units, _ := um.Submit(p, descs)
 //		um.WaitAll(p, units)

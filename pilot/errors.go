@@ -1,0 +1,32 @@
+package pilot
+
+import "repro/internal/core"
+
+// The core sentinel errors, re-exported so applications can branch on
+// failure causes with errors.Is without importing internal packages.
+// Every variable aliases the identical core sentinel, so an error
+// produced anywhere in the stack matches here:
+//
+//	units, err := um.Submit(p, descs)
+//	if errors.Is(err, pilot.ErrNoPilots) { ... }
+//	for _, u := range units {
+//		if errors.Is(u.Err, pilot.ErrUnschedulable) { ... }
+//	}
+var (
+	// ErrNoPilots: Submit on a UnitManager with no pilots added.
+	ErrNoPilots = core.ErrNoPilots
+	// ErrNoLivePilot: every pilot added to the manager has reached a
+	// final state; recorded as the failed unit's Err.
+	ErrNoLivePilot = core.ErrNoLivePilot
+	// ErrUnschedulable: the unit's resource demands can never be met by
+	// the manager's pilots or the pilot's allocation.
+	ErrUnschedulable = core.ErrUnschedulable
+	// ErrUnknownScheduler: WithScheduler named an unregistered policy.
+	ErrUnknownScheduler = core.ErrUnknownScheduler
+	// ErrUnknownResource: a pilot description named a resource that was
+	// never added to the session.
+	ErrUnknownResource = core.ErrUnknownResource
+	// ErrUnknownBackend: a pilot description's Mode named an
+	// unregistered execution backend.
+	ErrUnknownBackend = core.ErrUnknownBackend
+)

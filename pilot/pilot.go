@@ -59,6 +59,18 @@ type (
 	// YARNMetricsProvider is implemented by backends that can report
 	// YARN cluster metrics.
 	YARNMetricsProvider = core.YARNMetricsProvider
+	// HDFSProvider is implemented by backends whose pilots carry an HDFS
+	// filesystem (consumed by the "locality" unit scheduler).
+	HDFSProvider = core.HDFSProvider
+
+	// UnitScheduler is the Unit-Manager's pluggable placement-policy
+	// seam; see RegisterUnitScheduler and WithScheduler.
+	UnitScheduler = core.UnitScheduler
+	// Candidate is one live pilot offered to a UnitScheduler, with the
+	// manager's in-flight bookkeeping for it.
+	Candidate = core.Candidate
+	// UnitManagerOption configures NewUnitManager.
+	UnitManagerOption = core.UnitManagerOption
 )
 
 // Pilot states in lifecycle order.
@@ -102,6 +114,15 @@ const (
 	LaunchAPRun   = core.LaunchAPRun
 )
 
+// The built-in unit-scheduling policies selectable through
+// WithScheduler; see the core constants for their semantics.
+const (
+	SchedulerRoundRobin  = core.SchedulerRoundRobin
+	SchedulerLeastLoaded = core.SchedulerLeastLoaded
+	SchedulerBackfill    = core.SchedulerBackfill
+	SchedulerLocality    = core.SchedulerLocality
+)
+
 // DefaultProfile returns the calibrated bootstrap cost model that
 // reproduces the paper's Section IV startup ranges.
 func DefaultProfile() BootstrapProfile { return core.DefaultProfile() }
@@ -110,4 +131,37 @@ func DefaultProfile() BootstrapProfile { return core.DefaultProfile() }
 func NewPilotManager(s *Session) *PilotManager { return core.NewPilotManager(s) }
 
 // NewUnitManager creates a unit manager on the session.
-func NewUnitManager(s *Session) *UnitManager { return core.NewUnitManager(s) }
+//
+// Since v2 it takes functional options and returns an error:
+//
+//	um, err := pilot.NewUnitManager(session, pilot.WithScheduler("backfill"))
+//
+// With no options the manager uses the round-robin policy and behaves
+// exactly like v1 apart from the second return value; it fails with
+// ErrUnknownScheduler when WithScheduler names an unregistered policy.
+func NewUnitManager(s *Session, opts ...UnitManagerOption) (*UnitManager, error) {
+	return core.NewUnitManager(s, opts...)
+}
+
+// WithScheduler selects the unit-scheduling policy by registered name
+// (default: SchedulerRoundRobin).
+func WithScheduler(name string) UnitManagerOption { return core.WithScheduler(name) }
+
+// RegisterUnitScheduler adds a unit-scheduling policy under name, the
+// key WithScheduler selects it by — the Unit-Manager analogue of
+// RegisterBackend. The factory runs once per UnitManager, so policies
+// may keep per-manager state (rotation cursors, load histories) in
+// their receiver:
+//
+//	pilot.RegisterUnitScheduler("random", func() pilot.UnitScheduler { return &randomPolicy{} })
+//	um, err := pilot.NewUnitManager(session, pilot.WithScheduler("random"))
+//
+// Registration fails on nil factories, empty names, and duplicates.
+func RegisterUnitScheduler(name string, factory func() UnitScheduler) error {
+	return core.RegisterUnitScheduler(name, factory)
+}
+
+// UnitSchedulers lists the registered unit-scheduler names, sorted. The
+// built-ins ("round-robin", "least-loaded", "backfill", "locality") are
+// always present.
+func UnitSchedulers() []string { return core.UnitSchedulers() }

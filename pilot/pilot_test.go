@@ -73,6 +73,17 @@ func newTestEnvProfile(t *testing.T, nodes int, prof pilot.BootstrapProfile) *te
 	return &testEnv{eng: eng, machine: m, session: s}
 }
 
+// newUM builds a unit manager through the public API, failing the test
+// on a bad option.
+func newUM(t testing.TB, s *pilot.Session, opts ...pilot.UnitManagerOption) *pilot.UnitManager {
+	t.Helper()
+	um, err := pilot.NewUnitManager(s, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return um
+}
+
 func (e *testEnv) run(t *testing.T, driver func(p *sim.Proc)) {
 	t.Helper()
 	e.eng.Spawn("driver", driver)
@@ -111,7 +122,7 @@ func TestEndToEndThroughPublicAPI(t *testing.T) {
 			t.Errorf("pilot never active: %v", pl.State())
 			return
 		}
-		um := pilot.NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		um.AddPilot(pl)
 		var descs []pilot.ComputeUnitDescription
 		for i := 0; i < 4; i++ {
@@ -161,7 +172,7 @@ func TestSubmitSkipsFinalPilots(t *testing.T) {
 			}
 			pilots = append(pilots, pl)
 		}
-		um := pilot.NewUnitManager(e.session)
+		um := newUM(t, e.session)
 		for _, pl := range pilots {
 			pl.WaitState(p, pilot.PilotActive)
 			um.AddPilot(pl)
