@@ -228,6 +228,80 @@ func BenchmarkAblationAMReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkResize measures the resize hot path: a grow/shrink cycle on
+// an active HPC pilot — batch round trip, chunk integration into the
+// agent scheduler, drain, release. Each iteration runs a fresh
+// simulation performing resizeCycles cycles; "sim-sec" is the virtual
+// time one cycle costs.
+func BenchmarkResize(b *testing.B) {
+	const resizeCycles = 8
+	var total float64
+	for i := 0; i < b.N; i++ {
+		env, err := experiments.NewEnv(experiments.Stampede, 8, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cycles float64
+		env.Eng.Spawn("driver", func(p *sim.Proc) {
+			pm := pilot.NewPilotManager(env.Session)
+			pl, err := pm.Submit(p, pilot.PilotDescription{
+				Resource: "stampede", Nodes: 2, Runtime: 4 * 3600e9, Mode: pilot.ModeHPC,
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if !pl.WaitState(p, pilot.PilotActive) {
+				b.Errorf("pilot ended %v", pl.State())
+				return
+			}
+			start := p.Now()
+			for c := 0; c < resizeCycles; c++ {
+				if err := pl.Resize(p, 1); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := pl.Resize(p, -1); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			cycles = (p.Now() - start).Seconds() / resizeCycles
+			pl.Cancel()
+		})
+		env.Eng.Run()
+		env.Close()
+		total += cycles
+	}
+	b.ReportMetric(total/float64(b.N), "sim-sec")
+}
+
+// BenchmarkElasticComparison regenerates the cluster-extension scenario
+// (static vs autoscaled pilots on a bursty workload), reporting the
+// static-to-best-autoscaled makespan gain as "speedup".
+func BenchmarkElasticComparison(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunElasticComparison(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var static, best *experiments.ElasticRow
+		for _, r := range rows {
+			if r.Policy == experiments.ElasticStatic {
+				static = r
+			} else if best == nil || r.Makespan < best.Makespan {
+				best = r
+			}
+		}
+		if static == nil || best == nil {
+			b.Fatal("comparison missing rows")
+		}
+		speedup += static.Makespan.Seconds() / best.Makespan.Seconds()
+	}
+	b.ReportMetric(speedup/float64(b.N), "speedup")
+}
+
 // BenchmarkSchedulerComparison regenerates the unit-scheduler comparison
 // (heterogeneous two-pilot workloads, all built-in policies), reporting
 // the round-robin-to-backfill makespan gain on the burst workload as

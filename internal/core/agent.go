@@ -164,6 +164,10 @@ func (a *agent) teardown() {
 	for _, proc := range a.unitProcs {
 		proc.Interrupt(errAgentShutdown)
 	}
+	// Grown allocation chunks die with the pilot: parked chunk payloads
+	// return (the batch reclaims their nodes) and queued ones are
+	// cancelled.
+	a.pilot.releaseChunks()
 	a.backend.Teardown(a.bc)
 	if a.pilot.state == PilotActive {
 		// The job payload returning normally (walltime drain) moves the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/hdfs"
 	"repro/internal/sim"
 	"repro/internal/yarn"
@@ -25,6 +26,7 @@ type yarnBackend struct {
 	fs     *hdfs.FileSystem
 	ownsRM bool // Mode I spawned the cluster and must stop it
 	pam    *persistentAM
+	sched  AgentScheduler
 }
 
 func (*yarnBackend) Name() string { return string(ModeYARN) }
@@ -50,13 +52,13 @@ func (b *yarnBackend) Bootstrap(p *sim.Proc, bc *BackendContext) (AgentScheduler
 		b.ownsRM = true
 	}
 	met := b.rm.Metrics()
-	sched := NewYARNScheduler(bc.Session.Engine(), met.TotalMB, met.TotalVCores)
+	b.sched = NewYARNScheduler(bc.Session.Engine(), met.TotalMB, met.TotalVCores)
 	if bc.Pilot.Desc.ReuseAM {
 		if err := b.startPersistentAM(p, bc); err != nil {
 			return nil, err
 		}
 	}
-	return sched, nil
+	return b.sched, nil
 }
 
 // bootstrapHadoop is the paper's Mode I LRM sequence: download the
@@ -163,6 +165,61 @@ func (b *yarnBackend) Teardown(*BackendContext) {
 	if b.rm != nil && b.ownsRM {
 		b.rm.Stop()
 	}
+}
+
+// Resizable implements ElasticBackend. Mode I pilots own their spawned
+// cluster and can extend it; Mode II pilots connect to a dedicated
+// cluster they do not manage and therefore cannot resize it.
+func (b *yarnBackend) Resizable(bc *BackendContext) error {
+	if bc.Pilot.Desc.ConnectDedicated {
+		return fmt.Errorf("%w: Mode II pilot does not manage the dedicated cluster", ErrNotElastic)
+	}
+	return nil
+}
+
+// Grow implements ElasticBackend — the paper's cluster-extension mode:
+// NodeManagers are spawned on the chunk's nodes and register with the
+// running ResourceManager, and the agent scheduler's admission ceiling
+// rises by their capacity. HDFS stays on the base allocation (the paper
+// extends compute, not storage).
+func (b *yarnBackend) Grow(p *sim.Proc, bc *BackendContext, nodes []*cluster.Node) error {
+	p.Sleep(bc.Jitter(bc.Profile.DaemonStart)) // NodeManagers start (parallel wave)
+	nms, err := b.rm.AddNodes(nodes)
+	if err != nil {
+		return err
+	}
+	mb, vcores := nmCapacity(nms)
+	if cs, ok := b.sched.(ElasticCapacityScheduler); ok {
+		cs.GrowCapacity(mb, vcores)
+	}
+	return nil
+}
+
+// Shrink implements ElasticBackend: the agent scheduler first retires
+// the chunk's share of the admission ceiling (waiting for slots to come
+// free rather than revoking any), then the NodeManagers decommission
+// gracefully — no new containers, live ones run to completion.
+func (b *yarnBackend) Shrink(p *sim.Proc, _ *BackendContext, nodes []*cluster.Node) error {
+	nms := b.rm.NodeManagersFor(nodes)
+	if len(nms) != len(nodes) {
+		return fmt.Errorf("core: %d of %d nodes have no live NodeManager", len(nodes)-len(nms), len(nodes))
+	}
+	mb, vcores := nmCapacity(nms)
+	if cs, ok := b.sched.(ElasticCapacityScheduler); ok {
+		cs.ShrinkCapacity(p, mb, vcores)
+	}
+	b.rm.Decommission(p, nms)
+	return nil
+}
+
+// nmCapacity sums NodeManager capacities.
+func nmCapacity(nms []*yarn.NodeManager) (mb int64, vcores int) {
+	for _, nm := range nms {
+		c := nm.Capacity()
+		mb += c.MemoryMB
+		vcores += c.VCores
+	}
+	return mb, vcores
 }
 
 // YARNMetrics exposes the connected cluster's metrics, satisfying

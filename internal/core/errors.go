@@ -35,4 +35,18 @@ var (
 	// ErrUnknownBackend reports a pilot description whose Mode names a
 	// backend that was never registered through RegisterBackend.
 	ErrUnknownBackend = errors.New("unknown backend")
+
+	// ErrNotElastic reports a Resize on a pilot whose backend cannot
+	// change capacity at runtime — either the backend does not implement
+	// ElasticBackend (Spark), or the deployment forbids it (a Mode II
+	// pilot on a dedicated cluster it does not manage).
+	ErrNotElastic = errors.New("pilot is not elastic")
+
+	// ErrPilotFinal reports an operation on a pilot that has already
+	// reached a final state (Done, Canceled, Failed).
+	ErrPilotFinal = errors.New("pilot is in a final state")
+
+	// ErrUnknownAutoscalePolicy reports a WithAutoscalePolicy option
+	// naming a policy never registered through RegisterAutoscalePolicy.
+	ErrUnknownAutoscalePolicy = errors.New("unknown autoscale policy")
 )

@@ -38,6 +38,13 @@ type Pilot struct {
 	sagaJob *saga.Job
 	agent   *agent
 
+	// chunks are the extra allocations acquired by Resize, oldest
+	// first; a chunk with no nodes yet is still in the batch queue.
+	chunks []*chunk
+	// resizing serializes Resize calls; resizeDone wakes the next one.
+	resizing   bool
+	resizeDone *sim.Event
+
 	// queueName is the coordination-store queue the Unit-Manager feeds.
 	queueName string
 }
@@ -110,6 +117,34 @@ func (pl *Pilot) advance(st PilotState) {
 	pl.watch.entered(st)
 }
 
+// enterResizing moves an Active pilot into the transient Resizing state
+// for the duration of a Resize. Units keep flowing on the current
+// capacity throughout.
+func (pl *Pilot) enterResizing() {
+	if pl.state != PilotActive {
+		return
+	}
+	pl.state = PilotResizing
+	pl.Timestamps[PilotResizing] = pl.session.eng.Now()
+	pl.session.eng.Tracef("pilot %s -> %s", pl.ID, PilotResizing)
+	pl.watch.entered(PilotResizing)
+}
+
+// exitResizing returns the pilot to Active once the resize completes.
+// PilotActive is re-announced to subscribers — that transition is how
+// the Unit-Manager's bind loop learns about new capacity without
+// waiting for the next unit event. The original PilotActive timestamp
+// is preserved so AgentStartup stays meaningful. No-op when the pilot
+// reached a final state mid-resize.
+func (pl *Pilot) exitResizing() {
+	if pl.state != PilotResizing {
+		return
+	}
+	pl.state = PilotActive
+	pl.session.eng.Tracef("pilot %s -> %s", pl.ID, PilotActive)
+	pl.watch.entered(PilotActive)
+}
+
 // Cancel terminates the pilot: the placeholder job is cancelled and the
 // agent (with any Hadoop/Spark cluster it spawned) shuts down.
 func (pl *Pilot) Cancel() {
@@ -119,6 +154,7 @@ func (pl *Pilot) Cancel() {
 	if pl.sagaJob != nil {
 		pl.sagaJob.Cancel()
 	}
+	pl.releaseChunks()
 	pl.advance(PilotCanceled)
 }
 

@@ -31,15 +31,23 @@ type AgentScheduler interface {
 
 // continuousScheduler assigns cores on individual nodes (RADICAL-Pilot's
 // "continuous" scheduler): a unit occupies cores on exactly one node.
+// It is elastic: AddNodes extends the pool at runtime and DrainNodes
+// removes nodes drain-then-release (see NodeScheduler).
 type continuousScheduler struct {
 	eng     *sim.Engine
 	nodes   []*cluster.Node
 	free    []int
 	waiters []*schedWaiter
-	// maxCores is the largest per-node core count, fixed at construction
-	// so the can-it-ever-fit check in Acquire is O(1) instead of
-	// rescanning every node on every call.
+	// maxCores is the largest per-node core count, maintained across
+	// AddNodes/DrainNodes so the can-it-ever-fit check in Acquire is
+	// O(1) instead of rescanning every node on every call.
 	maxCores int
+	// draining marks nodes withheld from placement while DrainNodes
+	// waits for them to idle.
+	draining map[*cluster.Node]bool
+	// freed is re-armed by drain waiters and triggered whenever cores
+	// are returned, so a pending drain re-checks idleness.
+	freed *sim.Event
 }
 
 type schedWaiter struct {
@@ -50,20 +58,75 @@ type schedWaiter struct {
 }
 
 // NewContinuousScheduler builds the per-node core scheduler used by the
-// plain HPC backend.
+// plain HPC backend. The returned scheduler also implements
+// NodeScheduler, so elastic backends can grow and shrink its node pool.
 func NewContinuousScheduler(e *sim.Engine, nodes []*cluster.Node) AgentScheduler {
-	s := &continuousScheduler{eng: e, nodes: nodes}
+	s := &continuousScheduler{eng: e, draining: make(map[*cluster.Node]bool)}
+	s.AddNodes(nodes)
+	return s
+}
+
+// AddNodes extends the pool with fully free nodes and re-runs the FIFO
+// serve loop, so parked units that now fit are granted immediately.
+func (s *continuousScheduler) AddNodes(nodes []*cluster.Node) {
 	for _, n := range nodes {
+		s.nodes = append(s.nodes, n)
 		s.free = append(s.free, n.Spec.Cores)
 		if n.Spec.Cores > s.maxCores {
 			s.maxCores = n.Spec.Cores
 		}
 	}
-	return s
+	s.serve()
+}
+
+// DrainNodes withholds the given nodes from placement, blocks p until
+// every one of them is idle (running units finish undisturbed), then
+// removes them from the pool.
+func (s *continuousScheduler) DrainNodes(p *sim.Proc, nodes []*cluster.Node) {
+	for _, n := range nodes {
+		s.draining[n] = true
+	}
+	for !s.idle(nodes) {
+		if s.freed == nil || s.freed.Triggered() {
+			s.freed = sim.NewEvent(s.eng)
+		}
+		p.Wait(s.freed)
+	}
+	for _, n := range nodes {
+		delete(s.draining, n)
+		for i, cand := range s.nodes {
+			if cand == n {
+				s.nodes = append(s.nodes[:i], s.nodes[i+1:]...)
+				s.free = append(s.free[:i], s.free[i+1:]...)
+				break
+			}
+		}
+	}
+	s.maxCores = 0
+	for _, n := range s.nodes {
+		if n.Spec.Cores > s.maxCores {
+			s.maxCores = n.Spec.Cores
+		}
+	}
+}
+
+// idle reports whether every given node has all its cores free.
+func (s *continuousScheduler) idle(nodes []*cluster.Node) bool {
+	for _, n := range nodes {
+		for i, cand := range s.nodes {
+			if cand == n && s.free[i] != n.Spec.Cores {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (s *continuousScheduler) tryPlace(cores int) *Slot {
 	for i, n := range s.nodes {
+		if s.draining[n] {
+			continue
+		}
 		if s.free[i] >= cores {
 			s.free[i] -= cores
 			return &Slot{Node: n, Cores: cores}
@@ -111,6 +174,9 @@ func (s *continuousScheduler) put(sl *Slot) {
 	for i, n := range s.nodes {
 		if n == sl.Node {
 			s.free[i] += sl.Cores
+			if s.freed != nil {
+				s.freed.Trigger() // a pending drain re-checks idleness
+			}
 			return
 		}
 	}
@@ -153,6 +219,10 @@ type yarnScheduler struct {
 	totalMB   int64
 	totCores  int
 	waiters   []*schedWaiter
+	// freed is re-armed by a pending ShrinkCapacity and triggered when
+	// slots are released, so the shrink re-checks whether the capacity
+	// it wants to retire has come free.
+	freed *sim.Event
 }
 
 // amOverhead is the managed Application Master container footprint
@@ -193,9 +263,7 @@ func (s *yarnScheduler) Acquire(p *sim.Proc, u *Unit) (*Slot, error) {
 			return
 		} else {
 			if w.ready {
-				s.freeMB += w.slot.MemMB
-				s.freeCores += w.slot.Cores
-				s.serve()
+				s.Release(w.slot)
 			} else {
 				s.remove(w)
 			}
@@ -210,6 +278,36 @@ func (s *yarnScheduler) Release(sl *Slot) {
 	s.freeMB += sl.MemMB
 	s.freeCores += sl.Cores
 	s.serve()
+	if s.freed != nil {
+		s.freed.Trigger() // a pending shrink re-checks free capacity
+	}
+}
+
+// GrowCapacity raises the cluster capacity the scheduler admits against
+// (new NodeManagers registered with the RM) and re-runs the FIFO serve
+// loop so parked units that now fit are granted immediately.
+func (s *yarnScheduler) GrowCapacity(mb int64, cores int) {
+	s.totalMB += mb
+	s.totCores += cores
+	s.freeMB += mb
+	s.freeCores += cores
+	s.serve()
+}
+
+// ShrinkCapacity retires capacity drain-then-release: it blocks p until
+// the requested memory and cores are free (no admitted unit loses its
+// slot), then removes them from the pool.
+func (s *yarnScheduler) ShrinkCapacity(p *sim.Proc, mb int64, cores int) {
+	for s.freeMB < mb || s.freeCores < cores {
+		if s.freed == nil || s.freed.Triggered() {
+			s.freed = sim.NewEvent(s.eng)
+		}
+		p.Wait(s.freed)
+	}
+	s.freeMB -= mb
+	s.freeCores -= cores
+	s.totalMB -= mb
+	s.totCores -= cores
 }
 
 func (s *yarnScheduler) serve() {

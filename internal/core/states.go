@@ -17,6 +17,12 @@ const (
 	PilotAgentStarting
 	// PilotActive: the agent accepts Compute-Units.
 	PilotActive
+	// PilotResizing: a Resize is in flight — the pilot still accepts and
+	// executes units on its current capacity while the extra allocation
+	// chunk is acquired (grow) or drained (shrink). The pilot returns to
+	// PilotActive when the resize completes, so PilotActive is the only
+	// state that can be re-entered (subscribers see it announced again).
+	PilotResizing
 	// PilotDone: the pilot terminated normally.
 	PilotDone
 	// PilotCanceled: the pilot was canceled.
@@ -38,6 +44,8 @@ func (s PilotState) String() string {
 		return "AGENT_STARTING"
 	case PilotActive:
 		return "PMGR_ACTIVE"
+	case PilotResizing:
+		return "PMGR_ACTIVE_RESIZING"
 	case PilotDone:
 		return "DONE"
 	case PilotCanceled:

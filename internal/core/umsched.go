@@ -42,8 +42,9 @@ type Candidate struct {
 
 // CoreCapacity estimates the pilot's total core capacity: the connected
 // YARN cluster's vcore count when the pilot exposes cluster metrics, and
-// the allocation size (nodes × per-node cores) otherwise. Zero means the
-// capacity is unknown.
+// the current allocation size (Pilot.Capacity() nodes × per-node cores)
+// otherwise — both track elastic resizes. Zero means the capacity is
+// unknown.
 func (c *Candidate) CoreCapacity() int {
 	if m := c.Pilot.YARNMetrics(); m != nil && m.TotalVCores > 0 {
 		return m.TotalVCores
@@ -52,7 +53,7 @@ func (c *Candidate) CoreCapacity() int {
 	if res == nil || res.Machine == nil {
 		return 0
 	}
-	return c.Pilot.Desc.Nodes * res.Machine.Spec.Node.Cores
+	return c.Pilot.Capacity() * res.Machine.Spec.Node.Cores
 }
 
 // FreeCores is CoreCapacity minus the cores already in flight.
@@ -191,7 +192,9 @@ func (*backfillScheduler) Pick(_ *sim.Proc, u *Unit, cands []*Candidate) (*Pilot
 			// Unknown capacity counts as potentially fitting.
 			couldEverFit = true
 		}
-		if c.Pilot.State() != PilotActive {
+		// A resizing pilot keeps serving units on its current capacity,
+		// so it stays bindable throughout the (possibly long) resize.
+		if st := c.Pilot.State(); st != PilotActive && st != PilotResizing {
 			continue
 		}
 		if capacity > 0 && capacity-c.InFlightCores < u.Desc.Cores {

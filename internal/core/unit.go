@@ -131,6 +131,10 @@ type UnitManager struct {
 	pending []*Unit
 	// wake signals the bind loop; kicks coalesce while a pass runs.
 	wake *sim.Queue[struct{}]
+	// observers run on every scheduling event (submission, unit
+	// completion, pilot state change) — the hook the Autoscaler's
+	// control loop hangs off.
+	observers []func()
 	// passing marks a scheduling pass in flight (its store round trips
 	// block in virtual time); rerun asks it to go around once more, and
 	// passDone wakes processes waiting for it to retire.
@@ -219,10 +223,48 @@ func (um *UnitManager) livePilots() []*Pilot {
 }
 
 // kick wakes the bind loop; kicks coalesce (at most one wake buffered).
+// Observers are notified on every kick.
 func (um *UnitManager) kick() {
 	if um.wake.Len() == 0 {
 		um.wake.Put(struct{}{})
 	}
+	um.notifyObservers()
+}
+
+// observe registers fn to run on every scheduling event the manager
+// sees: unit submission, unit completion, pilot state changes. The
+// Autoscaler wires its control loop here.
+func (um *UnitManager) observe(fn func()) {
+	um.observers = append(um.observers, fn)
+}
+
+func (um *UnitManager) notifyObservers() {
+	for _, fn := range um.observers {
+		fn()
+	}
+}
+
+// demand summarizes the manager's current workload for autoscaling:
+// units not yet executing (parked in the manager plus bound but still
+// queued or in agent scheduling/staging-in) and units currently
+// executing, with their summed core demands.
+func (um *UnitManager) demand() (waitingUnits, waitingCores, runningUnits, runningCores int) {
+	for _, u := range um.pending {
+		waitingUnits++
+		waitingCores += u.Desc.Cores
+	}
+	for u := range um.charged {
+		switch st := u.State(); {
+		case st.Final():
+		case st < UnitExecuting:
+			waitingUnits++
+			waitingCores += u.Desc.Cores
+		default:
+			runningUnits++
+			runningCores += u.Desc.Cores
+		}
+	}
+	return
 }
 
 // bindLoop is the manager's scheduling daemon: it re-runs the scheduling
@@ -386,6 +428,7 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 		um.pending = append(um.pending, u)
 		units = append(units, u)
 	}
+	um.notifyObservers() // autoscalers see the new backlog
 	um.schedulePass(p)
 	return units, nil
 }

@@ -264,6 +264,72 @@ func TestSchedulerComparisonShapes(t *testing.T) {
 	}
 }
 
+// TestElasticComparisonShapes asserts the cluster-extension scenario's
+// headline: on a bursty workload, autoscaled pilots beat the
+// equal-budget static pilot on makespan. The run is deterministic at a
+// fixed seed, so the comparisons are strict.
+func TestElasticComparisonShapes(t *testing.T) {
+	rows, err := RunElasticComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(policy string) *ElasticRow {
+		for _, r := range rows {
+			if r.Policy == policy {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s", policy)
+		return nil
+	}
+	static := get(ElasticStatic)
+	if static.Resizes != 0 || static.PeakNodes != elasticBaseNodes {
+		t.Errorf("static pilot resized: peak %d, %d resizes", static.PeakNodes, static.Resizes)
+	}
+	for _, r := range rows {
+		if r.Makespan <= 0 {
+			t.Errorf("%s: non-positive makespan %v", r.Policy, r.Makespan)
+		}
+		if r.UnitTTC.N() != elasticTrickleUnits+elasticBurstUnits {
+			t.Errorf("%s: %d unit TTC samples, want %d", r.Policy, r.UnitTTC.N(), elasticTrickleUnits+elasticBurstUnits)
+		}
+		if r.UnitTTC.P50() > r.UnitTTC.P95() {
+			t.Errorf("%s: p50 %v above p95 %v", r.Policy, r.UnitTTC.P50(), r.UnitTTC.P95())
+		}
+		if r.NodeSeconds <= 0 {
+			t.Errorf("%s: non-positive node-seconds %f", r.Policy, r.NodeSeconds)
+		}
+	}
+	// The acceptance claim: queue-depth and utilization (the
+	// ClusterMetrics-driven policy) both beat the static pilot.
+	for _, policy := range []string{"queue-depth", "utilization", "deadline"} {
+		r := get(policy)
+		if r.Makespan >= static.Makespan {
+			t.Errorf("%s makespan (%v) not below static (%v)", policy, r.Makespan, static.Makespan)
+		}
+		if r.Resizes == 0 || r.PeakNodes <= elasticBaseNodes {
+			t.Errorf("%s never actually grew: peak %d, %d resizes", policy, r.PeakNodes, r.Resizes)
+		}
+	}
+	// Determinism: a second run at the same seed reproduces the numbers.
+	again, err := RunElasticComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if again[i].Makespan != r.Makespan || again[i].PeakNodes != r.PeakNodes || again[i].Resizes != r.Resizes {
+			t.Errorf("%s not deterministic: %v/%d/%d vs %v/%d/%d", r.Policy,
+				r.Makespan, r.PeakNodes, r.Resizes,
+				again[i].Makespan, again[i].PeakNodes, again[i].Resizes)
+		}
+	}
+	var buf bytes.Buffer
+	WriteElasticComparison(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty rendering")
+	}
+}
+
 func TestNewEnvValidation(t *testing.T) {
 	if _, err := NewEnv("nonsense", 2, 1); err == nil {
 		t.Fatal("unknown machine accepted")

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"time"
 )
@@ -75,6 +76,33 @@ func (s *Sample) Max() time.Duration {
 	}
 	return m
 }
+
+// Percentile returns the q-quantile (0 ≤ q ≤ 1) of the sample by the
+// nearest-rank method on a sorted copy: the smallest observation v such
+// that at least q·N observations are ≤ v. Out-of-range q values clamp
+// to the extrema; an empty sample yields 0.
+func (s *Sample) Percentile(q float64) time.Duration {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// P50 returns the median observation.
+func (s *Sample) P50() time.Duration { return s.Percentile(0.50) }
+
+// P95 returns the 95th-percentile observation.
+func (s *Sample) P95() time.Duration { return s.Percentile(0.95) }
 
 // Seconds formats a duration as seconds with one decimal, the unit used
 // throughout the paper's figures.

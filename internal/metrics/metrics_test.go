@@ -30,6 +30,51 @@ func TestSampleStatistics(t *testing.T) {
 	}
 }
 
+func TestPercentiles(t *testing.T) {
+	var empty Sample
+	if empty.Percentile(0.5) != 0 || empty.P50() != 0 || empty.P95() != 0 {
+		t.Fatal("empty sample percentiles should be 0")
+	}
+	var s Sample
+	// Insert out of order: Percentile must not depend on Add order, and
+	// must not mutate the sample.
+	for _, v := range []time.Duration{
+		9 * time.Second, 1 * time.Second, 5 * time.Second, 3 * time.Second, 7 * time.Second,
+		10 * time.Second, 2 * time.Second, 6 * time.Second, 4 * time.Second, 8 * time.Second,
+	} {
+		s.Add(v)
+	}
+	if got := s.P50(); got != 5*time.Second {
+		t.Errorf("P50 = %v, want 5s", got)
+	}
+	if got := s.P95(); got != 10*time.Second {
+		t.Errorf("P95 = %v, want 10s", got)
+	}
+	if got := s.Percentile(0.10); got != time.Second {
+		t.Errorf("P10 = %v, want 1s", got)
+	}
+	// Clamping at the extrema.
+	if got := s.Percentile(0); got != time.Second {
+		t.Errorf("Percentile(0) = %v, want 1s", got)
+	}
+	if got := s.Percentile(1); got != 10*time.Second {
+		t.Errorf("Percentile(1) = %v, want 10s", got)
+	}
+	if got := s.Percentile(2); got != 10*time.Second {
+		t.Errorf("Percentile(2) = %v, want 10s (clamped)", got)
+	}
+	// The sample itself stays in insertion order (Min/Max still work).
+	if s.Min() != time.Second || s.Max() != 10*time.Second {
+		t.Errorf("min/max disturbed: %v/%v", s.Min(), s.Max())
+	}
+	// Single observation: every percentile is that value.
+	var one Sample
+	one.Add(42 * time.Second)
+	if one.P50() != 42*time.Second || one.P95() != 42*time.Second {
+		t.Errorf("single-sample percentiles = %v/%v", one.P50(), one.P95())
+	}
+}
+
 func TestSecondsFormat(t *testing.T) {
 	if got := Seconds(1500 * time.Millisecond); got != "1.5" {
 		t.Fatalf("Seconds = %q", got)

@@ -87,6 +87,7 @@ func (c *Container) terminal(state ContainerState, exit int) {
 	c.ExitCode = exit
 	c.FinishedAt = c.nm.rm.eng.Now()
 	delete(c.nm.containers, c.ID)
+	c.nm.containerGone()
 	c.nm.release(c.Spec)
 	c.nm.rm.containerFinished(c)
 	c.Done.Trigger()

@@ -24,6 +24,12 @@ type NodeManager struct {
 
 	containers map[int]*Container
 	stopped    bool
+	// decommissioning marks a graceful drain: the NM is no longer
+	// offered to the scheduler, so no new containers start here, but
+	// live containers run to completion.
+	decommissioning bool
+	// drained triggers once a decommissioning NM has no live containers.
+	drained *sim.Event
 }
 
 func newNodeManager(rm *ResourceManager, node *cluster.Node) *NodeManager {
@@ -54,6 +60,9 @@ func (nm *NodeManager) Free() ResourceSpec { return nm.free }
 // Containers returns the number of live containers.
 func (nm *NodeManager) Containers() int { return len(nm.containers) }
 
+// Decommissioning reports whether the NM is draining for removal.
+func (nm *NodeManager) Decommissioning() bool { return nm.decommissioning }
+
 // heartbeatLoop runs as a daemon: on every beat it offers the node to
 // the RM scheduler and launches whatever was assigned.
 func (nm *NodeManager) heartbeatLoop(p *sim.Proc) {
@@ -61,6 +70,11 @@ func (nm *NodeManager) heartbeatLoop(p *sim.Proc) {
 		p.Sleep(nm.rm.cfg.NMHeartbeat)
 		if nm.stopped || nm.rm.stopped {
 			return
+		}
+		if nm.decommissioning {
+			// Draining: heartbeats continue (liveness) but the node is
+			// not offered to the scheduler.
+			continue
 		}
 		for _, a := range nm.rm.sched.NodeUpdate(nm) {
 			nm.rm.containerAssigned(a.Req, nm)
@@ -82,6 +96,9 @@ func (nm *NodeManager) fits(spec ResourceSpec, free ResourceSpec) bool {
 
 // allocate reserves resources for a container. Kernel context.
 func (nm *NodeManager) allocate(spec ResourceSpec) error {
+	if nm.decommissioning {
+		return fmt.Errorf("yarn: node %s is decommissioning", nm.node.Name)
+	}
 	if !nm.fits(spec, nm.free) {
 		return fmt.Errorf("yarn: node %s cannot fit %v (free %v)", nm.node.Name, spec, nm.free)
 	}
@@ -94,6 +111,14 @@ func (nm *NodeManager) release(spec ResourceSpec) {
 	nm.free = nm.free.Add(spec)
 	if nm.free.MemoryMB > nm.capacity.MemoryMB || nm.free.VCores > nm.capacity.VCores {
 		panic(fmt.Sprintf("yarn: node %s over-released to %v (capacity %v)", nm.node.Name, nm.free, nm.capacity))
+	}
+}
+
+// containerGone wakes a pending decommission once the last live
+// container has left. Kernel or process context.
+func (nm *NodeManager) containerGone() {
+	if nm.decommissioning && len(nm.containers) == 0 && nm.drained != nil {
+		nm.drained.Trigger()
 	}
 }
 

@@ -190,6 +190,91 @@ func (rm *ResourceManager) NodeManagers() []*NodeManager { return rm.nms }
 // (matching the paper's LRM, which stops daemons after the workload).
 func (rm *ResourceManager) Stop() { rm.stopped = true }
 
+// AddNodes extends the running cluster: a NodeManager is deployed on
+// each given node and starts heartbeating, so the scheduler can place
+// containers there from the next beat — the paper's cluster-extension
+// mode, where pilot-managed nodes join an existing YARN cluster instead
+// of spawning a new one. Returns the new NodeManagers.
+func (rm *ResourceManager) AddNodes(nodes []*cluster.Node) ([]*NodeManager, error) {
+	if rm.stopped {
+		return nil, fmt.Errorf("yarn: resource manager stopped")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("yarn: AddNodes needs at least one node")
+	}
+	// Validate the whole batch before registering anything, so a
+	// mid-list duplicate cannot leave phantom NMs (registered but never
+	// heartbeating) behind.
+	seen := make(map[*cluster.Node]bool, len(nodes))
+	for _, n := range nodes {
+		if seen[n] {
+			return nil, fmt.Errorf("yarn: node %s listed twice", n.Name)
+		}
+		seen[n] = true
+		for _, nm := range rm.nms {
+			if nm.node == n && !nm.stopped {
+				return nil, fmt.Errorf("yarn: node %s already runs a NodeManager", n.Name)
+			}
+		}
+	}
+	added := make([]*NodeManager, 0, len(nodes))
+	for _, n := range nodes {
+		nm := newNodeManager(rm, n)
+		rm.nms = append(rm.nms, nm)
+		added = append(added, nm)
+	}
+	// Stagger the new heartbeats like the initial deployment's.
+	for i, nm := range added {
+		nm := nm
+		offset := sim.Duration(int64(rm.cfg.NMHeartbeat) * int64(i) / int64(len(added)))
+		rm.eng.SpawnDaemon(fmt.Sprintf("yarn:nm:%s", nm.node.Name), func(p *sim.Proc) {
+			p.Sleep(offset)
+			nm.heartbeatLoop(p)
+		})
+	}
+	rm.eng.Tracef("yarn: %d nodes joined the cluster", len(added))
+	return added, nil
+}
+
+// NodeManagersFor maps nodes to their live NodeManagers, in the given
+// order; nodes without one are skipped.
+func (rm *ResourceManager) NodeManagersFor(nodes []*cluster.Node) []*NodeManager {
+	var out []*NodeManager
+	for _, n := range nodes {
+		for _, nm := range rm.nms {
+			if nm.node == n && !nm.stopped {
+				out = append(out, nm)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Decommission gracefully removes NodeManagers from the cluster: each is
+// immediately withheld from the scheduler (no new containers), then the
+// call blocks p until its live containers have finished, and finally the
+// NM is dropped from the cluster. Running work is never killed — the
+// drain-then-release discipline elastic pilots rely on for Shrink.
+func (rm *ResourceManager) Decommission(p *sim.Proc, nms []*NodeManager) {
+	for _, nm := range nms {
+		nm.decommissioning = true
+		nm.drained = sim.NewEvent(rm.eng)
+		nm.containerGone() // already idle: trigger immediately
+	}
+	for _, nm := range nms {
+		p.Wait(nm.drained)
+		nm.stopped = true
+		for i, q := range rm.nms {
+			if q == nm {
+				rm.nms = append(rm.nms[:i], rm.nms[i+1:]...)
+				break
+			}
+		}
+		rm.eng.Tracef("yarn: node %s decommissioned", nm.node.Name)
+	}
+}
+
 // Submit registers an application and queues its ApplicationMaster
 // container request. Blocks p for the submission RPC.
 func (rm *ResourceManager) Submit(p *sim.Proc, desc AppDesc) (*Application, error) {

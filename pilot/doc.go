@@ -38,10 +38,27 @@
 //     WaitAll are built on the same fabric, so blocking and reactive
 //     styles compose.
 //
-// Failure modes carry typed causes: match Submit errors and Unit.Err
-// against the ErrNoPilots, ErrNoLivePilot, ErrUnschedulable,
-// ErrUnknownScheduler, ErrUnknownResource and ErrUnknownBackend
-// sentinels with errors.Is.
+//   - Elasticity. Pilots are no longer fixed-size: Pilot.Resize grows a
+//     running pilot by acquiring extra allocation chunks through the
+//     batch system and integrating them into the backend (extra
+//     NodeManagers registering with the YARN ResourceManager — the
+//     paper's cluster-extension mode — or extra nodes feeding the HPC
+//     agent scheduler), and shrinks drain-then-release: running units
+//     always finish before nodes are surrendered. Pilot.Capacity
+//     reports the current size and the transient PilotResizing state
+//     marks a resize in flight. The Autoscaler drives Resize from a
+//     pluggable AutoscalePolicy — built-ins "queue-depth",
+//     "utilization" and "deadline"; register new ones with
+//     RegisterAutoscalePolicy — as a kick-driven control loop wired to
+//     the Unit-Manager's scheduling events. Backends opt in by
+//     implementing ElasticBackend; Resize on backends that do not
+//     (Spark) fails with ErrNotElastic.
+//
+// Failure modes carry typed causes: match Submit errors, Resize errors
+// and Unit.Err against the ErrNoPilots, ErrNoLivePilot,
+// ErrUnschedulable, ErrUnknownScheduler, ErrUnknownResource,
+// ErrUnknownBackend, ErrNotElastic, ErrPilotFinal and
+// ErrUnknownAutoscalePolicy sentinels with errors.Is.
 //
 // # Quickstart
 //

@@ -29,4 +29,22 @@ var (
 	// ErrUnknownBackend: a pilot description's Mode named an
 	// unregistered execution backend.
 	ErrUnknownBackend = core.ErrUnknownBackend
+
+	// ErrNotElastic: Resize on a pilot whose backend cannot change
+	// capacity at runtime — the backend implements no Grow/Shrink
+	// (Spark), or the deployment forbids it (a Mode II pilot connected
+	// to a dedicated cluster it does not manage):
+	//
+	//	if err := pl.Resize(p, 2); errors.Is(err, pilot.ErrNotElastic) {
+	//		// fall back to submitting a second pilot
+	//	}
+	ErrNotElastic = core.ErrNotElastic
+
+	// ErrPilotFinal: an operation (Resize) on a pilot that has already
+	// reached a final state (Done, Canceled, Failed).
+	ErrPilotFinal = core.ErrPilotFinal
+
+	// ErrUnknownAutoscalePolicy: WithAutoscalePolicy named a policy
+	// never registered through RegisterAutoscalePolicy.
+	ErrUnknownAutoscalePolicy = core.ErrUnknownAutoscalePolicy
 )
