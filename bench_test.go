@@ -327,3 +327,34 @@ func BenchmarkSchedulerComparison(b *testing.B) {
 	}
 	b.ReportMetric(speedup/float64(b.N), "speedup")
 }
+
+// BenchmarkStagingComparison regenerates the Pilot-Data staging
+// scenario (remote Lustre staging vs co-located per-pilot stores on the
+// shuffle-heavy K-Means workload), reporting the remote-to-co-located
+// makespan gain as "speedup" and the staging throughput of the initial
+// co-located distribution as "stage-MBps".
+func BenchmarkStagingComparison(b *testing.B) {
+	var speedup, throughput float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunStagingComparison(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var remote, co *experiments.StagingRow
+		for _, r := range rows {
+			switch r.Mode {
+			case experiments.StagingRemote:
+				remote = r
+			case experiments.StagingCoLocated:
+				co = r
+			}
+		}
+		if remote == nil || co == nil {
+			b.Fatal("comparison missing rows")
+		}
+		speedup += remote.Makespan.Seconds() / co.Makespan.Seconds()
+		throughput += float64(experiments.StagingBytesDistributed()) / co.StageIn.Seconds() / 1e6
+	}
+	b.ReportMetric(speedup/float64(b.N), "speedup")
+	b.ReportMetric(throughput/float64(b.N), "stage-MBps")
+}

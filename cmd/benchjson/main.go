@@ -19,9 +19,12 @@ import (
 	"strings"
 )
 
-// Result is one benchmark line.
+// Result is one benchmark line. Pkg records the package the benchmark
+// ran in, so multi-package input (`go test -bench . ./...`) keeps
+// same-named benchmarks distinguishable.
 type Result struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
@@ -62,7 +65,7 @@ func main() {
 		if err != nil {
 			continue
 		}
-		res := Result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		res := Result{Name: m[1], Pkg: doc.Package, Iterations: iters, Metrics: map[string]float64{}}
 		// The tail alternates "value unit" pairs.
 		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {

@@ -14,7 +14,13 @@
 // Applications program against the public Pilot-API in the pilot
 // package: sessions and managers, pluggable execution backends
 // (pilot.RegisterBackend) and state callbacks (OnStateChange). The
-// middleware implementation behind it lives in internal/core.
+// middleware implementation behind it lives in internal/core. The
+// Pilot-Data subsystem (internal/data) pairs it with first-class data:
+// DataPilots provisioned on pluggable storage backends (shared Lustre,
+// per-pilot HDFS, an in-memory tier), DataUnits staged and replicated
+// through their own lifecycle (DataNew → DataStagingIn → DataReplicated
+// → final), and compute–data co-scheduling through the "co-locate"
+// unit scheduler and typed ComputeUnitDescription.Inputs/Outputs.
 //
 // See README.md for the layout and a quickstart.
 package repro

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/cluster"
+	"repro/internal/data"
 	"repro/internal/hpc"
 	"repro/internal/sim"
 )
@@ -132,6 +134,13 @@ func reasonErr(reason any) error {
 // unitPipeline drives one unit through scheduling, staging, execution
 // and output staging (paper steps U.4–U.7).
 func (a *agent) unitPipeline(p *sim.Proc, u *Unit) {
+	// Input readiness is awaited before any cores are held: a consumer
+	// whose input is still being produced parks here without a slot, so
+	// it cannot starve the producer's own slot acquisition.
+	if err := a.awaitInputs(p, u); err != nil {
+		u.fail(err)
+		return
+	}
 	sl, err := a.sched.Acquire(p, u)
 	if err != nil {
 		u.fail(err)
@@ -140,6 +149,10 @@ func (a *agent) unitPipeline(p *sim.Proc, u *Unit) {
 	defer a.sched.Release(sl)
 
 	u.advance(UnitStagingInput)
+	if err := a.stageInputs(p, u, sl); err != nil {
+		u.fail(err)
+		return
+	}
 	if in := u.Desc.InputStagingBytes; in > 0 {
 		// Stage-In worker: shared filesystem into the agent sandbox.
 		a.bc.Machine.Lustre.Read(p, in)
@@ -149,10 +162,94 @@ func (a *agent) unitPipeline(p *sim.Proc, u *Unit) {
 		return
 	}
 	u.advance(UnitStagingOutput)
+	if err := a.stageOutputs(p, u); err != nil {
+		u.fail(err)
+		return
+	}
 	if out := u.Desc.OutputStagingBytes; out > 0 {
 		a.bc.Machine.Lustre.Write(p, out)
 	}
 	u.advance(UnitDone)
+}
+
+// stageReader picks the node the unit's staging reads land on: the
+// acquired slot's node when the launch method pins one, the allocation
+// head otherwise (YARN/Spark place containers themselves, so the head
+// node stands in for the stage-in worker).
+func (a *agent) stageReader(sl *Slot) *cluster.Node {
+	if sl != nil && sl.Node != nil {
+		return sl.Node
+	}
+	return a.bc.Alloc.Head()
+}
+
+// awaitInputs blocks until every referenced input Data-Unit is readable
+// (replicated and not removed), failing with data.ErrUnavailable as the
+// cause for inputs whose staging failed or was canceled. It runs before
+// the unit holds any slot.
+func (a *agent) awaitInputs(p *sim.Proc, u *Unit) error {
+	for _, ref := range u.Desc.Inputs {
+		du := ref.Unit
+		if du == nil {
+			continue
+		}
+		if !du.WaitReady(p) {
+			return fmt.Errorf("core: unit %s input %s: %w (%v)", u.ID, du.ID, data.ErrUnavailable, du.State())
+		}
+	}
+	return nil
+}
+
+// stageInputs stages every Data-Unit the description references into
+// reach of the unit, before it can run: a replica held by the pilot's
+// attached data pilot is read locally; otherwise the first replica (in
+// placement order) serves the bytes toward this allocation. Stage-in
+// always completes before the unit reaches UnitExecuting. Readiness was
+// established by awaitInputs; an input removed since then fails the
+// serve and the unit with it.
+func (a *agent) stageInputs(p *sim.Proc, u *Unit, sl *Slot) error {
+	reader := a.stageReader(sl)
+	local := a.pilot.DataPilot()
+	for _, ref := range u.Desc.Inputs {
+		du := ref.Unit
+		if du == nil {
+			continue
+		}
+		if !du.WaitReady(p) {
+			return fmt.Errorf("core: unit %s input %s: %w (%v)", u.ID, du.ID, data.ErrUnavailable, du.State())
+		}
+		if du.ReplicaOn(local) {
+			if err := local.Store().ServeTo(p, du.Name(), reader); err != nil {
+				return fmt.Errorf("core: unit %s input %s: %w", u.ID, du.ID, err)
+			}
+			continue
+		}
+		reps := du.Replicas()
+		if len(reps) == 0 {
+			return fmt.Errorf("core: unit %s input %s: %w: no replicas", u.ID, du.ID, data.ErrUnavailable)
+		}
+		if err := reps[0].Store().ServeTo(p, du.Name(), reader); err != nil {
+			return fmt.Errorf("core: unit %s input %s: %w", u.ID, du.ID, err)
+		}
+	}
+	return nil
+}
+
+// stageOutputs stages every declared output Data-Unit once the unit's
+// executable has finished, before UnitDone: the referenced unit's
+// manager places its replicas (a unit rebound after a pilot failure
+// re-stages idempotently — Stage on a Replicated unit is a no-op).
+func (a *agent) stageOutputs(p *sim.Proc, u *Unit) error {
+	for _, ref := range u.Desc.Outputs {
+		du := ref.Unit
+		if du == nil {
+			continue
+		}
+		if err := du.Manager().Stage(p, du); err != nil {
+			return fmt.Errorf("core: unit %s output %s: %w", u.ID, du.ID, err)
+		}
+	}
+	return nil
 }
 
 // teardown stops everything the agent started, then lets the backend

@@ -1,7 +1,5 @@
 package core
 
-import "repro/internal/sim"
-
 // PilotCallback observes a pilot entering a state. Callbacks run
 // synchronously inside the state transition, in registration order, at
 // the current virtual time — the simulation-side mirror of
@@ -11,65 +9,6 @@ type PilotCallback func(pl *Pilot, state PilotState)
 // UnitCallback observes a Compute-Unit entering a state.
 type UnitCallback func(u *Unit, state UnitState)
 
-// notifier is the state-event fabric beneath pilots and units: it fans
-// each entered state out to subscribed callbacks and wakes parked
-// waiters whose condition the new state satisfies. Wait, WaitState and
-// WaitAll are all built on await; states skipped on failure paths are
-// never reported to subscribers, but a failure's final state does wake
-// waiters parked on the skipped states (their conditions treat final
-// states as release).
-type notifier[S comparable] struct {
-	eng     *sim.Engine
-	cbs     []func(S)
-	waiters []*stateWaiter[S]
-}
-
-type stateWaiter[S comparable] struct {
-	cond func(S) bool
-	ev   *sim.Event
-}
-
-func newNotifier[S comparable](eng *sim.Engine) *notifier[S] {
-	return &notifier[S]{eng: eng}
-}
-
-// subscribe registers fn for every subsequently entered state.
-func (n *notifier[S]) subscribe(fn func(S)) {
-	n.cbs = append(n.cbs, fn)
-}
-
-// entered reports a state that was actually entered: subscribers fire,
-// then waiters are woken.
-func (n *notifier[S]) entered(st S) {
-	for _, fn := range n.cbs {
-		fn(st)
-	}
-	n.wake(st)
-}
-
-// wake releases every waiter whose condition holds for st.
-func (n *notifier[S]) wake(st S) {
-	if len(n.waiters) == 0 {
-		return
-	}
-	kept := n.waiters[:0]
-	for _, w := range n.waiters {
-		if w.cond(st) {
-			w.ev.Trigger()
-		} else {
-			kept = append(kept, w)
-		}
-	}
-	n.waiters = kept
-}
-
-// await parks p until an entered state satisfies cond; it returns
-// immediately if the current state cur already does.
-func (n *notifier[S]) await(p *sim.Proc, cur S, cond func(S) bool) {
-	if cond(cur) {
-		return
-	}
-	w := &stateWaiter[S]{cond: cond, ev: sim.NewEvent(n.eng)}
-	n.waiters = append(n.waiters, w)
-	p.Wait(w.ev)
-}
+// The state-event fabric beneath pilots and units lives in
+// sim.Notifier; the data subsystem's Data-Units run on the same fabric
+// (see internal/data).

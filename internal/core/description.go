@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/data"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -161,10 +162,25 @@ type ComputeUnitDescription struct {
 	// MemoryMB sizes the unit's YARN container in ModeYARN (default
 	// 2048).
 	MemoryMB int64
+	// Inputs references the Data-Units the unit reads. The agent stages
+	// each input before the unit reaches UnitExecuting — a replica held
+	// by the pilot's attached data pilot is read locally, anything else
+	// is served by the unit's first replica in placement order — and
+	// the "locality" and "co-locate" unit schedulers place the unit by
+	// the replica bytes each pilot holds.
+	Inputs []DataRef
+	// Outputs references declared Data-Units the unit produces: the
+	// agent stages each one (Manager.Stage) when the unit completes,
+	// before UnitDone.
+	Outputs []DataRef
 	// InputData lists the HDFS paths the unit reads, as a placement hint:
 	// the "locality" unit scheduler prefers the pilot whose filesystem
 	// hosts them. It does not trigger staging by itself — the unit's Body
 	// (or InputStagingBytes) still performs the reads.
+	//
+	// Deprecated: use Inputs with Data-Units managed by a DataManager;
+	// string paths carry no size or replica placement, so the scheduler
+	// can only count them. Kept so pre-Pilot-Data applications compile.
 	InputData []string
 	// InputStagingBytes are staged from the shared filesystem into the
 	// sandbox before execution.
@@ -176,6 +192,17 @@ type ComputeUnitDescription struct {
 	// Body is the simulated executable; a nil Body just spawns and
 	// exits (a /bin/date probe, as in the startup benchmarks).
 	Body UnitBody
+}
+
+// DataRef is a typed reference from a Compute-Unit to a Data-Unit. Refs
+// listed in Inputs are staged in before the unit executes; refs in
+// Outputs are staged out when it completes.
+type DataRef struct {
+	// Unit is the referenced Data-Unit. Inputs must have been submitted
+	// (or be staging) with a DataManager; Outputs are declared with
+	// DataManager.Declare and staged by the agent on completion. A nil
+	// Unit is skipped.
+	Unit *data.Unit
 }
 
 func (d ComputeUnitDescription) withDefaults() ComputeUnitDescription {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/data"
 	"repro/internal/hdfs"
 	"repro/internal/hpc"
 	"repro/internal/saga"
@@ -21,7 +22,7 @@ type Pilot struct {
 	backend Backend
 
 	state PilotState
-	watch *notifier[PilotState]
+	watch *sim.Notifier[PilotState]
 	// Timestamps records when each state was entered.
 	Timestamps map[PilotState]sim.Duration
 
@@ -47,6 +48,11 @@ type Pilot struct {
 
 	// queueName is the coordination-store queue the Unit-Manager feeds.
 	queueName string
+
+	// dataPilot is the attached Data-Pilot (AttachDataPilot): the store
+	// this pilot's units read co-located replicas from, and the signal
+	// the data-affinity unit schedulers place by.
+	dataPilot *data.Pilot
 }
 
 // State returns the pilot state.
@@ -66,7 +72,7 @@ func (pl *Pilot) Backend() Backend { return pl.backend }
 // invoked once, immediately, with the current state, so a late
 // subscriber cannot miss a final state.
 func (pl *Pilot) OnStateChange(fn PilotCallback) {
-	pl.watch.subscribe(func(st PilotState) { fn(pl, st) })
+	pl.watch.Subscribe(func(st PilotState) { fn(pl, st) })
 	if pl.state != PilotNew {
 		fn(pl, pl.state)
 	}
@@ -76,14 +82,14 @@ func (pl *Pilot) OnStateChange(fn PilotCallback) {
 // state, to avoid waiting forever on a failed pilot). It reports whether
 // the pilot actually passed through the awaited state.
 func (pl *Pilot) WaitState(p *sim.Proc, st PilotState) bool {
-	pl.watch.await(p, pl.state, func(s PilotState) bool { return s >= st || s.Final() })
+	pl.watch.Await(p, pl.state, func(s PilotState) bool { return s >= st || s.Final() })
 	_, reached := pl.Timestamps[st]
 	return reached
 }
 
 // Wait blocks until the pilot reaches a final state.
 func (pl *Pilot) Wait(p *sim.Proc) PilotState {
-	pl.watch.await(p, pl.state, PilotState.Final)
+	pl.watch.Await(p, pl.state, PilotState.Final)
 	return pl.state
 }
 
@@ -114,7 +120,7 @@ func (pl *Pilot) advance(st PilotState) {
 	pl.state = st
 	pl.Timestamps[st] = pl.session.eng.Now()
 	pl.session.eng.Tracef("pilot %s -> %s", pl.ID, st)
-	pl.watch.entered(st)
+	pl.watch.Entered(st)
 }
 
 // enterResizing moves an Active pilot into the transient Resizing state
@@ -127,7 +133,7 @@ func (pl *Pilot) enterResizing() {
 	pl.state = PilotResizing
 	pl.Timestamps[PilotResizing] = pl.session.eng.Now()
 	pl.session.eng.Tracef("pilot %s -> %s", pl.ID, PilotResizing)
-	pl.watch.entered(PilotResizing)
+	pl.watch.Entered(PilotResizing)
 }
 
 // exitResizing returns the pilot to Active once the resize completes.
@@ -142,7 +148,7 @@ func (pl *Pilot) exitResizing() {
 	}
 	pl.state = PilotActive
 	pl.session.eng.Tracef("pilot %s -> %s", pl.ID, PilotActive)
-	pl.watch.entered(PilotActive)
+	pl.watch.Entered(PilotActive)
 }
 
 // Cancel terminates the pilot: the placeholder job is cancelled and the
@@ -189,6 +195,27 @@ func (pl *Pilot) HDFS() *hdfs.FileSystem {
 	return nil
 }
 
+// AttachDataPilot binds a Data-Pilot to this compute pilot: its store is
+// where the pilot's units find co-located input replicas, and the
+// "locality"/"co-locate" unit schedulers route data-heavy units to the
+// pilot whose attached store holds the most input bytes. Typically the
+// data pilot is provisioned over storage the compute pilot brought up —
+// its Mode I HDFS() once PilotActive, or an in-memory tier sized to the
+// allocation.
+func (pl *Pilot) AttachDataPilot(dp *data.Pilot) error {
+	if dp == nil {
+		return fmt.Errorf("core: pilot %s: nil data pilot", pl.ID)
+	}
+	if pl.dataPilot != nil && pl.dataPilot != dp {
+		return fmt.Errorf("core: pilot %s already has data pilot %s attached", pl.ID, pl.dataPilot.ID)
+	}
+	pl.dataPilot = dp
+	return nil
+}
+
+// DataPilot returns the attached Data-Pilot, or nil.
+func (pl *Pilot) DataPilot() *data.Pilot { return pl.dataPilot }
+
 // PilotManager submits and tracks pilots (paper Figure 3, steps P.1–P.7).
 type PilotManager struct {
 	session *Session
@@ -230,7 +257,7 @@ func (pm *PilotManager) Submit(p *sim.Proc, desc PilotDescription) (*Pilot, erro
 		session:    pm.session,
 		res:        res,
 		backend:    backend,
-		watch:      newNotifier[PilotState](pm.session.eng),
+		watch:      sim.NewNotifier[PilotState](pm.session.eng),
 		Timestamps: make(map[PilotState]sim.Duration),
 	}
 	pl.queueName = "units:" + pl.ID

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/coord"
+	"repro/internal/data"
 	"repro/internal/hdfs"
 	"repro/internal/hpc"
 	"repro/internal/saga"
@@ -159,6 +160,18 @@ func NewSession(e *sim.Engine, profile BootstrapProfile, seed int64) *Session {
 
 // Engine returns the simulation engine.
 func (s *Session) Engine() *sim.Engine { return s.eng }
+
+// FileTransfer returns the session's SAGA transfer facade — the path
+// Compute-Unit and Data-Unit staging runs over.
+func (s *Session) FileTransfer() *saga.FileTransfer { return s.ft }
+
+// NewDataManager creates a Pilot-Data manager staging over the
+// session's SAGA transfer facade. Data pilots are added with
+// Manager.AddPilot and attached to compute pilots with
+// Pilot.AttachDataPilot.
+func NewDataManager(s *Session) *data.Manager {
+	return data.NewManager(s.eng, s.ft)
+}
 
 // Store returns the coordination store (exposed for tests and metrics).
 func (s *Session) Store() *coord.Store { return s.store }

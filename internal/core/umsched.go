@@ -23,10 +23,17 @@ const (
 	// pilot's YARN cluster metrics where available. Capacity freed by
 	// finishing units is backfilled immediately.
 	SchedulerBackfill = "backfill"
-	// SchedulerLocality prefers the pilot whose filesystem hosts the
-	// unit's ComputeUnitDescription.InputData paths (HDFS block locality
-	// across pilots), falling back to least-loaded placement.
+	// SchedulerLocality prefers the pilot holding the unit's input data:
+	// replica bytes of ComputeUnitDescription.Inputs on the pilot's
+	// attached data pilot first, then hosted InputData paths (HDFS block
+	// locality across pilots), falling back to least-loaded placement.
 	SchedulerLocality = "locality"
+	// SchedulerCoLocate is the affinity-aware late binder: like
+	// backfill it only binds to Active pilots with free core capacity,
+	// but among the eligible ones the pilot whose attached data pilot
+	// holds the most input bytes wins — compute moves to the data, the
+	// Pilot-Data co-scheduling mode.
+	SchedulerCoLocate = "co-locate"
 )
 
 // Candidate is one pilot a UnitScheduler may bind a unit to, together
@@ -141,6 +148,7 @@ func init() {
 	mustRegisterUnitScheduler(SchedulerLeastLoaded, func() UnitScheduler { return &leastLoadedScheduler{} })
 	mustRegisterUnitScheduler(SchedulerBackfill, func() UnitScheduler { return &backfillScheduler{} })
 	mustRegisterUnitScheduler(SchedulerLocality, func() UnitScheduler { return &localityScheduler{} })
+	mustRegisterUnitScheduler(SchedulerCoLocate, func() UnitScheduler { return &coLocateScheduler{} })
 }
 
 // rrScheduler rotates over the live candidates — eager binding, blind to
@@ -173,35 +181,31 @@ func (*leastLoadedScheduler) Pick(_ *sim.Proc, _ *Unit, cands []*Candidate) (*Pi
 	return best.Pilot, nil
 }
 
-// backfillScheduler is the capacity-aware late binder: a unit binds only
-// when an Active pilot has enough free cores for it, and otherwise parks
-// in the manager's queue until capacity frees up or another pilot comes
-// up — so work is never committed to a pilot that is still in the batch
-// queue or already saturated. Among eligible pilots the least committed
-// one (fewest in-flight cores) wins.
-type backfillScheduler struct{}
-
-func (*backfillScheduler) Name() string { return SchedulerBackfill }
-
-func (*backfillScheduler) Pick(_ *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error) {
+// pickAdmissible is the shared late-binding admission rule of backfill
+// and co-locate: only Active (or Resizing — a resizing pilot keeps
+// serving units on its current capacity) pilots with enough free cores
+// are eligible; among them the highest score wins, ties resolved by
+// fewest in-flight cores. With no eligible pilot the unit parks
+// (nil, nil) unless no pilot could ever fit it, which is
+// ErrUnschedulable. Unknown capacity counts as potentially fitting.
+func pickAdmissible(u *Unit, cands []*Candidate, score func(*Candidate) int64) (*Pilot, error) {
 	var best *Candidate
+	var bestScore int64
 	couldEverFit := false
 	for _, c := range cands {
 		capacity := c.CoreCapacity()
 		if capacity == 0 || capacity >= u.Desc.Cores {
-			// Unknown capacity counts as potentially fitting.
 			couldEverFit = true
 		}
-		// A resizing pilot keeps serving units on its current capacity,
-		// so it stays bindable throughout the (possibly long) resize.
 		if st := c.Pilot.State(); st != PilotActive && st != PilotResizing {
 			continue
 		}
 		if capacity > 0 && capacity-c.InFlightCores < u.Desc.Cores {
 			continue
 		}
-		if best == nil || c.InFlightCores < best.InFlightCores {
-			best = c
+		s := score(c)
+		if best == nil || s > bestScore || (s == bestScore && c.InFlightCores < best.InFlightCores) {
+			best, bestScore = c, s
 		}
 	}
 	if best != nil {
@@ -214,11 +218,45 @@ func (*backfillScheduler) Pick(_ *sim.Proc, u *Unit, cands []*Candidate) (*Pilot
 	return nil, nil // park until capacity frees or a pilot becomes Active
 }
 
+// backfillScheduler is the capacity-aware late binder: a unit binds only
+// when an Active pilot has enough free cores for it, and otherwise parks
+// in the manager's queue until capacity frees up or another pilot comes
+// up — so work is never committed to a pilot that is still in the batch
+// queue or already saturated. Among eligible pilots the least committed
+// one (fewest in-flight cores) wins.
+type backfillScheduler struct{}
+
+func (*backfillScheduler) Name() string { return SchedulerBackfill }
+
+func (*backfillScheduler) Pick(_ *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error) {
+	return pickAdmissible(u, cands, func(*Candidate) int64 { return 0 })
+}
+
+// inputBytesOn sums the bytes of the unit's Data-Unit inputs whose
+// replicas the candidate's attached data pilot holds — the co-location
+// signal the data-affinity policies place by.
+func inputBytesOn(c *Candidate, u *Unit) int64 {
+	dp := c.Pilot.DataPilot()
+	if dp == nil {
+		return 0
+	}
+	var total int64
+	for _, ref := range u.Desc.Inputs {
+		if ref.Unit != nil && ref.Unit.ReplicaOn(dp) {
+			total += ref.Unit.SizeBytes()
+		}
+	}
+	return total
+}
+
 // localityScheduler implements the paper's data-locality argument at the
-// Unit-Manager level: a unit naming HDFS inputs goes to the pilot whose
-// filesystem hosts them (most paths present wins; ties and data-free
-// units fall back to least-loaded placement). Each lookup pays the
-// NameNode round trip, like the real scheduler's metadata queries.
+// Unit-Manager level: a unit referencing input data goes to the pilot
+// holding it. Typed Inputs count by replica bytes on the pilot's
+// attached data pilot; legacy InputData paths count by presence in the
+// pilot's HDFS (each lookup pays the NameNode round trip, like the real
+// scheduler's metadata queries). More bytes win, then more paths, then
+// fewer in-flight units; data-free units fall back to least-loaded
+// placement.
 type localityScheduler struct {
 	fallback leastLoadedScheduler
 }
@@ -226,26 +264,28 @@ type localityScheduler struct {
 func (*localityScheduler) Name() string { return SchedulerLocality }
 
 func (s *localityScheduler) Pick(p *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error) {
-	if len(u.Desc.InputData) > 0 {
+	if len(u.Desc.InputData) > 0 || len(u.Desc.Inputs) > 0 {
 		var best *Candidate
-		bestScore := 0
+		var bestBytes int64
+		bestPaths := 0
 		for _, c := range cands {
-			fs := c.Pilot.HDFS()
-			if fs == nil {
-				continue
-			}
-			score := 0
-			for _, path := range u.Desc.InputData {
-				if fs.Exists(p, path) {
-					score++
+			bytes := inputBytesOn(c, u)
+			paths := 0
+			if fs := c.Pilot.HDFS(); fs != nil {
+				for _, path := range u.Desc.InputData {
+					if fs.Exists(p, path) {
+						paths++
+					}
 				}
 			}
-			if score == 0 {
+			if bytes == 0 && paths == 0 {
 				continue
 			}
-			if best == nil || score > bestScore ||
-				(score == bestScore && c.InFlightUnits < best.InFlightUnits) {
-				best, bestScore = c, score
+			better := best == nil || bytes > bestBytes ||
+				(bytes == bestBytes && (paths > bestPaths ||
+					(paths == bestPaths && c.InFlightUnits < best.InFlightUnits)))
+			if better {
+				best, bestBytes, bestPaths = c, bytes, paths
 			}
 		}
 		if best != nil {
@@ -253,4 +293,18 @@ func (s *localityScheduler) Pick(p *sim.Proc, u *Unit, cands []*Candidate) (*Pil
 		}
 	}
 	return s.fallback.Pick(p, u, cands)
+}
+
+// coLocateScheduler binds compute next to its data, late: a unit waits
+// in the manager's queue until a pilot is Active with free core
+// capacity (the backfill admission rule), and among the eligible pilots
+// the one whose attached data pilot holds the most input bytes wins —
+// ties resolved by fewest in-flight cores. Units without data behave
+// exactly like backfill.
+type coLocateScheduler struct{}
+
+func (*coLocateScheduler) Name() string { return SchedulerCoLocate }
+
+func (*coLocateScheduler) Pick(_ *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error) {
+	return pickAdmissible(u, cands, func(c *Candidate) int64 { return inputBytesOn(c, u) })
 }

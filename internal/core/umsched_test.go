@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/data"
 	"repro/internal/sim"
 )
 
@@ -577,5 +578,83 @@ func TestRebindDeterministicOrder(t *testing.T) {
 	}
 	if a, b := sequence(), sequence(); a != b {
 		t.Fatalf("failover order not deterministic:\n  %s\n  %s", a, b)
+	}
+}
+
+// TestLocalityPrefersDataReplicaBytes: the typed-Inputs signal. Two
+// pilots with attached in-memory data pilots; the unit's input bytes
+// live on the second pilot's store, so locality routes it there while a
+// data-free unit falls back to least-loaded placement on the other.
+func TestLocalityPrefersDataReplicaBytes(t *testing.T) {
+	for _, policy := range []string{SchedulerLocality, SchedulerCoLocate} {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			e := newEnv(t, 4, fastProfile())
+			var near, far, dataBound *Pilot
+			e.eng.Spawn("driver", func(p *sim.Proc) {
+				pm := NewPilotManager(e.session)
+				var err error
+				far, err = pm.Submit(p, PilotDescription{
+					Resource: "tm", Nodes: 2, Runtime: time.Hour,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				near, err = pm.Submit(p, PilotDescription{
+					Resource: "tm", Nodes: 2, Runtime: time.Hour,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				dm := NewDataManager(e.session)
+				for i, pl := range []*Pilot{far, near} {
+					dp, err := dm.AddPilot(data.PilotDescription{
+						Backend: data.BackendMem, Label: fmt.Sprintf("m%d", i),
+						CapacityBytes: 1 << 30,
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := pl.AttachDataPilot(dp); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				du, err := dm.Submit(p, data.UnitDescription{
+					Name: "/d/hot", SizeBytes: 128 << 20, Affinity: "m1",
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				um := newUM(t, e.session, WithScheduler(policy))
+				um.AddPilot(far)
+				um.AddPilot(near)
+				far.WaitState(p, PilotActive)
+				near.WaitState(p, PilotActive)
+				units, err := um.Submit(p, []ComputeUnitDescription{
+					{Inputs: []DataRef{{Unit: du}}},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				um.WaitAll(p, units)
+				if units[0].State() != UnitDone {
+					t.Errorf("unit finished %v: %v", units[0].State(), units[0].Err)
+				}
+				dataBound = units[0].Pilot
+				far.Cancel()
+				near.Cancel()
+			})
+			e.eng.Run()
+			e.eng.Close()
+			if dataBound != near {
+				t.Fatalf("%s placed the data unit on %v, want the replica-holding pilot", policy, dataBound)
+			}
+		})
 	}
 }

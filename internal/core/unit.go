@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/data"
 	"repro/internal/sim"
 )
 
@@ -15,7 +16,7 @@ type Unit struct {
 	session *Session
 
 	state      UnitState
-	watch      *notifier[UnitState]
+	watch      *sim.Notifier[UnitState]
 	Timestamps map[UnitState]sim.Duration
 
 	// Pilot is the pilot the Unit-Manager bound this unit to. It is nil
@@ -37,7 +38,7 @@ func (u *Unit) State() UnitState { return u.state }
 // immediately, with the current state, so a late subscriber cannot miss
 // a final state.
 func (u *Unit) OnStateChange(fn UnitCallback) {
-	u.watch.subscribe(func(st UnitState) { fn(u, st) })
+	u.watch.Subscribe(func(st UnitState) { fn(u, st) })
 	if u.state != UnitNew {
 		fn(u, u.state)
 	}
@@ -45,7 +46,7 @@ func (u *Unit) OnStateChange(fn UnitCallback) {
 
 // Wait blocks p until the unit reaches a final state.
 func (u *Unit) Wait(p *sim.Proc) UnitState {
-	u.watch.await(p, u.state, UnitState.Final)
+	u.watch.Await(p, u.state, UnitState.Final)
 	return u.state
 }
 
@@ -76,7 +77,7 @@ func (u *Unit) advance(st UnitState) {
 	u.state = st
 	u.Timestamps[st] = u.session.eng.Now()
 	u.session.eng.Tracef("unit %s -> %s", u.ID, st)
-	u.watch.entered(st)
+	u.watch.Entered(st)
 }
 
 // fail moves the unit to UnitFailed with a cause, waking every parked
@@ -90,7 +91,7 @@ func (u *Unit) fail(err error) {
 	u.state = UnitFailed
 	u.Timestamps[UnitFailed] = u.session.eng.Now()
 	u.session.eng.Tracef("unit %s -> FAILED: %v", u.ID, err)
-	u.watch.entered(UnitFailed)
+	u.watch.Entered(UnitFailed)
 }
 
 // cancel moves the unit to UnitCanceled, waking every parked waiter.
@@ -101,7 +102,7 @@ func (u *Unit) cancel() {
 	u.state = UnitCanceled
 	u.Timestamps[UnitCanceled] = u.session.eng.Now()
 	u.session.eng.Tracef("unit %s -> CANCELED", u.ID)
-	u.watch.entered(UnitCanceled)
+	u.watch.Entered(UnitCanceled)
 }
 
 // UnitManager binds Compute-Units to pilots and dispatches them through
@@ -414,7 +415,7 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 			ID:         fmt.Sprintf("unit.%06d", um.session.nextUnit),
 			Desc:       d.withDefaults(),
 			session:    um.session,
-			watch:      newNotifier[UnitState](um.session.eng),
+			watch:      sim.NewNotifier[UnitState](um.session.eng),
 			Timestamps: make(map[UnitState]sim.Duration),
 		}
 		u.Timestamps[UnitNew] = um.session.eng.Now()
@@ -422,6 +423,9 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 			if st.Final() {
 				um.uncharge(u)
 				um.kick() // freed capacity may unblock parked units
+				if st != UnitDone {
+					cancelOrphanOutputs(u)
+				}
 			}
 		})
 		u.advance(UnitSchedulingUM)
@@ -431,6 +435,19 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 	um.notifyObservers() // autoscalers see the new backlog
 	um.schedulePass(p)
 	return units, nil
+}
+
+// cancelOrphanOutputs retires the declared output Data-Units of a unit
+// that failed or was canceled before staging them: outputs still in
+// StateNew are canceled so consumers parked on them fail with
+// ErrDataUnavailable instead of waiting forever. Outputs another
+// producer is already staging (or has staged) are left alone.
+func cancelOrphanOutputs(u *Unit) {
+	for _, ref := range u.Desc.Outputs {
+		if ref.Unit != nil && ref.Unit.State() == data.StateNew {
+			ref.Unit.Manager().Cancel(ref.Unit)
+		}
+	}
 }
 
 // WaitAll blocks until every unit reaches a final state. It is built on

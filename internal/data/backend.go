@@ -1,0 +1,160 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hdfs"
+	"repro/internal/saga"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// The built-in data backends. Any name registered through
+// RegisterBackend is equally valid for a PilotDescription.
+const (
+	// BackendLustre keeps replicas on a shared parallel filesystem: data
+	// is reachable from every pilot, but every read pays the contended
+	// Lustre path — the paper's remote-staging mode.
+	BackendLustre = "lustre"
+	// BackendHDFS keeps replicas in an HDFS filesystem (a compute
+	// pilot's per-pilot Mode I cluster or a dedicated Mode II one):
+	// reads from co-located compute are node-local block reads.
+	BackendHDFS = "hdfs"
+	// BackendMem pins replicas in allocation memory — the paper's
+	// Pilot-in-Memory tier: fastest reads, capacity-bound.
+	BackendMem = "mem"
+)
+
+// PilotDescription describes a data-pilot request: which registered
+// backend provisions its store and the storage it binds to. Exactly the
+// binding field matching the backend must be set (Lustre for "lustre",
+// HDFS for "hdfs", Volume for volume-backed custom backends); the
+// in-memory tier needs no binding, only an optional bandwidth.
+type PilotDescription struct {
+	// Backend names a data backend registered through RegisterBackend.
+	Backend string
+	// Label names the pilot for affinity matching and traces; defaults
+	// to the generated pilot ID.
+	Label string
+	// CapacityBytes bounds the store (0 = unbounded). The in-memory
+	// backend requires a positive capacity — RAM is never unbounded.
+	CapacityBytes int64
+
+	// Lustre is the shared filesystem a "lustre" pilot stores on.
+	Lustre *storage.Lustre
+	// HDFS is the filesystem an "hdfs" pilot stores on, typically a
+	// compute pilot's HDFS() after it reached PilotActive.
+	HDFS *hdfs.FileSystem
+	// Volume is the flat volume generic/custom volume-backed pilots
+	// store on.
+	Volume storage.Volume
+	// MemBytesPerSec is the in-memory tier's bandwidth (non-positive
+	// selects storage.DefaultRAMBandwidth).
+	MemBytesPerSec float64
+}
+
+// Backend provisions stores for data pilots — the Pilot-Data analogue of
+// the compute Backend. One instance is created per AddPilot, so
+// implementations may keep per-pilot state in their receiver.
+type Backend interface {
+	// Name is the registry key; a PilotDescription selects the backend
+	// by setting Backend to this name.
+	Name() string
+	// Provision validates the description's binding fields and builds
+	// the pilot's store. ft is the manager's SAGA transfer facade,
+	// which volume-backed stores stage through.
+	Provision(e *sim.Engine, ft *saga.FileTransfer, d PilotDescription) (Store, error)
+}
+
+// backendFactories is the registry: backend name to per-pilot factory.
+var backendFactories = map[string]func() Backend{}
+
+// RegisterBackend adds a data-backend factory under name, the key a
+// PilotDescription selects it by — the Pilot-Data analogue of the
+// compute-backend, unit-scheduler and autoscale-policy registries.
+// Registration fails on nil factories, empty names, and duplicates.
+func RegisterBackend(name string, factory func() Backend) error {
+	if factory == nil {
+		return fmt.Errorf("data: nil backend factory")
+	}
+	if name == "" {
+		return fmt.Errorf("data: backend needs a name")
+	}
+	if _, dup := backendFactories[name]; dup {
+		return fmt.Errorf("data: backend %q already registered", name)
+	}
+	backendFactories[name] = factory
+	return nil
+}
+
+// Backends lists the registered data-backend names, sorted.
+func Backends() []string {
+	names := make([]string, 0, len(backendFactories))
+	for name := range backendFactories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newBackend instantiates the backend a description selects.
+func newBackend(name string) (Backend, error) {
+	factory, ok := backendFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("data: %w %q (registered: %s)",
+			ErrUnknownBackend, name, strings.Join(Backends(), ", "))
+	}
+	return factory(), nil
+}
+
+func mustRegisterBackend(name string, factory func() Backend) {
+	if err := RegisterBackend(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	mustRegisterBackend(BackendLustre, func() Backend { return lustreBackend{} })
+	mustRegisterBackend(BackendHDFS, func() Backend { return hdfsBackend{} })
+	mustRegisterBackend(BackendMem, func() Backend { return memBackend{} })
+}
+
+// lustreBackend stores replicas on the shared parallel filesystem.
+type lustreBackend struct{}
+
+func (lustreBackend) Name() string { return BackendLustre }
+
+func (lustreBackend) Provision(_ *sim.Engine, ft *saga.FileTransfer, d PilotDescription) (Store, error) {
+	if d.Lustre == nil {
+		return nil, fmt.Errorf("data: %q pilot %s needs a Lustre filesystem", BackendLustre, d.Label)
+	}
+	return NewVolumeStore(ft, BackendLustre+":"+d.Label, BackendLustre, d.Lustre, d.CapacityBytes), nil
+}
+
+// hdfsBackend stores replicas in an HDFS filesystem.
+type hdfsBackend struct{}
+
+func (hdfsBackend) Name() string { return BackendHDFS }
+
+func (hdfsBackend) Provision(e *sim.Engine, _ *saga.FileTransfer, d PilotDescription) (Store, error) {
+	if d.HDFS == nil {
+		return nil, fmt.Errorf("data: %q pilot %s needs an HDFS filesystem", BackendHDFS, d.Label)
+	}
+	return newHDFSStore(e, BackendHDFS+":"+d.Label, d.HDFS, d.CapacityBytes), nil
+}
+
+// memBackend pins replicas in allocation memory.
+type memBackend struct{}
+
+func (memBackend) Name() string { return BackendMem }
+
+func (memBackend) Provision(e *sim.Engine, ft *saga.FileTransfer, d PilotDescription) (Store, error) {
+	if d.CapacityBytes <= 0 {
+		return nil, fmt.Errorf("data: %q pilot %s needs a positive CapacityBytes", BackendMem, d.Label)
+	}
+	name := BackendMem + ":" + d.Label
+	ram := storage.NewRAM(e, name, d.MemBytesPerSec)
+	return NewVolumeStore(ft, name, BackendMem, ram, d.CapacityBytes), nil
+}

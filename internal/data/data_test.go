@@ -1,0 +1,253 @@
+package data
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/saga"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func testMachine(e *sim.Engine, nodes int) *cluster.Machine {
+	return cluster.New(e, cluster.MachineSpec{
+		Name:  "dm",
+		Nodes: nodes,
+		Node: cluster.NodeSpec{
+			Cores: 8, MemoryMB: 32 * 1024, DiskBW: 200e6,
+			DiskOpLatency: time.Millisecond, NICBW: 1e9,
+		},
+		FabricBW: 10e9,
+		Lustre: storage.LustreSpec{
+			AggregateBW: 2e9, MDSServers: 4,
+			MDSServiceTime: 2 * time.Millisecond, ClientLatency: 3 * time.Millisecond,
+		},
+		CPUFactor:  1,
+		ExternalBW: 100e6,
+	})
+}
+
+// newTestManager builds a manager plus the machine context stores bind
+// to.
+func newTestManager(t *testing.T) (*sim.Engine, *cluster.Machine, *Manager) {
+	t.Helper()
+	e := sim.NewEngine()
+	t.Cleanup(e.Close)
+	m := testMachine(e, 4)
+	return e, m, NewManager(e, saga.NewFileTransfer(e))
+}
+
+// TestRegistryHygiene mirrors the compute-backend registry rules.
+func TestRegistryHygiene(t *testing.T) {
+	for _, want := range []string{BackendLustre, BackendHDFS, BackendMem} {
+		if _, ok := backendFactories[want]; !ok {
+			t.Errorf("built-in backend %q not registered", want)
+		}
+	}
+	if err := RegisterBackend("", func() Backend { return lustreBackend{} }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := RegisterBackend("nil-factory", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if err := RegisterBackend(BackendLustre, func() Backend { return lustreBackend{} }); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	_, m, dm := newTestManager(t)
+	_ = m
+	if _, err := dm.AddPilot(PilotDescription{Backend: "no-such"}); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("AddPilot unknown backend = %v, want ErrUnknownBackend", err)
+	}
+}
+
+// TestStateMachineAndPlacement drives one unit through the lifecycle
+// over two lustre pilots and checks replication, affinity and state
+// order.
+func TestStateMachineAndPlacement(t *testing.T) {
+	e, m, dm := newTestManager(t)
+	a, err := dm.AddPilot(PilotDescription{Backend: BackendLustre, Label: "a", Lustre: m.Lustre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dm.AddPilot(PilotDescription{Backend: BackendLustre, Label: "b", Lustre: m.Lustre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []UnitState
+	e.Spawn("driver", func(p *sim.Proc) {
+		du, err := dm.Declare(UnitDescription{Name: "/d/x", SizeBytes: 1 << 20, Replication: 2, Affinity: "b"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		du.OnStateChange(func(_ *Unit, st UnitState) { seen = append(seen, st) })
+		if err := dm.Stage(p, du); err != nil {
+			t.Error(err)
+			return
+		}
+		if !du.WaitReady(p) {
+			t.Errorf("unit not ready after Stage: %v", du.State())
+		}
+		reps := du.Replicas()
+		if len(reps) != 2 {
+			t.Fatalf("replicas = %d, want 2", len(reps))
+		}
+		if reps[0] != b {
+			t.Errorf("affinity ignored: first replica on %s, want b", reps[0].Label())
+		}
+		if !du.ReplicaOn(a) || !du.ReplicaOn(b) {
+			t.Error("replicas missing from a or b")
+		}
+		if a.Store().ObjectBytes("/d/x") != 1<<20 || b.Store().ObjectBytes("/d/x") != 1<<20 {
+			t.Error("bytes lost: stores disagree with the declared size")
+		}
+		// Stage is idempotent once replicated.
+		if err := dm.Stage(p, du); err != nil {
+			t.Errorf("restaging a replicated unit: %v", err)
+		}
+		if err := dm.Remove(p, du); err != nil {
+			t.Error(err)
+		}
+		if du.State() != StateDone {
+			t.Errorf("state after Remove = %v", du.State())
+		}
+		if a.Store().UsedBytes() != 0 || b.Store().UsedBytes() != 0 {
+			t.Error("Remove left bytes behind")
+		}
+	})
+	e.Run()
+	want := []UnitState{StateStagingIn, StateReplicated, StateDone}
+	if len(seen) != len(want) {
+		t.Fatalf("state trace %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("state trace %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestCapacitySkipsFullStores: a bounded store the unit would overflow
+// is skipped, and staging fails with ErrNoPilots when nothing fits.
+func TestCapacitySkipsFullStores(t *testing.T) {
+	e, m, dm := newTestManager(t)
+	small, err := dm.AddPilot(PilotDescription{
+		Backend: BackendMem, Label: "small", CapacityBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := dm.AddPilot(PilotDescription{Backend: BackendLustre, Label: "big", Lustre: m.Lustre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		du, err := dm.Submit(p, UnitDescription{Name: "/d/huge", SizeBytes: 8 << 20})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if du.ReplicaOn(small) || !du.ReplicaOn(big) {
+			t.Errorf("placement ignored capacity: replicas on %v", du.Replicas())
+		}
+		tiny, err := dm.Submit(p, UnitDescription{Name: "/d/tiny", SizeBytes: 512 << 10})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !tiny.ReplicaOn(small) {
+			t.Errorf("least-occupied store not preferred: replicas on %v", tiny.Replicas())
+		}
+	})
+	e.Run()
+}
+
+// TestStagingFailsWhenNothingFits: with every store's capacity
+// exhausted, staging fails with ErrNoPilots and leaves the unit FAILED.
+func TestStagingFailsWhenNothingFits(t *testing.T) {
+	e, _, dm := newTestManager(t)
+	if _, err := dm.AddPilot(PilotDescription{
+		Backend: BackendMem, Label: "tiny", CapacityBytes: 1 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		du, err := dm.Submit(p, UnitDescription{Name: "/d/nofit", SizeBytes: 8 << 20})
+		if !errors.Is(err, ErrNoPilots) {
+			t.Errorf("Submit over capacity = %v, want ErrNoPilots", err)
+		}
+		if du == nil || du.State() != StateFailed || !errors.Is(du.Err, ErrNoPilots) {
+			t.Error("over-capacity staging did not leave the unit FAILED with ErrNoPilots")
+		}
+	})
+	e.Run()
+}
+
+// TestHDFSStoreRoundTrip exercises the hdfs-backed store: ingest pays
+// the replication pipeline onto DataNode disks, ServeTo reads back, and
+// fs.Used reflects the stored replicas.
+func TestHDFSStoreRoundTrip(t *testing.T) {
+	e, m, dm := newTestManager(t)
+	fs, err := hdfs.New(e, hdfs.DefaultConfig(), m.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := dm.AddPilot(PilotDescription{Backend: BackendHDFS, Label: "h", HDFS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		du, err := dm.Submit(p, UnitDescription{Name: "/d/blocks", SizeBytes: 4 << 20, Source: m.Lustre})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !du.ReplicaOn(dp) {
+			t.Fatalf("replica not on the hdfs pilot: %v", du.Replicas())
+		}
+		if fs.Used() == 0 {
+			t.Error("fs.Used() = 0 after ingest, bytes lost")
+		}
+		if err := dp.Store().ServeTo(p, du.Name(), m.Nodes[1]); err != nil {
+			t.Error(err)
+		}
+		if err := dm.Remove(p, du); err != nil {
+			t.Error(err)
+		}
+		if fs.Used() != 0 {
+			t.Errorf("fs.Used() = %d after Remove, want 0", fs.Used())
+		}
+	})
+	e.Run()
+}
+
+// TestDuplicateNamesRejected: logical names are unique among live
+// units, and free up once a unit reaches a final state.
+func TestDuplicateNamesRejected(t *testing.T) {
+	e, m, dm := newTestManager(t)
+	if _, err := dm.AddPilot(PilotDescription{Backend: BackendLustre, Label: "a", Lustre: m.Lustre}); err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("driver", func(p *sim.Proc) {
+		du, err := dm.Submit(p, UnitDescription{Name: "/d/same", SizeBytes: 1 << 20})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := dm.Declare(UnitDescription{Name: "/d/same", SizeBytes: 1 << 20}); err == nil {
+			t.Error("duplicate live name accepted")
+		}
+		if err := dm.Remove(p, du); err != nil {
+			t.Error(err)
+			return
+		}
+		// The name is free again once the first unit retired.
+		if _, err := dm.Declare(UnitDescription{Name: "/d/same", SizeBytes: 1 << 20}); err != nil {
+			t.Errorf("name not released after Remove: %v", err)
+		}
+	})
+	e.Run()
+}

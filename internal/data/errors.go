@@ -1,0 +1,25 @@
+package data
+
+import "errors"
+
+// Sentinel errors for the Pilot-Data failure modes, wrapped with context
+// at the failure sites and re-exported by the public pilot package so
+// callers branch with errors.Is.
+var (
+	// ErrUnknownBackend reports a PilotDescription naming a data backend
+	// never registered through RegisterBackend.
+	ErrUnknownBackend = errors.New("unknown data backend")
+
+	// ErrNoPilots reports a staging request on a Manager with no data
+	// pilot able to hold a replica.
+	ErrNoPilots = errors.New("no data pilot available")
+
+	// ErrUnavailable reports a data unit that cannot be read: staging
+	// failed or was canceled, or the unit was removed. Compute-Units
+	// whose Inputs reference such a unit fail with this cause.
+	ErrUnavailable = errors.New("data unit is not available")
+
+	// ErrStoreFull reports an ingest that would overflow the store's
+	// configured capacity.
+	ErrStoreFull = errors.New("data store is full")
+)

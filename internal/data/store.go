@@ -1,0 +1,151 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/saga"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Store is a provisioned data-backend instance: the place a data pilot
+// keeps its replicas. Implementations charge the backend's real cost
+// model — shared-filesystem round trips for Lustre, the replication
+// pipeline and block reads for HDFS, memory bandwidth for the in-memory
+// tier.
+type Store interface {
+	// Name identifies the store in traces, e.g. "hdfs:dp.0002".
+	Name() string
+	// Backend is the registry key of the backend that provisioned it.
+	Backend() string
+	// Ingest stores bytes under name. When src is non-nil the bytes are
+	// staged from it (reading src and writing the store overlap — the
+	// pipelined staging path); a nil src charges only the local write
+	// path (the object is produced in place).
+	Ingest(p *sim.Proc, name string, bytes int64, src storage.Volume) error
+	// ServeTo charges a full read of the named object toward the
+	// consumer node (nil: a store-local consumer). Reading pays the
+	// store's read path; HDFS stores additionally pay network legs for
+	// readers outside their DataNode set.
+	ServeTo(p *sim.Proc, name string, reader *cluster.Node) error
+	// Volume is the store's transfer endpoint: replica-to-replica copies
+	// read from it. Nil when the backend has no flat volume to expose
+	// (HDFS); the Manager then overlaps ServeTo with the destination's
+	// Ingest instead.
+	Volume() storage.Volume
+	// Has reports whether the store holds the named object, and
+	// ObjectBytes its size (0 when absent).
+	Has(name string) bool
+	ObjectBytes(name string) int64
+	// UsedBytes is the store's occupancy; CapacityBytes its configured
+	// limit (0 = unbounded).
+	UsedBytes() int64
+	CapacityBytes() int64
+	// Delete frees the named object.
+	Delete(p *sim.Proc, name string) error
+}
+
+// objects is the shared bookkeeping of the built-in stores.
+type objects struct {
+	byName   map[string]int64
+	used     int64
+	capacity int64
+}
+
+func newObjects(capacity int64) objects {
+	return objects{byName: make(map[string]int64), capacity: capacity}
+}
+
+// admit validates an ingest of bytes under name.
+func (o *objects) admit(store, name string, bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("data: negative object size %d for %q", bytes, name)
+	}
+	if _, dup := o.byName[name]; dup {
+		return fmt.Errorf("data: store %s already holds %q", store, name)
+	}
+	if o.capacity > 0 && o.used+bytes > o.capacity {
+		return fmt.Errorf("data: store %s: %w: %d + %d exceeds %d bytes",
+			store, ErrStoreFull, o.used, bytes, o.capacity)
+	}
+	return nil
+}
+
+func (o *objects) put(name string, bytes int64) {
+	o.byName[name] = bytes
+	o.used += bytes
+}
+
+func (o *objects) drop(name string) {
+	o.used -= o.byName[name]
+	delete(o.byName, name)
+}
+
+// volumeStore keeps objects on a flat storage.Volume — the Lustre and
+// in-memory built-ins, and the simplest base for custom backends (see
+// NewVolumeStore). Staging in from a source volume runs over the SAGA
+// pipelined copy.
+type volumeStore struct {
+	name    string
+	backend string
+	ft      *saga.FileTransfer
+	vol     storage.Volume
+	objects objects
+}
+
+// NewVolumeStore builds a Store over an arbitrary volume — the
+// one-liner custom data backends provision from:
+//
+//	data.RegisterBackend("scratch", func() data.Backend { return scratchBackend{} })
+//	// in Provision:
+//	return data.NewVolumeStore(ft, "scratch:"+d.Label, "scratch", d.Volume, d.CapacityBytes), nil
+func NewVolumeStore(ft *saga.FileTransfer, name, backend string, vol storage.Volume, capacity int64) Store {
+	return &volumeStore{
+		name: name, backend: backend, ft: ft, vol: vol,
+		objects: newObjects(capacity),
+	}
+}
+
+func (s *volumeStore) Name() string           { return s.name }
+func (s *volumeStore) Backend() string        { return s.backend }
+func (s *volumeStore) Volume() storage.Volume { return s.vol }
+func (s *volumeStore) Has(name string) bool   { _, ok := s.objects.byName[name]; return ok }
+func (s *volumeStore) ObjectBytes(name string) int64 {
+	return s.objects.byName[name]
+}
+func (s *volumeStore) UsedBytes() int64     { return s.objects.used }
+func (s *volumeStore) CapacityBytes() int64 { return s.objects.capacity }
+
+func (s *volumeStore) Ingest(p *sim.Proc, name string, bytes int64, src storage.Volume) error {
+	if err := s.objects.admit(s.name, name, bytes); err != nil {
+		return err
+	}
+	if src != nil {
+		if err := s.ft.CopyPipelined(p, src, s.vol, bytes); err != nil {
+			return err
+		}
+	} else {
+		s.vol.Write(p, bytes)
+	}
+	s.objects.put(name, bytes)
+	return nil
+}
+
+func (s *volumeStore) ServeTo(p *sim.Proc, name string, _ *cluster.Node) error {
+	bytes, ok := s.objects.byName[name]
+	if !ok {
+		return fmt.Errorf("data: store %s does not hold %q", s.name, name)
+	}
+	s.vol.Read(p, bytes)
+	return nil
+}
+
+func (s *volumeStore) Delete(p *sim.Proc, name string) error {
+	if !s.Has(name) {
+		return fmt.Errorf("data: store %s does not hold %q", s.name, name)
+	}
+	s.vol.Touch(p)
+	s.objects.drop(name)
+	return nil
+}

@@ -1,0 +1,99 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// hdfsStore keeps objects as files in an HDFS filesystem — typically a
+// compute pilot's per-pilot cluster (Mode I) or a resource's dedicated
+// one (Mode II). Writes pay the replication pipeline onto the DataNodes'
+// local disks; reads from nodes inside the DataNode set are local block
+// reads, readers outside it pay the network legs — the mechanism behind
+// the co-location win the staging experiment measures.
+type hdfsStore struct {
+	name    string
+	eng     *sim.Engine
+	fs      *hdfs.FileSystem
+	objects objects
+	// writer/reader rotate deterministically over the DataNodes so
+	// ingest affinity and store-local reads spread without randomness.
+	writer, reader int
+}
+
+func newHDFSStore(e *sim.Engine, name string, fs *hdfs.FileSystem, capacity int64) *hdfsStore {
+	return &hdfsStore{name: name, eng: e, fs: fs, objects: newObjects(capacity)}
+}
+
+// path maps an object name into the store's HDFS namespace. The store
+// name prefixes the path so several data pilots sharing one filesystem
+// (two pilots on a dedicated Mode II cluster) cannot collide.
+func (s *hdfsStore) path(name string) string { return "/pilot-data/" + s.name + "/" + name }
+
+func (s *hdfsStore) Name() string    { return s.name }
+func (s *hdfsStore) Backend() string { return BackendHDFS }
+
+// Volume is nil: HDFS has no flat transfer endpoint; replica copies
+// overlap ServeTo with the destination's Ingest instead.
+func (s *hdfsStore) Volume() storage.Volume { return nil }
+
+func (s *hdfsStore) Has(name string) bool          { _, ok := s.objects.byName[name]; return ok }
+func (s *hdfsStore) ObjectBytes(name string) int64 { return s.objects.byName[name] }
+func (s *hdfsStore) UsedBytes() int64              { return s.objects.used }
+func (s *hdfsStore) CapacityBytes() int64          { return s.objects.capacity }
+
+func (s *hdfsStore) Ingest(p *sim.Proc, name string, bytes int64, src storage.Volume) error {
+	if err := s.objects.admit(s.name, name, bytes); err != nil {
+		return err
+	}
+	dns := s.fs.DataNodes()
+	writer := dns[s.writer%len(dns)].Node
+	s.writer++
+	if src != nil {
+		// Overlap the source read with the HDFS write pipeline, the same
+		// shape as the SAGA pipelined copy.
+		done := sim.NewEvent(s.eng)
+		s.eng.Spawn("data:stage:"+name, func(rp *sim.Proc) {
+			defer done.Trigger()
+			src.Read(rp, bytes)
+		})
+		err := s.fs.Write(p, s.path(name), bytes, writer)
+		p.Wait(done)
+		if err != nil {
+			return err
+		}
+	} else {
+		if err := s.fs.Write(p, s.path(name), bytes, writer); err != nil {
+			return err
+		}
+	}
+	s.objects.put(name, bytes)
+	return nil
+}
+
+func (s *hdfsStore) ServeTo(p *sim.Proc, name string, reader *cluster.Node) error {
+	if !s.Has(name) {
+		return fmt.Errorf("data: store %s does not hold %q", s.name, name)
+	}
+	if reader == nil {
+		dns := s.fs.DataNodes()
+		reader = dns[s.reader%len(dns)].Node
+		s.reader++
+	}
+	return s.fs.Read(p, s.path(name), reader)
+}
+
+func (s *hdfsStore) Delete(p *sim.Proc, name string) error {
+	if !s.Has(name) {
+		return fmt.Errorf("data: store %s does not hold %q", s.name, name)
+	}
+	if err := s.fs.Delete(p, s.path(name)); err != nil {
+		return err
+	}
+	s.objects.drop(name)
+	return nil
+}

@@ -1,0 +1,165 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// UnitDescription describes one Data-Unit: a logical dataset the manager
+// stages onto data pilots (cf. the Pilot-Data DataUnitDescription).
+type UnitDescription struct {
+	// Name is the logical object name, unique within the manager, e.g.
+	// "/data/part-00".
+	Name string
+	// SizeBytes is the dataset size.
+	SizeBytes int64
+	// Replication is the target replica count across data pilots
+	// (default 1, capped at the number of eligible pilots like HDFS caps
+	// at its DataNode count).
+	Replication int
+	// Affinity prefers the data pilot with this Label (or ID) for the
+	// first replica — how an application pins a partition next to the
+	// compute pilot that will consume it.
+	Affinity string
+	// Source is the volume the first replica is staged in from (the
+	// paper's stage-in from the shared filesystem). Nil means the
+	// dataset is produced in place: only the store's write path is
+	// charged — the output-staging case.
+	Source storage.Volume
+}
+
+// withDefaults normalizes the description.
+func (d UnitDescription) withDefaults() UnitDescription {
+	if d.Replication <= 0 {
+		d.Replication = 1
+	}
+	return d
+}
+
+// Validate reports a descriptive error for invalid descriptions.
+func (d UnitDescription) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("data: unit needs a name")
+	}
+	if d.SizeBytes < 0 {
+		return fmt.Errorf("data: unit %s has negative size %d", d.Name, d.SizeBytes)
+	}
+	return nil
+}
+
+// UnitCallback observes a Data-Unit entering a state.
+type UnitCallback func(du *Unit, state UnitState)
+
+// Unit is a Data-Unit: a logical dataset with managed replicas on data
+// pilots and its own state machine (StateNew → StateStagingIn →
+// StateReplicated → final), running on the same state-callback fabric as
+// pilots and Compute-Units.
+type Unit struct {
+	ID   string
+	Desc UnitDescription
+	mgr  *Manager
+
+	state UnitState
+	watch *sim.Notifier[UnitState]
+	// Timestamps records when each state was entered.
+	Timestamps map[UnitState]sim.Duration
+
+	replicas []*Pilot
+	// Err records the failure cause for StateFailed.
+	Err error
+}
+
+// Name returns the logical object name.
+func (du *Unit) Name() string { return du.Desc.Name }
+
+// SizeBytes returns the dataset size.
+func (du *Unit) SizeBytes() int64 { return du.Desc.SizeBytes }
+
+// State returns the unit state.
+func (du *Unit) State() UnitState { return du.state }
+
+// Manager returns the owning manager.
+func (du *Unit) Manager() *Manager { return du.mgr }
+
+// Replicas returns the data pilots holding a replica, in placement
+// order.
+func (du *Unit) Replicas() []*Pilot {
+	out := make([]*Pilot, len(du.replicas))
+	copy(out, du.replicas)
+	return out
+}
+
+// ReplicaOn reports whether dp holds a replica of the unit.
+func (du *Unit) ReplicaOn(dp *Pilot) bool {
+	if dp == nil {
+		return false
+	}
+	for _, r := range du.replicas {
+		if r == dp {
+			return true
+		}
+	}
+	return false
+}
+
+// OnStateChange registers fn to run for every state the unit actually
+// enters from now on, in registration order, synchronously at the
+// transition's virtual time. If the unit has already left StateNew, fn
+// is additionally invoked once, immediately, with the current state, so
+// a late subscriber cannot miss a final state.
+func (du *Unit) OnStateChange(fn UnitCallback) {
+	du.watch.Subscribe(func(st UnitState) { fn(du, st) })
+	if du.state != StateNew {
+		fn(du, du.state)
+	}
+}
+
+// Wait blocks p until the unit reaches a final state.
+func (du *Unit) Wait(p *sim.Proc) UnitState {
+	du.watch.Await(p, du.state, UnitState.Final)
+	return du.state
+}
+
+// WaitState blocks p until the unit reaches the given state (or a final
+// state, to avoid waiting forever on failed staging). It reports whether
+// the unit actually passed through the awaited state.
+func (du *Unit) WaitState(p *sim.Proc, st UnitState) bool {
+	du.watch.Await(p, du.state, func(s UnitState) bool { return s >= st || s.Final() })
+	_, reached := du.Timestamps[st]
+	return reached
+}
+
+// WaitReady blocks p until the unit is readable — replicated and not yet
+// removed — or has reached a final state, and reports readability.
+// Compute staging waits here so stage-in never reads a half-staged
+// replica.
+func (du *Unit) WaitReady(p *sim.Proc) bool {
+	du.watch.Await(p, du.state, func(s UnitState) bool { return s >= StateReplicated })
+	return du.state == StateReplicated
+}
+
+// advance moves the unit into st, recording the timestamp, firing
+// callbacks and waking waiters.
+func (du *Unit) advance(st UnitState) {
+	if du.state.Final() || st <= du.state {
+		return
+	}
+	du.state = st
+	du.Timestamps[st] = du.mgr.eng.Now()
+	du.mgr.eng.Tracef("data unit %s -> %s", du.ID, st)
+	du.watch.Entered(st)
+}
+
+// fail moves the unit to StateFailed with a cause.
+func (du *Unit) fail(err error) {
+	if du.state.Final() {
+		return
+	}
+	du.Err = err
+	du.state = StateFailed
+	du.Timestamps[StateFailed] = du.mgr.eng.Now()
+	du.mgr.eng.Tracef("data unit %s -> FAILED: %v", du.ID, err)
+	du.watch.Entered(StateFailed)
+}

@@ -335,3 +335,70 @@ func TestNewEnvValidation(t *testing.T) {
 		t.Fatal("unknown machine accepted")
 	}
 }
+
+// TestStagingComparisonShapes is the Pilot-Data acceptance check: on
+// the shuffle-heavy K-Means workload, co-located compute–data
+// scheduling (per-pilot HDFS stores, "co-locate" policy) beats staging
+// every partition through the shared Lustre, and the in-memory tier is
+// at least as fast as the HDFS one. The run is deterministic at a fixed
+// seed, so the comparisons are strict.
+func TestStagingComparisonShapes(t *testing.T) {
+	rows, err := RunStagingComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(mode string) *StagingRow {
+		for _, r := range rows {
+			if r.Mode == mode {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s", mode)
+		return nil
+	}
+	const mapRuns = stagingParts * stagingIters
+	for _, r := range rows {
+		if r.Makespan <= 0 || r.StageIn <= 0 {
+			t.Errorf("%s: non-positive times (stage-in %v, makespan %v)", r.Mode, r.StageIn, r.Makespan)
+		}
+		if r.LocalInputs+r.RemoteInputs != mapRuns {
+			t.Errorf("%s: %d+%d input reads, want %d", r.Mode, r.LocalInputs, r.RemoteInputs, mapRuns)
+		}
+	}
+	remote, co, mem := get(StagingRemote), get(StagingCoLocated), get(StagingInMemory)
+	// The mechanism: the co-locate policy binds every map task to the
+	// pilot holding its partition; the shared tier is remote for all.
+	if co.LocalInputs != mapRuns || mem.LocalInputs != mapRuns {
+		t.Errorf("co-located reads not all local: hdfs %d/%d, mem %d/%d",
+			co.LocalInputs, mapRuns, mem.LocalInputs, mapRuns)
+	}
+	if remote.LocalInputs != 0 {
+		t.Errorf("remote-staging counted %d local reads, want 0", remote.LocalInputs)
+	}
+	// The outcome: co-located beats remote staging outright, and the
+	// in-memory tier is no slower than HDFS.
+	if co.Makespan >= remote.Makespan {
+		t.Errorf("co-located (%v) not faster than remote staging (%v)", co.Makespan, remote.Makespan)
+	}
+	if mem.Makespan > co.Makespan {
+		t.Errorf("in-memory (%v) slower than hdfs co-located (%v)", mem.Makespan, co.Makespan)
+	}
+	// Deterministic at a fixed seed.
+	again, err := RunStagingComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if again[i].Makespan != r.Makespan || again[i].StageIn != r.StageIn ||
+			again[i].LocalInputs != r.LocalInputs {
+			t.Errorf("%s not deterministic: %v/%v/%d vs %v/%v/%d", r.Mode,
+				r.Makespan, r.StageIn, r.LocalInputs,
+				again[i].Makespan, again[i].StageIn, again[i].LocalInputs)
+		}
+	}
+	var buf bytes.Buffer
+	WriteStagingComparison(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty rendering")
+	}
+}

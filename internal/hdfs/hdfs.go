@@ -123,6 +123,17 @@ func (fs *FileSystem) DataNodes() []*DataNode { return fs.dns }
 func (fs *FileSystem) LocalReads() int  { return fs.localReads }
 func (fs *FileSystem) RemoteReads() int { return fs.remoteReads }
 
+// Used returns the bytes stored across all DataNodes (replicas counted
+// individually), the occupancy figure a data pilot bound to this
+// filesystem reports.
+func (fs *FileSystem) Used() int64 {
+	var total int64
+	for _, dn := range fs.dns {
+		total += dn.used
+	}
+	return total
+}
+
 // nnOp performs one NameNode metadata operation (RPC + serialized
 // handling).
 func (fs *FileSystem) nnOp(p *sim.Proc) {

@@ -1,0 +1,66 @@
+package sim
+
+// Notifier is the state-event fabric beneath stateful entities (pilots,
+// Compute-Units, Data-Units): it fans each entered state out to
+// subscribed callbacks and wakes parked waiters whose condition the new
+// state satisfies. Wait/WaitState-style blocking APIs and reactive
+// OnStateChange callbacks are both built on it; states skipped on
+// failure paths are never reported to subscribers, but a failure's final
+// state does wake waiters parked on the skipped states (their conditions
+// treat final states as release).
+type Notifier[S comparable] struct {
+	eng     *Engine
+	cbs     []func(S)
+	waiters []*stateWaiter[S]
+}
+
+type stateWaiter[S comparable] struct {
+	cond func(S) bool
+	ev   *Event
+}
+
+// NewNotifier creates a notifier on the engine.
+func NewNotifier[S comparable](eng *Engine) *Notifier[S] {
+	return &Notifier[S]{eng: eng}
+}
+
+// Subscribe registers fn for every subsequently entered state.
+func (n *Notifier[S]) Subscribe(fn func(S)) {
+	n.cbs = append(n.cbs, fn)
+}
+
+// Entered reports a state that was actually entered: subscribers fire in
+// registration order, then waiters are woken.
+func (n *Notifier[S]) Entered(st S) {
+	for _, fn := range n.cbs {
+		fn(st)
+	}
+	n.wake(st)
+}
+
+// wake releases every waiter whose condition holds for st.
+func (n *Notifier[S]) wake(st S) {
+	if len(n.waiters) == 0 {
+		return
+	}
+	kept := n.waiters[:0]
+	for _, w := range n.waiters {
+		if w.cond(st) {
+			w.ev.Trigger()
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	n.waiters = kept
+}
+
+// Await parks p until an entered state satisfies cond; it returns
+// immediately if the current state cur already does.
+func (n *Notifier[S]) Await(p *Proc, cur S, cond func(S) bool) {
+	if cond(cur) {
+		return
+	}
+	w := &stateWaiter[S]{cond: cond, ev: NewEvent(n.eng)}
+	n.waiters = append(n.waiters, w)
+	p.Wait(w.ev)
+}

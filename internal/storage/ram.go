@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"repro/internal/sim"
+)
+
+// RAM is a memory-backed volume: the storage tier behind the
+// Pilot-in-Memory concept — data units pinned in the allocation's RAM so
+// repeated reads cost memory bandwidth instead of disk or Lustre round
+// trips. Operations pay no per-operation latency; bandwidth is a shared
+// pool like any other volume.
+type RAM struct {
+	name  string
+	link  *sim.SharedLink
+	stats Stats
+}
+
+// DefaultRAMBandwidth is the memory bandwidth assumed when NewRAM is
+// given a non-positive rate (a conservative single-socket figure).
+const DefaultRAMBandwidth = 8e9
+
+// NewRAM creates a memory volume with the given bandwidth (bytes/second;
+// non-positive selects DefaultRAMBandwidth).
+func NewRAM(e *sim.Engine, name string, bytesPerSec float64) *RAM {
+	if bytesPerSec <= 0 {
+		bytesPerSec = DefaultRAMBandwidth
+	}
+	return &RAM{name: name, link: sim.NewSharedLink(e, name, bytesPerSec)}
+}
+
+func (r *RAM) Name() string { return r.name }
+
+// Touch is a metadata-only operation: bookkeeping, no latency.
+func (r *RAM) Touch(*sim.Proc) { r.stats.Ops++ }
+
+func (r *RAM) Read(p *sim.Proc, bytes int64) {
+	r.Touch(p)
+	r.stats.BytesRead += bytes
+	r.link.Transfer(p, bytes)
+}
+
+func (r *RAM) Write(p *sim.Proc, bytes int64) {
+	r.Touch(p)
+	r.stats.BytesWrite += bytes
+	r.link.Transfer(p, bytes)
+}
+
+// StreamWrite implements Volume; the per-operation cost of a memory
+// stream is negligible, so only the bandwidth is charged.
+func (r *RAM) StreamWrite(p *sim.Proc, bytes int64, ops int) {
+	r.stats.Ops += ops
+	r.stats.BytesWrite += bytes
+	r.link.Transfer(p, bytes)
+}
+
+// StreamRead implements Volume.
+func (r *RAM) StreamRead(p *sim.Proc, bytes int64, ops int) {
+	r.stats.Ops += ops
+	r.stats.BytesRead += bytes
+	r.link.Transfer(p, bytes)
+}
+
+func (r *RAM) Stats() Stats { return r.stats }
+
+var _ Volume = (*RAM)(nil)

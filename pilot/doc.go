@@ -54,11 +54,31 @@
 //     implementing ElasticBackend; Resize on backends that do not
 //     (Spark) fails with ErrNotElastic.
 //
+//   - Pilot-Data. Data is first-class next to compute: a DataManager
+//     (NewDataManager) provisions DataPilots on registered data
+//     backends — DataBackendLustre (shared filesystem),
+//     DataBackendHDFS (a compute pilot's Mode I cluster or a dedicated
+//     Mode II one), DataBackendMem (the Pilot-in-Memory tier), plus
+//     anything added with RegisterDataBackend — and stages DataUnits
+//     onto them through the state machine DataNew → DataStagingIn →
+//     DataReplicated → final (same OnStateChange/Wait/WaitState fabric
+//     as pilots and units). Replica placement is deterministic:
+//     affinity label first, then least-occupied store; replication is
+//     capped at the eligible pilots. Compute references data by type —
+//     ComputeUnitDescription.Inputs/Outputs []DataRef — and the agent
+//     stages every input before the unit reaches UnitExecuting and
+//     every declared output when it completes. Attach a data pilot
+//     with Pilot.AttachDataPilot and the "locality" and "co-locate"
+//     schedulers bind compute to the pilot holding the most input
+//     bytes.
+//
 // Failure modes carry typed causes: match Submit errors, Resize errors
 // and Unit.Err against the ErrNoPilots, ErrNoLivePilot,
 // ErrUnschedulable, ErrUnknownScheduler, ErrUnknownResource,
 // ErrUnknownBackend, ErrNotElastic, ErrPilotFinal and
-// ErrUnknownAutoscalePolicy sentinels with errors.Is.
+// ErrUnknownAutoscalePolicy sentinels with errors.Is; the Pilot-Data
+// analogues are ErrUnknownDataBackend, ErrNoDataPilots,
+// ErrDataUnavailable and ErrDataStoreFull.
 //
 // # Quickstart
 //

@@ -121,6 +121,7 @@ const (
 	SchedulerLeastLoaded = core.SchedulerLeastLoaded
 	SchedulerBackfill    = core.SchedulerBackfill
 	SchedulerLocality    = core.SchedulerLocality
+	SchedulerCoLocate    = core.SchedulerCoLocate
 )
 
 // DefaultProfile returns the calibrated bootstrap cost model that
