@@ -328,6 +328,36 @@ func BenchmarkSchedulerComparison(b *testing.B) {
 	b.ReportMetric(speedup/float64(b.N), "speedup")
 }
 
+// BenchmarkDataElasticComparison regenerates the data-aware autoscaling
+// scenario (queue-depth vs data-aware on the data-skewed workload),
+// reporting the queue-depth-to-data-aware makespan gain as "speedup"
+// and the node-seconds saved as "node-sec-saved".
+func BenchmarkDataElasticComparison(b *testing.B) {
+	var speedup, saved float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunDataElasticComparison(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var qd, da *experiments.DataElasticRow
+		for _, r := range rows {
+			switch r.Policy {
+			case experiments.DataElasticQueueDepth:
+				qd = r
+			case experiments.DataElasticDataAware:
+				da = r
+			}
+		}
+		if qd == nil || da == nil {
+			b.Fatal("comparison missing rows")
+		}
+		speedup += qd.Makespan.Seconds() / da.Makespan.Seconds()
+		saved += qd.NodeSeconds - da.NodeSeconds
+	}
+	b.ReportMetric(speedup/float64(b.N), "speedup")
+	b.ReportMetric(saved/float64(b.N), "node-sec-saved")
+}
+
 // BenchmarkStagingComparison regenerates the Pilot-Data staging
 // scenario (remote Lustre staging vs co-located per-pilot stores on the
 // shuffle-heavy K-Means workload), reporting the remote-to-co-located

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|breakdown|all
+//	repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|breakdown|all
 package main
 
 import (
@@ -23,7 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
 	trials := flag.Int("trials", 3, "trials per Figure 5 bar")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|breakdown|all\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|breakdown|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,7 +44,7 @@ func main() {
 	}
 	known := map[string]bool{"fig5": true, "fig6": true, "speedups": true,
 		"ablate-shuffle": true, "ablate-amreuse": true, "sched": true,
-		"elastic": true, "data": true, "breakdown": true, "all": true}
+		"elastic": true, "data": true, "dataelastic": true, "breakdown": true, "all": true}
 	if !known[cmd] {
 		flag.Usage()
 		os.Exit(2)
@@ -119,6 +119,14 @@ func main() {
 			return err
 		}
 		experiments.WriteStagingComparison(os.Stdout, rows)
+		return nil
+	})
+	run("dataelastic", func() error {
+		rows, err := experiments.RunDataElasticComparison(*seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteDataElasticComparison(os.Stdout, rows)
 		return nil
 	})
 	run("breakdown", func() error { return breakdown(*seed) })

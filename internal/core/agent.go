@@ -231,6 +231,12 @@ func (a *agent) stageInputs(p *sim.Proc, u *Unit, sl *Slot) error {
 		if err := reps[0].Store().ServeTo(p, du.Name(), reader); err != nil {
 			return fmt.Errorf("core: unit %s input %s: %w", u.ID, du.ID, err)
 		}
+		if local != nil {
+			// The bytes just travelled here anyway: leave an opportunistic
+			// cached replica on the attached store (capacity permitting),
+			// so an iterative workload's next pass reads locally.
+			du.Manager().CacheReplica(p, du, local)
+		}
 	}
 	return nil
 }

@@ -3,9 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"strings"
 
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/yarn"
 )
@@ -50,6 +49,11 @@ type AutoscaleSnapshot struct {
 	// YARN is the connected cluster's metrics snapshot, nil when the
 	// pilot's backend does not run on YARN.
 	YARN *yarn.ClusterMetrics
+	// View is the Unit-Manager's ClusterView the demand numbers above
+	// were read from — the whole-cluster picture (every pilot's capacity,
+	// demand split, and attached data-store occupancy) for policies that
+	// place capacity relative to other pilots, like data-aware.
+	View *ClusterView
 }
 
 // AutoscalePolicy decides how an elastic pilot should resize. Decide
@@ -64,9 +68,10 @@ type AutoscalePolicy interface {
 	Decide(s *AutoscaleSnapshot) int
 }
 
-// autoscalePolicyFactories is the registry: policy name to per-autoscaler
-// factory.
-var autoscalePolicyFactories = map[string]func() AutoscalePolicy{}
+// autoscalePolicies is the registry: policy name to per-autoscaler
+// factory, an instance of the one generic registry behind every
+// pluggable seam.
+var autoscalePolicies = registry.New[func() AutoscalePolicy]("core", "autoscale policy", ErrUnknownAutoscalePolicy)
 
 // RegisterAutoscalePolicy adds an autoscale-policy factory under name,
 // the key WithAutoscalePolicy selects it by — the elasticity analogue of
@@ -74,28 +79,11 @@ var autoscalePolicyFactories = map[string]func() AutoscalePolicy{}
 // Autoscaler. Registration fails on nil factories, empty names, and
 // duplicates.
 func RegisterAutoscalePolicy(name string, factory func() AutoscalePolicy) error {
-	if factory == nil {
-		return fmt.Errorf("core: nil autoscale-policy factory")
-	}
-	if name == "" {
-		return fmt.Errorf("core: autoscale policy needs a name")
-	}
-	if _, dup := autoscalePolicyFactories[name]; dup {
-		return fmt.Errorf("core: autoscale policy %q already registered", name)
-	}
-	autoscalePolicyFactories[name] = factory
-	return nil
+	return autoscalePolicies.Register(name, factory)
 }
 
 // AutoscalePolicies lists the registered policy names, sorted.
-func AutoscalePolicies() []string {
-	names := make([]string, 0, len(autoscalePolicyFactories))
-	for name := range autoscalePolicyFactories {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func AutoscalePolicies() []string { return autoscalePolicies.Names() }
 
 // newAutoscalePolicy instantiates the policy name selects; the empty
 // name selects queue-depth.
@@ -103,24 +91,17 @@ func newAutoscalePolicy(name string) (AutoscalePolicy, error) {
 	if name == "" {
 		name = AutoscaleQueueDepth
 	}
-	factory, ok := autoscalePolicyFactories[name]
-	if !ok {
-		return nil, fmt.Errorf("core: %w %q (registered: %s)",
-			ErrUnknownAutoscalePolicy, name, strings.Join(AutoscalePolicies(), ", "))
+	factory, err := autoscalePolicies.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return factory(), nil
 }
 
-func mustRegisterAutoscalePolicy(name string, factory func() AutoscalePolicy) {
-	if err := RegisterAutoscalePolicy(name, factory); err != nil {
-		panic(err)
-	}
-}
-
 func init() {
-	mustRegisterAutoscalePolicy(AutoscaleQueueDepth, func() AutoscalePolicy { return &QueueDepthPolicy{} })
-	mustRegisterAutoscalePolicy(AutoscaleUtilization, func() AutoscalePolicy { return &UtilizationPolicy{} })
-	mustRegisterAutoscalePolicy(AutoscaleDeadline, func() AutoscalePolicy { return &DeadlinePolicy{} })
+	autoscalePolicies.MustRegister(AutoscaleQueueDepth, func() AutoscalePolicy { return &QueueDepthPolicy{} })
+	autoscalePolicies.MustRegister(AutoscaleUtilization, func() AutoscalePolicy { return &UtilizationPolicy{} })
+	autoscalePolicies.MustRegister(AutoscaleDeadline, func() AutoscalePolicy { return &DeadlinePolicy{} })
 }
 
 // QueueDepthPolicy grows when the Unit-Manager backlog per live core
@@ -492,16 +473,19 @@ func (as *Autoscaler) evaluate(p *sim.Proc) bool {
 	return true
 }
 
-// snapshot assembles the policy's world view.
+// snapshot assembles the policy's world view from the Unit-Manager's
+// shared ClusterView.
 func (as *Autoscaler) snapshot() *AutoscaleSnapshot {
 	pl := as.pilot
+	view := as.um.ClusterView()
 	s := &AutoscaleSnapshot{
-		Now:      pl.session.eng.Now(),
+		Now:      view.Now,
 		Pilot:    pl,
 		Nodes:    pl.Capacity(),
 		MinNodes: as.min,
 		MaxNodes: as.max,
 		YARN:     pl.YARNMetrics(),
+		View:     view,
 	}
 	if pl.res != nil && pl.res.Machine != nil {
 		s.CoresPerNode = pl.res.Machine.Spec.Node.Cores
@@ -510,6 +494,7 @@ func (as *Autoscaler) snapshot() *AutoscaleSnapshot {
 	if m := s.YARN; m != nil && m.TotalVCores > 0 {
 		s.TotalCores = m.TotalVCores
 	}
-	s.WaitingUnits, s.WaitingCores, s.RunningUnits, s.RunningCores = as.um.demand()
+	s.WaitingUnits, s.WaitingCores = view.WaitingUnits, view.WaitingCores
+	s.RunningUnits, s.RunningCores = view.RunningUnits, view.RunningCores
 	return s
 }

@@ -1,0 +1,67 @@
+package core
+
+import "testing"
+
+// TestDataAwareDecide pins the policy's decision table against
+// synthetic snapshots: grow when this pilot holds the hot bytes, hold
+// when another pilot does, degrade to queue-depth without a data
+// signal, shrink when idle.
+func TestDataAwareDecide(t *testing.T) {
+	mine, other := &Pilot{ID: "mine"}, &Pilot{ID: "other"}
+	view := func(hot *Pilot, bytes int64) *ClusterView {
+		v := &ClusterView{byPilot: map[*Pilot]*PilotView{}}
+		for _, pl := range []*Pilot{mine, other} {
+			pv := &PilotView{Pilot: pl}
+			if pl == hot {
+				pv.PendingInputBytes = bytes
+			}
+			v.Pilots = append(v.Pilots, pv)
+			v.byPilot[pl] = pv
+		}
+		return v
+	}
+	base := AutoscaleSnapshot{
+		Pilot: mine, Nodes: 2, MinNodes: 2, MaxNodes: 8,
+		CoresPerNode: 8, TotalCores: 16,
+	}
+	for _, cse := range []struct {
+		name string
+		mut  func(*AutoscaleSnapshot)
+		want int
+	}{
+		{"grows when holding the hot bytes", func(s *AutoscaleSnapshot) {
+			s.WaitingUnits = 32
+			s.View = view(mine, 1<<30)
+		}, 1},
+		{"holds when another pilot is hot", func(s *AutoscaleSnapshot) {
+			s.WaitingUnits = 32
+			s.View = view(other, 1<<30)
+		}, 0},
+		{"degrades to queue-depth without data", func(s *AutoscaleSnapshot) {
+			s.WaitingUnits = 32
+			s.View = view(nil, 0)
+		}, 1},
+		{"degrades to queue-depth without a view", func(s *AutoscaleSnapshot) {
+			s.WaitingUnits = 32
+		}, 1},
+		{"holds below the backlog threshold", func(s *AutoscaleSnapshot) {
+			s.WaitingUnits = 4
+			s.View = view(mine, 1<<30)
+		}, 0},
+		{"shrinks when idle", func(s *AutoscaleSnapshot) {
+			s.Nodes = 4
+		}, -1},
+		{"never shrinks below the floor", func(s *AutoscaleSnapshot) {
+			s.Nodes = 2
+		}, 0},
+	} {
+		t.Run(cse.name, func(t *testing.T) {
+			s := base
+			cse.mut(&s)
+			p := &DataAwarePolicy{}
+			if got := p.Decide(&s); got != cse.want {
+				t.Errorf("Decide = %+d, want %+d", got, cse.want)
+			}
+		})
+	}
+}

@@ -1,13 +1,11 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
-	"sort"
-	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/hpc"
+	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -96,8 +94,9 @@ func (bc *BackendContext) RunUnitBody(p *sim.Proc, u *Unit, node *cluster.Node, 
 	u.Desc.Body(p, ctx)
 }
 
-// backendFactories is the registry: backend name to per-pilot factory.
-var backendFactories = map[string]func() Backend{}
+// backends is the registry: backend name to per-pilot factory, an
+// instance of the one generic registry behind every pluggable seam.
+var backends = registry.New[func() Backend]("core", "backend", ErrUnknownBackend)
 
 // RegisterBackend adds a backend factory under name, the registry key
 // a PilotDescription's Mode selects it by. Instances the factory
@@ -105,47 +104,23 @@ var backendFactories = map[string]func() Backend{}
 // invoked once per submitted pilot. Registration fails on nil
 // factories, empty names, and duplicates.
 func RegisterBackend(name string, factory func() Backend) error {
-	if factory == nil {
-		return fmt.Errorf("core: nil backend factory")
-	}
-	if name == "" {
-		return fmt.Errorf("core: backend needs a name")
-	}
-	if _, dup := backendFactories[name]; dup {
-		return fmt.Errorf("core: backend %q already registered", name)
-	}
-	backendFactories[name] = factory
-	return nil
+	return backends.Register(name, factory)
 }
 
 // Backends lists the registered backend names, sorted.
-func Backends() []string {
-	names := make([]string, 0, len(backendFactories))
-	for name := range backendFactories {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func Backends() []string { return backends.Names() }
 
 // newBackend instantiates the backend a description's Mode selects.
 func newBackend(mode PilotMode) (Backend, error) {
-	factory, ok := backendFactories[string(mode)]
-	if !ok {
-		return nil, fmt.Errorf("core: %w %q (registered: %s)",
-			ErrUnknownBackend, mode, strings.Join(Backends(), ", "))
+	factory, err := backends.Lookup(string(mode))
+	if err != nil {
+		return nil, err
 	}
 	return factory(), nil
 }
 
-func mustRegister(name PilotMode, factory func() Backend) {
-	if err := RegisterBackend(string(name), factory); err != nil {
-		panic(err)
-	}
-}
-
 func init() {
-	mustRegister(ModeHPC, func() Backend { return &hpcBackend{} })
-	mustRegister(ModeYARN, func() Backend { return &yarnBackend{} })
-	mustRegister(ModeSpark, func() Backend { return &sparkBackend{} })
+	backends.MustRegister(string(ModeHPC), func() Backend { return &hpcBackend{} })
+	backends.MustRegister(string(ModeYARN), func() Backend { return &yarnBackend{} })
+	backends.MustRegister(string(ModeSpark), func() Backend { return &sparkBackend{} })
 }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"repro/internal/data"
+	"repro/internal/sim"
+)
+
+// ClusterView is the one coherent picture of the cluster every placement
+// decision consumes — the placement fabric. Before it existed, the three
+// decision layers each rebuilt a partial view of their own: the
+// Unit-Manager's demand() counted cores but not bytes, autoscale
+// policies could not see data stores, and the data manager could not see
+// queue pressure. A ClusterView spans all of it: per-pilot capacity,
+// waiting and running cores, the attached data store's occupancy, and
+// the input bytes parked behind the manager's waiting units.
+//
+// Views are assembled by UnitManager.ClusterView in one place. The
+// expensive part — walking every in-flight unit to split waiting from
+// running demand — is memoized behind the manager's scheduling-event
+// generation counter, so back-to-back reads (an autoscaler tick firing
+// right after a bind pass) reuse the counts; the cheap, live-changing
+// probes (pilot state, capacity, data-store bytes) are refreshed on
+// every call. A view is valid until the next scheduling event; consumers
+// read it synchronously and re-request rather than retain it.
+type ClusterView struct {
+	// Now is the virtual time the view was (re)read.
+	Now sim.Duration
+	// Pilots holds one view per registered pilot, in registration order,
+	// including pilots that have reached a final state (their State says
+	// so) — callers that only want live pilots filter on State.Final().
+	Pilots []*PilotView
+	// WaitingUnits/WaitingCores count units submitted but not yet
+	// executing — parked in the manager plus bound but still queued or in
+	// agent scheduling/staging; RunningUnits/RunningCores count executing
+	// units. These are the manager-wide totals the autoscaler's demand
+	// signal is built from.
+	WaitingUnits, WaitingCores int
+	RunningUnits, RunningCores int
+
+	byPilot map[*Pilot]*PilotView
+	// waiting are the units behind the Waiting counts, kept so the
+	// per-pilot input-byte refresh can re-walk them without re-deriving
+	// the set.
+	waiting []*Unit
+}
+
+// PilotView is one pilot's slice of the ClusterView.
+type PilotView struct {
+	// Pilot is the viewed pilot; State its state at read time.
+	Pilot *Pilot
+	State PilotState
+	// Nodes is the pilot's current allocation (Pilot.Capacity());
+	// CoresPerNode the machine's per-node core count.
+	Nodes, CoresPerNode int
+	// TotalCores estimates the pilot's core capacity: the connected YARN
+	// cluster's vcores when the pilot exposes cluster metrics, and
+	// Nodes × CoresPerNode otherwise — both track elastic resizes. Zero
+	// means the capacity is unknown.
+	TotalCores int
+	// InFlightUnits counts units bound to the pilot that have not yet
+	// reached a final state; InFlightCores is their summed core demand.
+	InFlightUnits, InFlightCores int
+	// WaitingUnits/WaitingCores are the bound-but-not-yet-executing part
+	// of the in-flight load; RunningUnits/RunningCores the executing part.
+	WaitingUnits, WaitingCores int
+	RunningUnits, RunningCores int
+	// DataPilot is the attached Data-Pilot, nil when none is attached.
+	// DataUsedBytes and DataCapacityBytes describe its store's occupancy
+	// and configured bound (0 = unbounded).
+	DataPilot                        *data.Pilot
+	DataUsedBytes, DataCapacityBytes int64
+	// PendingInputBytes totals the Inputs bytes of the manager's waiting
+	// units whose replicas the attached store holds — the demand signal
+	// the data-aware autoscale policy grows on.
+	PendingInputBytes int64
+}
+
+// FreeCores is TotalCores minus the cores already in flight.
+func (pv *PilotView) FreeCores() int { return pv.TotalCores - pv.InFlightCores }
+
+// DataFreeBytes is the attached store's remaining capacity: -1 for an
+// unbounded store, 0 when no data pilot is attached.
+func (pv *PilotView) DataFreeBytes() int64 {
+	if pv.DataPilot == nil {
+		return 0
+	}
+	if pv.DataCapacityBytes <= 0 {
+		return -1
+	}
+	return pv.DataCapacityBytes - pv.DataUsedBytes
+}
+
+// InputBytes sums the bytes of the unit's Data-Unit inputs whose
+// replicas the pilot's attached data pilot holds — the co-location
+// signal the data-affinity schedulers place by.
+func (pv *PilotView) InputBytes(u *Unit) int64 {
+	return inputBytesOnPilot(pv.DataPilot, u)
+}
+
+// inputBytesOnPilot is the shared probe behind PilotView.InputBytes and
+// hand-built Candidates.
+func inputBytesOnPilot(dp *data.Pilot, u *Unit) int64 {
+	if dp == nil {
+		return 0
+	}
+	var total int64
+	for _, ref := range u.Desc.Inputs {
+		if ref.Unit != nil && ref.Unit.ReplicaOn(dp) {
+			total += ref.Unit.SizeBytes()
+		}
+	}
+	return total
+}
+
+// For returns the view of pl, or nil when pl is not registered with the
+// manager that assembled the view.
+func (v *ClusterView) For(pl *Pilot) *PilotView { return v.byPilot[pl] }
+
+// HottestDataPilot returns the view of the live pilot whose attached
+// data store holds the most bytes behind the waiting units' Inputs, nil
+// when no live pilot holds any. Ties resolve to registration order, so
+// the answer is deterministic.
+func (v *ClusterView) HottestDataPilot() *PilotView {
+	var best *PilotView
+	for _, pv := range v.Pilots {
+		if pv.State.Final() || pv.PendingInputBytes == 0 {
+			continue
+		}
+		if best == nil || pv.PendingInputBytes > best.PendingInputBytes {
+			best = pv
+		}
+	}
+	return best
+}
+
+// bumpGen invalidates the memoized view; it runs on every scheduling
+// event (kick, submission, pilot added) and on every unit state change.
+func (um *UnitManager) bumpGen() { um.gen++ }
+
+// ClusterView assembles (or, when no scheduling event happened since
+// the last call, reuses) the manager's cluster snapshot and refreshes
+// its live probes. The unit-walk is the bind-hot-path cost
+// BenchmarkClusterView guards.
+func (um *UnitManager) ClusterView() *ClusterView {
+	v := um.ensureView()
+	um.refreshView(v)
+	return v
+}
+
+// ensureView returns the memoized counting pass, rebuilding it only when
+// the generation counter moved — the fix for demand() recounting every
+// in-flight unit on autoscaler ticks where nothing changed.
+func (um *UnitManager) ensureView() *ClusterView {
+	if um.view == nil || um.viewGen != um.gen {
+		um.view = um.buildView()
+		um.viewGen = um.gen
+	}
+	return um.view
+}
+
+// buildView runs the counting pass: per-pilot in-flight load and the
+// waiting/running split of every unit the manager is charged for.
+func (um *UnitManager) buildView() *ClusterView {
+	v := &ClusterView{byPilot: make(map[*Pilot]*PilotView, len(um.pilots))}
+	for _, pl := range um.pilots {
+		pv := &PilotView{Pilot: pl}
+		if ld := um.load[pl]; ld != nil {
+			pv.InFlightUnits, pv.InFlightCores = ld.units, ld.cores
+		}
+		v.Pilots = append(v.Pilots, pv)
+		v.byPilot[pl] = pv
+	}
+	for _, u := range um.pending {
+		v.WaitingUnits++
+		v.WaitingCores += u.Desc.Cores
+		v.waiting = append(v.waiting, u)
+	}
+	// Map iteration order does not matter: every accumulation below is
+	// commutative, and the waiting list is only ever summed over.
+	for u, pl := range um.charged {
+		pv := v.byPilot[pl]
+		switch st := u.State(); {
+		case st.Final():
+		case st < UnitExecuting:
+			v.WaitingUnits++
+			v.WaitingCores += u.Desc.Cores
+			v.waiting = append(v.waiting, u)
+			if pv != nil {
+				pv.WaitingUnits++
+				pv.WaitingCores += u.Desc.Cores
+			}
+		default:
+			v.RunningUnits++
+			v.RunningCores += u.Desc.Cores
+			if pv != nil {
+				pv.RunningUnits++
+				pv.RunningCores += u.Desc.Cores
+			}
+		}
+	}
+	return v
+}
+
+// refreshView re-reads the cheap live probes — pilot state and capacity,
+// YARN metrics, attached stores — and recomputes the per-pilot pending
+// input bytes from the memoized waiting list. These change outside the
+// manager's event stream (a resize completing, a replica staging), so
+// they are never served stale.
+func (um *UnitManager) refreshView(v *ClusterView) {
+	v.Now = um.session.eng.Now()
+	anyData := false
+	for _, pv := range v.Pilots {
+		pl := pv.Pilot
+		pv.State = pl.State()
+		pv.Nodes = pl.Capacity()
+		pv.CoresPerNode = 0
+		if res := pl.Resource(); res != nil && res.Machine != nil {
+			pv.CoresPerNode = res.Machine.Spec.Node.Cores
+		}
+		pv.TotalCores = pv.Nodes * pv.CoresPerNode
+		if m := pl.YARNMetrics(); m != nil && m.TotalVCores > 0 {
+			pv.TotalCores = m.TotalVCores
+		}
+		pv.DataPilot = pl.DataPilot()
+		if pv.DataPilot != nil && pv.DataPilot.Failed() {
+			pv.DataPilot = nil // a killed store holds nothing to place by
+		}
+		pv.DataUsedBytes, pv.DataCapacityBytes, pv.PendingInputBytes = 0, 0, 0
+		if dp := pv.DataPilot; dp != nil {
+			st := dp.Store()
+			pv.DataUsedBytes = st.UsedBytes()
+			pv.DataCapacityBytes = st.CapacityBytes()
+			anyData = true
+		}
+	}
+	if !anyData {
+		return // no attached stores: every PendingInputBytes is trivially 0
+	}
+	for _, u := range v.waiting {
+		for _, ref := range u.Desc.Inputs {
+			if ref.Unit == nil {
+				continue
+			}
+			for _, pv := range v.Pilots {
+				if pv.DataPilot != nil && ref.Unit.ReplicaOn(pv.DataPilot) {
+					pv.PendingInputBytes += ref.Unit.SizeBytes()
+				}
+			}
+		}
+	}
+}

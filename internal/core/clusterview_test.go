@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/sim"
+)
+
+// TestClusterViewCountsAndDataBytes drives a two-pilot setup with an
+// attached in-memory store and checks the fabric's numbers: per-pilot
+// capacity, the waiting/running split, the store occupancy, and the
+// pending-input-byte attribution behind parked units.
+func TestClusterViewCountsAndDataBytes(t *testing.T) {
+	e := newEnv(t, 4, fastProfile())
+	e.eng.Spawn("driver", func(p *sim.Proc) {
+		plA := submitPilot(t, p, e, PilotDescription{
+			Resource: "tm", Nodes: 2, Runtime: time.Hour, Mode: ModeHPC,
+		})
+		plB := submitPilot(t, p, e, PilotDescription{
+			Resource: "tm", Nodes: 2, Runtime: time.Hour, Mode: ModeHPC,
+		})
+		um := newUM(t, e.session, WithScheduler(SchedulerBackfill))
+		um.AddPilot(plA)
+		um.AddPilot(plB)
+
+		dm := NewDataManager(e.session)
+		dp, err := dm.AddPilot(data.PilotDescription{
+			Backend: data.BackendMem, Label: "hot", CapacityBytes: 1 << 30,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := plA.AttachDataPilot(dp); err != nil {
+			t.Error(err)
+			return
+		}
+		du, err := dm.Submit(p, data.UnitDescription{Name: "/d/hot", SizeBytes: 64 << 20})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+
+		// Units submitted before any pilot is Active park in the manager:
+		// all waiting, none running, their input bytes attributed to the
+		// pilot whose attached store holds the replica.
+		units, err := um.Submit(p, []ComputeUnitDescription{
+			{Cores: 2, Inputs: []DataRef{{Unit: du}},
+				Body: func(bp *sim.Proc, ctx *UnitContext) { bp.Sleep(30 * time.Second) }},
+			{Cores: 1,
+				Body: func(bp *sim.Proc, ctx *UnitContext) { bp.Sleep(30 * time.Second) }},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		v := um.ClusterView()
+		if v.WaitingUnits != 2 || v.WaitingCores != 3 || v.RunningUnits != 0 {
+			t.Errorf("parked view: waiting %d/%d cores, running %d; want 2/3, 0",
+				v.WaitingUnits, v.WaitingCores, v.RunningUnits)
+		}
+		pvA, pvB := v.For(plA), v.For(plB)
+		if pvA == nil || pvB == nil {
+			t.Error("registered pilots missing from the view")
+			return
+		}
+		if pvA.PendingInputBytes != 64<<20 {
+			t.Errorf("pilot A pending input bytes = %d, want %d", pvA.PendingInputBytes, int64(64<<20))
+		}
+		if pvB.PendingInputBytes != 0 {
+			t.Errorf("pilot B pending input bytes = %d, want 0", pvB.PendingInputBytes)
+		}
+		if pvA.DataUsedBytes != 64<<20 || pvA.DataCapacityBytes != 1<<30 {
+			t.Errorf("pilot A data store = %d/%d bytes, want %d/%d",
+				pvA.DataUsedBytes, pvA.DataCapacityBytes, int64(64<<20), int64(1<<30))
+		}
+		if free := pvA.DataFreeBytes(); free != 1<<30-64<<20 {
+			t.Errorf("pilot A data free bytes = %d, want %d", free, int64(1<<30-64<<20))
+		}
+		if pvB.DataPilot != nil || pvB.DataFreeBytes() != 0 {
+			t.Error("pilot B reports an attached data store it does not have")
+		}
+		if hot := v.HottestDataPilot(); hot != pvA {
+			t.Errorf("HottestDataPilot = %v, want pilot A's view", hot)
+		}
+
+		// Once the pilots are up and the units execute, the split flips
+		// and per-pilot capacity is visible.
+		plA.WaitState(p, PilotActive)
+		plB.WaitState(p, PilotActive)
+		for _, u := range units {
+			u.watch.Await(p, u.State(), func(s UnitState) bool { return s >= UnitExecuting })
+		}
+		v = um.ClusterView()
+		if v.RunningUnits != 2 || v.RunningCores != 3 || v.WaitingUnits != 0 {
+			t.Errorf("running view: running %d/%d cores, waiting %d; want 2/3, 0",
+				v.RunningUnits, v.RunningCores, v.WaitingUnits)
+		}
+		if tc := v.For(plA).TotalCores; tc != 2*8 {
+			t.Errorf("pilot A total cores = %d, want 16", tc)
+		}
+		if fc := v.For(plA).FreeCores() + v.For(plB).FreeCores(); fc != 2*16-3 {
+			t.Errorf("free cores across pilots = %d, want %d", fc, 2*16-3)
+		}
+		um.WaitAll(p, units)
+		plA.Cancel()
+		plB.Cancel()
+	})
+	e.eng.Run()
+	e.eng.Close()
+}
+
+// TestClusterViewMemoizedOnGeneration pins the demand() satellite fix:
+// with no scheduling event in between, repeated reads reuse the counting
+// pass; any unit state change or scheduling event invalidates it.
+func TestClusterViewMemoizedOnGeneration(t *testing.T) {
+	e := newEnv(t, 2, fastProfile())
+	e.eng.Spawn("driver", func(p *sim.Proc) {
+		pl := submitPilot(t, p, e, PilotDescription{
+			Resource: "tm", Nodes: 1, Runtime: time.Hour, Mode: ModeHPC,
+		})
+		um := newUM(t, e.session, WithScheduler(SchedulerBackfill))
+		um.AddPilot(pl)
+		units, err := um.Submit(p, []ComputeUnitDescription{{
+			Body: func(bp *sim.Proc, ctx *UnitContext) { bp.Sleep(time.Minute) },
+		}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		v1 := um.ensureView()
+		v2 := um.ensureView()
+		if v1 != v2 {
+			t.Error("back-to-back views without a scheduling event were rebuilt")
+		}
+		w1, _, _, _ := um.demand()
+		w2, _, _, _ := um.demand()
+		if w1 != w2 || um.ensureView() != v1 {
+			t.Error("demand() invalidated the memoized view without an event")
+		}
+		// A state change (the unit starting to execute) must invalidate.
+		pl.WaitState(p, PilotActive)
+		units[0].watch.Await(p, units[0].State(), func(s UnitState) bool { return s >= UnitExecuting })
+		v3 := um.ensureView()
+		if v3 == v1 {
+			t.Error("view not rebuilt after a unit state change")
+		}
+		if v3.RunningUnits != 1 || v3.WaitingUnits != 0 {
+			t.Errorf("rebuilt view: running %d, waiting %d; want 1, 0", v3.RunningUnits, v3.WaitingUnits)
+		}
+		um.WaitAll(p, units)
+		pl.Cancel()
+	})
+	e.eng.Run()
+	e.eng.Close()
+}
+
+// BenchmarkClusterView guards the snapshot-assembly cost on the bind hot
+// path: every placeOne builds candidates from a ClusterView, so its
+// rebuild (forced here by bumping the generation) plus the live-probe
+// refresh must stay cheap as the in-flight unit count grows.
+func BenchmarkClusterView(b *testing.B) {
+	for _, inflight := range []int{16, 256} {
+		b.Run(fmt.Sprintf("%dunits", inflight), func(b *testing.B) {
+			eng := sim.NewEngine()
+			defer eng.Close()
+			s := NewSession(eng, fastProfile(), 1)
+			um, err := NewUnitManager(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Synthetic in-flight load: pilots and charged units wired
+			// directly, so the benchmark isolates the assembly walk from
+			// agent execution.
+			pilots := make([]*Pilot, 4)
+			for i := range pilots {
+				pilots[i] = &Pilot{ID: fmt.Sprintf("bench.%d", i), session: s,
+					watch:      sim.NewNotifier[PilotState](eng),
+					Timestamps: make(map[PilotState]sim.Duration)}
+				um.pilots = append(um.pilots, pilots[i])
+				um.load[pilots[i]] = &pilotLoad{}
+			}
+			for i := 0; i < inflight; i++ {
+				u := &Unit{ID: fmt.Sprintf("u.%d", i), session: s,
+					Desc:       ComputeUnitDescription{Cores: 2}.withDefaults(),
+					state:      UnitPendingAgent,
+					watch:      sim.NewNotifier[UnitState](eng),
+					Timestamps: make(map[UnitState]sim.Duration)}
+				pl := pilots[i%len(pilots)]
+				um.charged[u] = pl
+				ld := um.load[pl]
+				ld.units++
+				ld.cores += u.Desc.Cores
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				um.bumpGen() // force the full counting pass, not the memoized hit
+				v := um.ClusterView()
+				if v.WaitingUnits != inflight {
+					b.Fatalf("view counted %d waiting units, want %d", v.WaitingUnits, inflight)
+				}
+			}
+		})
+	}
+}

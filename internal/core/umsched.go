@@ -2,9 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
+	"repro/internal/registry"
 	"repro/internal/sim"
 )
 
@@ -45,6 +44,12 @@ type Candidate struct {
 	// reached a final state; InFlightCores is their summed core demand.
 	InFlightUnits int
 	InFlightCores int
+	// View is the pilot's slice of the manager's ClusterView at offer
+	// time — capacity, demand split, and the attached data store's
+	// occupancy in one place. It is set on every candidate the manager
+	// offers; hand-built candidates (tests, custom harnesses) may leave
+	// it nil, in which case the accessors below probe the pilot directly.
+	View *PilotView
 }
 
 // CoreCapacity estimates the pilot's total core capacity: the connected
@@ -53,6 +58,9 @@ type Candidate struct {
 // otherwise — both track elastic resizes. Zero means the capacity is
 // unknown.
 func (c *Candidate) CoreCapacity() int {
+	if c.View != nil {
+		return c.View.TotalCores
+	}
 	if m := c.Pilot.YARNMetrics(); m != nil && m.TotalVCores > 0 {
 		return m.TotalVCores
 	}
@@ -90,9 +98,9 @@ type UnitScheduler interface {
 	Pick(p *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error)
 }
 
-// unitSchedulerFactories is the registry: policy name to per-manager
-// factory.
-var unitSchedulerFactories = map[string]func() UnitScheduler{}
+// unitSchedulers is the registry: policy name to per-manager factory,
+// an instance of the one generic registry behind every pluggable seam.
+var unitSchedulers = registry.New[func() UnitScheduler]("core", "unit scheduler", ErrUnknownScheduler)
 
 // RegisterUnitScheduler adds a unit-scheduler factory under name, the
 // key WithScheduler selects it by. Instances the factory constructs
@@ -100,28 +108,11 @@ var unitSchedulerFactories = map[string]func() UnitScheduler{}
 // per UnitManager. Registration fails on nil factories, empty names, and
 // duplicates.
 func RegisterUnitScheduler(name string, factory func() UnitScheduler) error {
-	if factory == nil {
-		return fmt.Errorf("core: nil unit-scheduler factory")
-	}
-	if name == "" {
-		return fmt.Errorf("core: unit scheduler needs a name")
-	}
-	if _, dup := unitSchedulerFactories[name]; dup {
-		return fmt.Errorf("core: unit scheduler %q already registered", name)
-	}
-	unitSchedulerFactories[name] = factory
-	return nil
+	return unitSchedulers.Register(name, factory)
 }
 
 // UnitSchedulers lists the registered policy names, sorted.
-func UnitSchedulers() []string {
-	names := make([]string, 0, len(unitSchedulerFactories))
-	for name := range unitSchedulerFactories {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func UnitSchedulers() []string { return unitSchedulers.Names() }
 
 // newUnitScheduler instantiates the policy name selects; the empty name
 // selects the default round-robin.
@@ -129,26 +120,19 @@ func newUnitScheduler(name string) (UnitScheduler, error) {
 	if name == "" {
 		name = SchedulerRoundRobin
 	}
-	factory, ok := unitSchedulerFactories[name]
-	if !ok {
-		return nil, fmt.Errorf("core: %w %q (registered: %s)",
-			ErrUnknownScheduler, name, strings.Join(UnitSchedulers(), ", "))
+	factory, err := unitSchedulers.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return factory(), nil
 }
 
-func mustRegisterUnitScheduler(name string, factory func() UnitScheduler) {
-	if err := RegisterUnitScheduler(name, factory); err != nil {
-		panic(err)
-	}
-}
-
 func init() {
-	mustRegisterUnitScheduler(SchedulerRoundRobin, func() UnitScheduler { return &rrScheduler{} })
-	mustRegisterUnitScheduler(SchedulerLeastLoaded, func() UnitScheduler { return &leastLoadedScheduler{} })
-	mustRegisterUnitScheduler(SchedulerBackfill, func() UnitScheduler { return &backfillScheduler{} })
-	mustRegisterUnitScheduler(SchedulerLocality, func() UnitScheduler { return &localityScheduler{} })
-	mustRegisterUnitScheduler(SchedulerCoLocate, func() UnitScheduler { return &coLocateScheduler{} })
+	unitSchedulers.MustRegister(SchedulerRoundRobin, func() UnitScheduler { return &rrScheduler{} })
+	unitSchedulers.MustRegister(SchedulerLeastLoaded, func() UnitScheduler { return &leastLoadedScheduler{} })
+	unitSchedulers.MustRegister(SchedulerBackfill, func() UnitScheduler { return &backfillScheduler{} })
+	unitSchedulers.MustRegister(SchedulerLocality, func() UnitScheduler { return &localityScheduler{} })
+	unitSchedulers.MustRegister(SchedulerCoLocate, func() UnitScheduler { return &coLocateScheduler{} })
 }
 
 // rrScheduler rotates over the live candidates — eager binding, blind to
@@ -234,19 +218,13 @@ func (*backfillScheduler) Pick(_ *sim.Proc, u *Unit, cands []*Candidate) (*Pilot
 
 // inputBytesOn sums the bytes of the unit's Data-Unit inputs whose
 // replicas the candidate's attached data pilot holds — the co-location
-// signal the data-affinity policies place by.
+// signal the data-affinity policies place by, read through the shared
+// ClusterView.
 func inputBytesOn(c *Candidate, u *Unit) int64 {
-	dp := c.Pilot.DataPilot()
-	if dp == nil {
-		return 0
+	if c.View != nil {
+		return c.View.InputBytes(u)
 	}
-	var total int64
-	for _, ref := range u.Desc.Inputs {
-		if ref.Unit != nil && ref.Unit.ReplicaOn(dp) {
-			total += ref.Unit.SizeBytes()
-		}
-	}
-	return total
+	return inputBytesOnPilot(c.Pilot.DataPilot(), u)
 }
 
 // localityScheduler implements the paper's data-locality argument at the

@@ -451,7 +451,7 @@ func TestRoguePolicyFailsUnitNotManager(t *testing.T) {
 	if err := RegisterUnitScheduler("rogue", func() UnitScheduler { return rogue }); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { delete(unitSchedulerFactories, "rogue") })
+	t.Cleanup(func() { unitSchedulers.Unregister("rogue") })
 	scenario := func(deadManaged bool) (UnitState, error) {
 		e := newEnv(t, 4, fastProfile())
 		var st UnitState

@@ -142,6 +142,12 @@ type UnitManager struct {
 	passing  bool
 	rerun    bool
 	passDone *sim.Event
+
+	// gen counts scheduling events and unit state changes; the memoized
+	// ClusterView (and with it demand()) rebuilds only when it moved.
+	gen     uint64
+	viewGen uint64
+	view    *ClusterView
 }
 
 type pilotLoad struct {
@@ -203,6 +209,7 @@ func (um *UnitManager) AddPilot(pl *Pilot) error {
 	}
 	um.pilots = append(um.pilots, pl)
 	um.load[pl] = &pilotLoad{}
+	um.bumpGen()
 	pl.OnStateChange(func(pl *Pilot, st PilotState) {
 		if st.Final() {
 			um.rebindOrphans(pl)
@@ -240,6 +247,7 @@ func (um *UnitManager) observe(fn func()) {
 }
 
 func (um *UnitManager) notifyObservers() {
+	um.bumpGen()
 	for _, fn := range um.observers {
 		fn()
 	}
@@ -248,24 +256,13 @@ func (um *UnitManager) notifyObservers() {
 // demand summarizes the manager's current workload for autoscaling:
 // units not yet executing (parked in the manager plus bound but still
 // queued or in agent scheduling/staging-in) and units currently
-// executing, with their summed core demands.
+// executing, with their summed core demands. The counting pass is
+// memoized behind the scheduling-event generation counter, so an
+// autoscaler tick arriving while nothing changed reuses the last count
+// instead of re-walking every in-flight unit.
 func (um *UnitManager) demand() (waitingUnits, waitingCores, runningUnits, runningCores int) {
-	for _, u := range um.pending {
-		waitingUnits++
-		waitingCores += u.Desc.Cores
-	}
-	for u := range um.charged {
-		switch st := u.State(); {
-		case st.Final():
-		case st < UnitExecuting:
-			waitingUnits++
-			waitingCores += u.Desc.Cores
-		default:
-			runningUnits++
-			runningCores += u.Desc.Cores
-		}
-	}
-	return
+	v := um.ensureView()
+	return v.WaitingUnits, v.WaitingCores, v.RunningUnits, v.RunningCores
 }
 
 // bindLoop is the manager's scheduling daemon: it re-runs the scheduling
@@ -299,6 +296,7 @@ func (um *UnitManager) schedulePass(p *sim.Proc) {
 		um.rerun = false
 		batch := um.pending
 		um.pending = nil
+		um.bumpGen() // the waiting set changed; views must recount
 		for _, u := range batch {
 			um.placeOne(p, u)
 		}
@@ -318,10 +316,11 @@ func (um *UnitManager) placeOne(p *sim.Proc, u *Unit) {
 		u.fail(fmt.Errorf("core: unit %s: %w among %d registered", u.ID, ErrNoLivePilot, len(um.pilots)))
 		return
 	}
+	view := um.ClusterView()
 	cands := make([]*Candidate, len(live))
 	for i, pl := range live {
-		ld := um.load[pl]
-		cands[i] = &Candidate{Pilot: pl, InFlightUnits: ld.units, InFlightCores: ld.cores}
+		pv := view.For(pl)
+		cands[i] = &Candidate{Pilot: pl, InFlightUnits: pv.InFlightUnits, InFlightCores: pv.InFlightCores, View: pv}
 	}
 	pl, err := um.policy.Pick(p, u, cands)
 	if err != nil {
@@ -331,6 +330,7 @@ func (um *UnitManager) placeOne(p *sim.Proc, u *Unit) {
 	if pl == nil {
 		// Deferred (late binding): park until the next scheduling event.
 		um.pending = append(um.pending, u)
+		um.bumpGen()
 		return
 	}
 	offered := false
@@ -352,7 +352,7 @@ func (um *UnitManager) placeOne(p *sim.Proc, u *Unit) {
 		// The picked pilot died while the policy blocked in virtual
 		// time: park and retry with fresh candidates.
 		um.pending = append(um.pending, u)
-		um.kick()
+		um.kick() // bumps the generation too
 		return
 	}
 	u.Pilot = pl
@@ -394,6 +394,7 @@ func (um *UnitManager) rebindOrphans(dead *Pilot) {
 		u.Pilot = nil
 		um.pending = append(um.pending, u)
 	}
+	um.bumpGen()
 }
 
 // Submit registers the units with the manager and runs a scheduling pass
@@ -420,6 +421,7 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 		}
 		u.Timestamps[UnitNew] = um.session.eng.Now()
 		u.OnStateChange(func(u *Unit, st UnitState) {
+			um.bumpGen() // any transition can shift the waiting/running split
 			if st.Final() {
 				um.uncharge(u)
 				um.kick() // freed capacity may unblock parked units

@@ -2,10 +2,9 @@ package data
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"repro/internal/hdfs"
+	"repro/internal/registry"
 	"repro/internal/saga"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -68,57 +67,34 @@ type Backend interface {
 	Provision(e *sim.Engine, ft *saga.FileTransfer, d PilotDescription) (Store, error)
 }
 
-// backendFactories is the registry: backend name to per-pilot factory.
-var backendFactories = map[string]func() Backend{}
+// backends is the registry: backend name to per-pilot factory, an
+// instance of the one generic registry behind every pluggable seam.
+var backends = registry.New[func() Backend]("data", "backend", ErrUnknownBackend)
 
 // RegisterBackend adds a data-backend factory under name, the key a
 // PilotDescription selects it by — the Pilot-Data analogue of the
 // compute-backend, unit-scheduler and autoscale-policy registries.
 // Registration fails on nil factories, empty names, and duplicates.
 func RegisterBackend(name string, factory func() Backend) error {
-	if factory == nil {
-		return fmt.Errorf("data: nil backend factory")
-	}
-	if name == "" {
-		return fmt.Errorf("data: backend needs a name")
-	}
-	if _, dup := backendFactories[name]; dup {
-		return fmt.Errorf("data: backend %q already registered", name)
-	}
-	backendFactories[name] = factory
-	return nil
+	return backends.Register(name, factory)
 }
 
 // Backends lists the registered data-backend names, sorted.
-func Backends() []string {
-	names := make([]string, 0, len(backendFactories))
-	for name := range backendFactories {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
-}
+func Backends() []string { return backends.Names() }
 
 // newBackend instantiates the backend a description selects.
 func newBackend(name string) (Backend, error) {
-	factory, ok := backendFactories[name]
-	if !ok {
-		return nil, fmt.Errorf("data: %w %q (registered: %s)",
-			ErrUnknownBackend, name, strings.Join(Backends(), ", "))
+	factory, err := backends.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return factory(), nil
 }
 
-func mustRegisterBackend(name string, factory func() Backend) {
-	if err := RegisterBackend(name, factory); err != nil {
-		panic(err)
-	}
-}
-
 func init() {
-	mustRegisterBackend(BackendLustre, func() Backend { return lustreBackend{} })
-	mustRegisterBackend(BackendHDFS, func() Backend { return hdfsBackend{} })
-	mustRegisterBackend(BackendMem, func() Backend { return memBackend{} })
+	backends.MustRegister(BackendLustre, func() Backend { return lustreBackend{} })
+	backends.MustRegister(BackendHDFS, func() Backend { return hdfsBackend{} })
+	backends.MustRegister(BackendMem, func() Backend { return memBackend{} })
 }
 
 // lustreBackend stores replicas on the shared parallel filesystem.

@@ -43,7 +43,7 @@ func newTestManager(t *testing.T) (*sim.Engine, *cluster.Machine, *Manager) {
 // TestRegistryHygiene mirrors the compute-backend registry rules.
 func TestRegistryHygiene(t *testing.T) {
 	for _, want := range []string{BackendLustre, BackendHDFS, BackendMem} {
-		if _, ok := backendFactories[want]; !ok {
+		if !backends.Has(want) {
 			t.Errorf("built-in backend %q not registered", want)
 		}
 	}

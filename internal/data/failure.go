@@ -1,0 +1,143 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Failed reports whether the pilot's store was killed by FailPilot. A
+// failed pilot never receives new replicas (placement, re-replication
+// and caching all skip it) and no longer counts as holding any.
+func (dp *Pilot) Failed() bool { return dp.failed }
+
+// FailPilot kills a data pilot mid-run — the Pilot-Data failure
+// injection, the data-side analogue of cancelling a compute pilot under
+// the unit-scheduler failover test. The store's replicas are lost:
+// every live unit drops it from its replica set, and then, in unit-ID
+// order (deterministic),
+//
+//   - a Replicated unit with surviving copies re-replicates from its
+//     first surviving replica back up to its replication target, on the
+//     surviving stores (capped at the eligible stores, like placement);
+//     a cached copy left by stage-in is promoted to a full replica
+//     first — the bytes already exist, so durability is restored for
+//     free;
+//   - a Replicated unit whose last copy died fails with ErrUnavailable,
+//     so Compute-Units reading it fail with ErrUnavailable as the cause
+//     — and only then: while any replica survives, reads keep working.
+//
+// Units still staging keep their in-flight transfers; their next Stage
+// step observes the shrunk replica set. Re-replication copies run on p,
+// so FailPilot returns once the survivors are whole again.
+func (dm *Manager) FailPilot(p *sim.Proc, dp *Pilot) error {
+	if dp == nil || dp.mgr != dm {
+		return fmt.Errorf("data: pilot does not belong to this manager")
+	}
+	if dp.failed {
+		return nil
+	}
+	dp.failed = true
+	dm.eng.Tracef("data pilot %s (%s) FAILED", dp.ID, dp.store.Name())
+
+	// Collect the live units in ID order so re-replication placement is
+	// deterministic regardless of map iteration.
+	units := make([]*Unit, 0, len(dm.names))
+	for _, du := range dm.names {
+		units = append(units, du)
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].ID < units[j].ID })
+
+	var firstErr error
+	for _, du := range units {
+		if !du.dropPilot(dp) || du.state != StateReplicated {
+			continue
+		}
+		if len(du.replicas) == 0 && len(du.cached) > 0 {
+			// Promote one cached copy so the unit survives; reReplicate
+			// promotes further ones only up to the replication target, so
+			// cached copies never inflate the managed replica count.
+			du.replicas = append(du.replicas, du.cached[0])
+			du.cached = du.cached[1:]
+		}
+		if len(du.replicas) == 0 {
+			du.fail(fmt.Errorf("data: unit %s: %w: store %s failed holding the last replica",
+				du.ID, ErrUnavailable, dp.store.Name()))
+			continue
+		}
+		if err := dm.reReplicate(p, du); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// reReplicate restores du's replication target on the surviving stores:
+// cached copies are promoted first (no bytes move), then new replicas
+// are copied from the first surviving one, placed like placeReplicas —
+// least-occupied eligible store, ties by registration order. Fewer
+// eligible stores than the target caps the count, like HDFS caps
+// replication at its DataNode count.
+func (dm *Manager) reReplicate(p *sim.Proc, du *Unit) error {
+	src := du.replicas[0]
+	for len(du.replicas) < du.Desc.Replication {
+		if len(du.cached) > 0 {
+			du.replicas = append(du.replicas, du.cached[0])
+			du.cached = du.cached[1:]
+			continue
+		}
+		var best *Pilot
+		for _, cand := range dm.pilots {
+			if cand.failed || cand.store.Has(du.Name()) {
+				continue
+			}
+			if cap := cand.store.CapacityBytes(); cap > 0 && cand.store.UsedBytes()+du.Desc.SizeBytes > cap {
+				continue
+			}
+			if best == nil || cand.store.UsedBytes() < best.store.UsedBytes() {
+				best = cand
+			}
+		}
+		if best == nil {
+			return nil // capped at the surviving eligible stores
+		}
+		if err := dm.copyReplica(p, du, src, best); err != nil {
+			return fmt.Errorf("data: unit %s re-replica to %s: %w", du.ID, best.store.Name(), err)
+		}
+		du.replicas = append(du.replicas, best)
+		dm.eng.Tracef("data unit %s re-replicated to %s", du.ID, best.store.Name())
+	}
+	return nil
+}
+
+// CacheReplica leaves an opportunistic cached replica of du on dp — the
+// stage-in cache: when a Compute-Unit on a pilot with an attached store
+// reads a remote replica, the bytes just travelled anyway, so parking a
+// copy costs only the local write. Cached replicas are capacity-bounded
+// (a full store skips the cache, nothing is evicted), excluded from the
+// replication target count, and count as replicas for reads and
+// placement scoring — an iterative workload's second pass reads fully
+// local. It reports whether a copy was cached; every skip (unit not
+// readable, store failed or full or already holding) is silent, as
+// befits a cache.
+func (dm *Manager) CacheReplica(p *sim.Proc, du *Unit, dp *Pilot) bool {
+	if du == nil || du.mgr != dm || dp == nil || dp.mgr != dm {
+		return false
+	}
+	if dp.failed || du.state != StateReplicated {
+		return false
+	}
+	if dp.store.Has(du.Name()) {
+		return false
+	}
+	if cap := dp.store.CapacityBytes(); cap > 0 && dp.store.UsedBytes()+du.Desc.SizeBytes > cap {
+		return false
+	}
+	if err := dp.store.Ingest(p, du.Name(), du.Desc.SizeBytes, nil); err != nil {
+		return false
+	}
+	du.cached = append(du.cached, dp)
+	dm.eng.Tracef("data unit %s cached on %s", du.ID, dp.store.Name())
+	return true
+}

@@ -16,9 +16,10 @@ type Pilot struct {
 	ID   string
 	Desc PilotDescription
 
-	store Store
-	mgr   *Manager
-	index int
+	store  Store
+	mgr    *Manager
+	index  int
+	failed bool
 }
 
 // Store returns the pilot's provisioned store.
@@ -173,11 +174,23 @@ func (dm *Manager) Stage(p *sim.Proc, du *Unit) error {
 		du.fail(err)
 		return err
 	}
+	if first.failed {
+		// FailPilot hit the target while the ingest was in flight: the
+		// bytes died with the store, so a failed store must never be
+		// recorded as a replica holder.
+		err := fmt.Errorf("data: unit %s stage-in to %s: %w: store failed during staging",
+			du.ID, first.store.Name(), ErrUnavailable)
+		du.fail(err)
+		return err
+	}
 	du.replicas = append(du.replicas, first)
 	if err := dm.abandonIfCanceled(p, du); err != nil {
 		return err
 	}
 	for _, t := range targets[1:] {
+		if t.failed {
+			continue // died since placement; the target count caps at survivors
+		}
 		if err := dm.copyReplica(p, du, first, t); err != nil {
 			// Free the replicas already placed — a failed unit cannot
 			// be Removed, so leaving them would leak store capacity and
@@ -186,6 +199,9 @@ func (dm *Manager) Stage(p *sim.Proc, du *Unit) error {
 			err = fmt.Errorf("data: unit %s replica to %s: %w", du.ID, t.store.Name(), err)
 			du.fail(err)
 			return err
+		}
+		if t.failed {
+			continue // died mid-copy; bytes lost with the store
 		}
 		du.replicas = append(du.replicas, t)
 		if err := dm.abandonIfCanceled(p, du); err != nil {
@@ -248,6 +264,9 @@ func (dm *Manager) copyReplica(p *sim.Proc, du *Unit, src, dst *Pilot) error {
 func (dm *Manager) placeReplicas(du *Unit) []*Pilot {
 	eligible := make([]*Pilot, 0, len(dm.pilots))
 	for _, dp := range dm.pilots {
+		if dp.failed {
+			continue // a failed store never receives replicas
+		}
 		if dp.store.Has(du.Name()) {
 			continue // never two replicas on one store
 		}
@@ -291,6 +310,14 @@ func (dm *Manager) Remove(p *sim.Proc, du *Unit) error {
 			return err
 		}
 		du.replicas = du.replicas[1:]
+	}
+	// Opportunistic cached copies retire with the unit too.
+	for len(du.cached) > 0 {
+		dp := du.cached[0]
+		if err := dp.store.Delete(p, du.Name()); err != nil {
+			return err
+		}
+		du.cached = du.cached[1:]
 	}
 	du.advance(StateDone)
 	return nil

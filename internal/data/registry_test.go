@@ -1,0 +1,16 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/registry/registrytest"
+)
+
+// TestRegistryConformance runs the shared registry contract over the
+// data-backend registry — the fourth migrated instance of
+// registry.Registry[T] — mirroring the core-side conformance runs.
+func TestRegistryConformance(t *testing.T) {
+	registrytest.Conformance(t, backends, ErrUnknownBackend,
+		[]string{BackendLustre, BackendHDFS, BackendMem},
+		"conformance-data-backend", func() Backend { return lustreBackend{} })
+}

@@ -67,6 +67,9 @@ type Unit struct {
 	Timestamps map[UnitState]sim.Duration
 
 	replicas []*Pilot
+	// cached are the opportunistic stage-in copies (Manager.CacheReplica):
+	// readable like replicas, excluded from the replication target count.
+	cached []*Pilot
 	// Err records the failure cause for StateFailed.
 	Err error
 }
@@ -83,15 +86,17 @@ func (du *Unit) State() UnitState { return du.state }
 // Manager returns the owning manager.
 func (du *Unit) Manager() *Manager { return du.mgr }
 
-// Replicas returns the data pilots holding a replica, in placement
-// order.
+// Replicas returns the data pilots holding a managed replica, in
+// placement order. Opportunistic cached copies are not included; see
+// CachedOn.
 func (du *Unit) Replicas() []*Pilot {
 	out := make([]*Pilot, len(du.replicas))
 	copy(out, du.replicas)
 	return out
 }
 
-// ReplicaOn reports whether dp holds a replica of the unit.
+// ReplicaOn reports whether dp holds a readable copy of the unit —
+// a managed replica or an opportunistic cached one.
 func (du *Unit) ReplicaOn(dp *Pilot) bool {
 	if dp == nil {
 		return false
@@ -101,7 +106,50 @@ func (du *Unit) ReplicaOn(dp *Pilot) bool {
 			return true
 		}
 	}
+	for _, r := range du.cached {
+		if r == dp {
+			return true
+		}
+	}
 	return false
+}
+
+// CachedOn reports whether dp holds an opportunistic cached copy
+// (Manager.CacheReplica) — readable, but outside the replication
+// target.
+func (du *Unit) CachedOn(dp *Pilot) bool {
+	for _, r := range du.cached {
+		if r == dp {
+			return true
+		}
+	}
+	return false
+}
+
+// dropPilot removes dp from the unit's replica and cache lists without
+// touching the store (the store is gone — FailPilot's case). It reports
+// whether the unit held anything there.
+func (du *Unit) dropPilot(dp *Pilot) bool {
+	dropped := false
+	keep := du.replicas[:0]
+	for _, r := range du.replicas {
+		if r == dp {
+			dropped = true
+			continue
+		}
+		keep = append(keep, r)
+	}
+	du.replicas = keep
+	keepC := du.cached[:0]
+	for _, r := range du.cached {
+		if r == dp {
+			dropped = true
+			continue
+		}
+		keepC = append(keepC, r)
+	}
+	du.cached = keepC
+	return dropped
 }
 
 // OnStateChange registers fn to run for every state the unit actually

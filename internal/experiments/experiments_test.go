@@ -330,6 +330,81 @@ func TestElasticComparisonShapes(t *testing.T) {
 	}
 }
 
+// TestDataElasticComparisonShapes is the placement-fabric acceptance
+// check: on the data-skewed workload (every partition behind the hot
+// pilot's store), the data-aware autoscale policy — which reads the
+// shared ClusterView to grow the pilot holding the bytes — beats the
+// data-blind queue-depth policy on makespan AND on consumed node-seconds
+// at the fixed seed, because queue-depth also grows the cold pilot,
+// wasting budget and starving the hot pilot of free nodes. The run is
+// deterministic, so the comparisons are strict.
+func TestDataElasticComparisonShapes(t *testing.T) {
+	rows, err := RunDataElasticComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(policy string) *DataElasticRow {
+		for _, r := range rows {
+			if r.Policy == policy {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s", policy)
+		return nil
+	}
+	for _, r := range rows {
+		if r.Makespan <= 0 {
+			t.Errorf("%s: non-positive makespan %v", r.Policy, r.Makespan)
+		}
+		if r.LocalInputs+r.RemoteInputs != dataElasticUnits {
+			t.Errorf("%s: %d+%d input reads, want %d", r.Policy, r.LocalInputs, r.RemoteInputs, dataElasticUnits)
+		}
+		// The locality scheduler pins every unit to the replica-holding
+		// pilot, so the capacity decision is the only varying factor.
+		if r.RemoteInputs != 0 {
+			t.Errorf("%s: %d remote input reads, want 0", r.Policy, r.RemoteInputs)
+		}
+	}
+	qd, da := get(DataElasticQueueDepth), get(DataElasticDataAware)
+	// The mechanism: data-aware grows only the store-holding pilot.
+	if da.PeakCold != dataElasticBaseNodes {
+		t.Errorf("data-aware grew the cold pilot to %d nodes, want it held at %d",
+			da.PeakCold, dataElasticBaseNodes)
+	}
+	if qd.PeakCold <= dataElasticBaseNodes {
+		t.Errorf("queue-depth never grew the cold pilot (peak %d) — the baseline lost its blindness", qd.PeakCold)
+	}
+	if da.PeakHot <= qd.PeakHot {
+		t.Errorf("data-aware peak hot (%d) not above queue-depth's (%d)", da.PeakHot, qd.PeakHot)
+	}
+	// The outcome: faster and cheaper.
+	if da.Makespan >= qd.Makespan {
+		t.Errorf("data-aware (%v) not faster than queue-depth (%v)", da.Makespan, qd.Makespan)
+	}
+	if da.NodeSeconds >= qd.NodeSeconds {
+		t.Errorf("data-aware (%.0f node-s) not cheaper than queue-depth (%.0f node-s)",
+			da.NodeSeconds, qd.NodeSeconds)
+	}
+	// Deterministic at the fixed seed.
+	again, err := RunDataElasticComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if again[i].Makespan != r.Makespan || again[i].PeakHot != r.PeakHot ||
+			again[i].PeakCold != r.PeakCold || again[i].NodeSeconds != r.NodeSeconds {
+			t.Errorf("%s not deterministic: %v/%d/%d/%.0f vs %v/%d/%d/%.0f", r.Policy,
+				r.Makespan, r.PeakHot, r.PeakCold, r.NodeSeconds,
+				again[i].Makespan, again[i].PeakHot, again[i].PeakCold, again[i].NodeSeconds)
+		}
+	}
+	var buf bytes.Buffer
+	WriteDataElasticComparison(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty rendering")
+	}
+}
+
 func TestNewEnvValidation(t *testing.T) {
 	if _, err := NewEnv("nonsense", 2, 1); err == nil {
 		t.Fatal("unknown machine accepted")

@@ -1,0 +1,106 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+var errUnknownWidget = errors.New("unknown widget")
+
+func newTestRegistry() *Registry[func() int] {
+	return New[func() int]("test", "widget", errUnknownWidget)
+}
+
+func TestRegisterLookupRoundTrip(t *testing.T) {
+	r := newTestRegistry()
+	if err := r.Register("one", func() int { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.Lookup("one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f(); got != 1 {
+		t.Fatalf("looked-up factory returned %d, want 1", got)
+	}
+}
+
+func TestRegisterRejectsNilEmptyAndDuplicate(t *testing.T) {
+	r := newTestRegistry()
+	if err := r.Register("nil-factory", nil); err == nil {
+		t.Error("nil value accepted")
+	}
+	var typedNil func() int
+	if err := r.Register("typed-nil", typedNil); err == nil {
+		t.Error("typed-nil value accepted")
+	}
+	if err := r.Register("", func() int { return 0 }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := r.Register("dup", func() int { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("dup", func() int { return 0 }); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestLookupMissWrapsSentinelAndListsNames(t *testing.T) {
+	r := newTestRegistry()
+	r.MustRegister("b", func() int { return 0 })
+	r.MustRegister("a", func() int { return 0 })
+	_, err := r.Lookup("no-such")
+	if !errors.Is(err, errUnknownWidget) {
+		t.Fatalf("Lookup miss = %v, want the unknown-widget sentinel", err)
+	}
+	for _, want := range []string{`"no-such"`, "a, b", "test:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Lookup miss %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := newTestRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.MustRegister(name, func() int { return 0 })
+	}
+	got := r.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHasAndUnregister(t *testing.T) {
+	r := newTestRegistry()
+	r.MustRegister("x", func() int { return 0 })
+	if !r.Has("x") {
+		t.Error("Has(x) = false after Register")
+	}
+	r.Unregister("x")
+	if r.Has("x") {
+		t.Error("Has(x) = true after Unregister")
+	}
+	r.Unregister("x") // absent entries tolerated
+	if err := r.Register("x", func() int { return 2 }); err != nil {
+		t.Errorf("re-registering after Unregister: %v", err)
+	}
+}
+
+func TestMustRegisterPanicsOnError(t *testing.T) {
+	r := newTestRegistry()
+	r.MustRegister("p", func() int { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister duplicate did not panic")
+		}
+	}()
+	r.MustRegister("p", func() int { return 0 })
+}

@@ -1,0 +1,71 @@
+// Package registrytest provides the conformance suite every registry
+// built on registry.Registry[T] is run through. The four migrated
+// registries — execution backends, unit schedulers, autoscale policies,
+// data backends — each invoke Conformance from their own package's
+// tests, so a regression in the generic (or in how a call site wires
+// it) fails at every seam it would break.
+package registrytest
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+// Conformance runs the registry contract against a live registry:
+// built-ins present, Names sorted, duplicate/empty/nil registrations
+// rejected, registered values retrievable, and unknown-name lookups
+// matching the registry's pre-existing sentinel through errors.Is.
+//
+// tempName must be unused; it is registered with fresh and removed
+// again on cleanup, so running against the process-global registries is
+// safe.
+func Conformance[T any](t *testing.T, r *registry.Registry[T], sentinel error, builtins []string, tempName string, fresh T) {
+	t.Helper()
+
+	for _, name := range builtins {
+		if !r.Has(name) {
+			t.Errorf("built-in %q not registered", name)
+		}
+	}
+	names := r.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+
+	if _, err := r.Lookup("registrytest-no-such-name"); !errors.Is(err, sentinel) {
+		t.Errorf("unknown-name Lookup = %v, want the registry's sentinel", err)
+	}
+
+	var zero T
+	if err := r.Register("registrytest-nil", zero); err == nil {
+		t.Error("nil value accepted")
+		r.Unregister("registrytest-nil")
+	}
+	if err := r.Register("", fresh); err == nil {
+		t.Error("empty name accepted")
+	}
+
+	if r.Has(tempName) {
+		t.Fatalf("temp name %q already registered; pick an unused one", tempName)
+	}
+	if err := r.Register(tempName, fresh); err != nil {
+		t.Fatalf("registering %q: %v", tempName, err)
+	}
+	t.Cleanup(func() { r.Unregister(tempName) })
+	if err := r.Register(tempName, fresh); err == nil {
+		t.Errorf("duplicate registration of %q accepted", tempName)
+	}
+	if _, err := r.Lookup(tempName); err != nil {
+		t.Errorf("Lookup(%q) after Register: %v", tempName, err)
+	}
+	withTemp := r.Names()
+	if len(withTemp) != len(names)+1 {
+		t.Errorf("Names() grew from %d to %d after one registration", len(names), len(withTemp))
+	}
+	if !sort.StringsAreSorted(withTemp) {
+		t.Errorf("Names() not sorted after registration: %v", withTemp)
+	}
+}

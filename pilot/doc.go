@@ -72,6 +72,46 @@
 //     schedulers bind compute to the pilot holding the most input
 //     bytes.
 //
+// # Placement fabric
+//
+// All three decision layers — unit schedulers, autoscale policies, and
+// the Pilot-Data co-scheduling signals — consume one coherent snapshot
+// of the cluster instead of probing their own partial pictures: the
+// ClusterView, assembled by UnitManager.ClusterView. A view carries,
+// per pilot, the core capacity (tracking elastic resizes and YARN
+// vcores), the waiting/running demand split, the attached data store's
+// used/free bytes, and the input bytes parked behind the manager's
+// waiting units. Unit schedulers receive it as Candidate.View; autoscale
+// policies as AutoscaleSnapshot.View. The expensive demand count is
+// memoized behind the manager's scheduling-event generation counter, so
+// autoscaler ticks that land between events reuse it.
+//
+// On top of the shared view sits the "data-aware" autoscale policy
+// (AutoscaleDataAware, DataAwarePolicy): it grows the pilot whose
+// attached store holds the most bytes behind the pending units' Inputs
+// — capacity moves to the data, the resize-time analogue of the
+// "co-locate" scheduler — and holds pilots whose stores are cold, so
+// they stop racing the hot pilot for free nodes. Without a data signal
+// it degrades to exactly "queue-depth". The cmd/repro "dataelastic"
+// experiment measures the effect on a data-skewed workload.
+//
+// The data tier is failure-injectable and caching: DataManager.FailPilot
+// kills a store mid-run — surviving replicas re-replicate back to the
+// target (cached copies are promoted first), and compute units fail
+// with ErrDataUnavailable only when an input's last copy died. Stage-in
+// through a remote replica leaves an opportunistic cached replica on
+// the reading pilot's attached store (capacity-bounded, excluded from
+// the replication target, readable like any replica — DataUnit.CachedOn
+// distinguishes it), so iterative workloads converge to fully local
+// reads without affinity hints.
+//
+// Every pluggable seam above — execution backends, unit schedulers,
+// autoscale policies, data backends — is one instance of the same
+// generic registry (internal/registry): duplicate, empty and nil
+// registrations are rejected, names list sorted, and unknown names wrap
+// the seam's sentinel for errors.Is. Registering the next seam is a
+// one-liner.
+//
 // Failure modes carry typed causes: match Submit errors, Resize errors
 // and Unit.Err against the ErrNoPilots, ErrNoLivePilot,
 // ErrUnschedulable, ErrUnknownScheduler, ErrUnknownResource,
