@@ -388,3 +388,70 @@ func BenchmarkStagingComparison(b *testing.B) {
 	b.ReportMetric(speedup/float64(b.N), "speedup")
 	b.ReportMetric(throughput/float64(b.N), "stage-MBps")
 }
+
+// BenchmarkUnitGraph runs the cmd/repro dag comparison — the skewed
+// map → shuffle → reduce UnitGraph under critical-path and FIFO
+// ordering — and reports the critical-path cell's simulated makespan
+// plus the makespan speedup over FIFO.
+func BenchmarkUnitGraph(b *testing.B) {
+	var simSec, speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunDAGComparison(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp, fifo := rows[0], rows[1]
+		simSec += cp.Makespan.Seconds()
+		speedup += fifo.Makespan.Seconds() / cp.Makespan.Seconds()
+	}
+	b.ReportMetric(simSec/float64(b.N), "sim-sec")
+	b.ReportMetric(speedup/float64(b.N), "speedup")
+}
+
+// BenchmarkUnitGraphAdmission measures the graph-admission cost alone —
+// edge wiring, cycle detection and critical-path computation over a
+// 512-unit layered DAG — the wall-clock price paid once per Submit.
+func BenchmarkUnitGraphAdmission(b *testing.B) {
+	const layers, width = 16, 32
+	eng := sim.NewEngine()
+	defer eng.Close()
+	session := pilot.NewSession(eng, pilot.WithSeed(1))
+	dm := pilot.NewDataManager(session)
+	outs := make([][]*pilot.DataUnit, layers)
+	for l := 0; l < layers; l++ {
+		outs[l] = make([]*pilot.DataUnit, width)
+		for w := 0; w < width; w++ {
+			du, err := dm.Declare(pilot.DataUnitDescription{
+				Name: fmt.Sprintf("/bench/l%02d-w%02d", l, w), SizeBytes: 1 << 20,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			outs[l][w] = du
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := pilot.NewUnitGraph()
+		for l := 0; l < layers; l++ {
+			for w := 0; w < width; w++ {
+				desc := pilot.ComputeUnitDescription{
+					Name:    fmt.Sprintf("u-l%02d-w%02d", l, w),
+					Outputs: []pilot.DataRef{{Unit: outs[l][w]}},
+				}
+				if l > 0 {
+					desc.Inputs = []pilot.DataRef{
+						{Unit: outs[l-1][w]},
+						{Unit: outs[l-1][(w+1)%width]},
+					}
+				}
+				if _, err := g.Add(desc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

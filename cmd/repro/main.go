@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|breakdown|all
+//	repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|breakdown|all
 package main
 
 import (
@@ -23,7 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
 	trials := flag.Int("trials", 3, "trials per Figure 5 bar")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|breakdown|all\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|breakdown|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,7 +44,8 @@ func main() {
 	}
 	known := map[string]bool{"fig5": true, "fig6": true, "speedups": true,
 		"ablate-shuffle": true, "ablate-amreuse": true, "sched": true,
-		"elastic": true, "data": true, "dataelastic": true, "breakdown": true, "all": true}
+		"elastic": true, "data": true, "dataelastic": true, "dag": true,
+		"breakdown": true, "all": true}
 	if !known[cmd] {
 		flag.Usage()
 		os.Exit(2)
@@ -127,6 +128,22 @@ func main() {
 			return err
 		}
 		experiments.WriteDataElasticComparison(os.Stdout, rows)
+		return nil
+	})
+	run("dag", func() error {
+		rows, err := experiments.RunDAGComparison(*seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteDAGComparison(os.Stdout, rows)
+		if *seed == 42 {
+			// The committed claim: at the reference seed, critical-path
+			// ordering must beat FIFO on the skewed DAG.
+			if err := experiments.CheckDAGComparison(rows); err != nil {
+				return err
+			}
+			fmt.Println("dag assertions hold: critical-path starts the heavy chain first and wins on makespan")
+		}
 		return nil
 	})
 	run("breakdown", func() error { return breakdown(*seed) })

@@ -36,6 +36,12 @@ type ClusterView struct {
 	// signal is built from.
 	WaitingUnits, WaitingCores int
 	RunningUnits, RunningCores int
+	// HeldUnits/HeldCores count units parked in UnitPendingInput — work
+	// whose input Data-Units have not replicated yet. They are demand
+	// that exists but cannot run, split out of the Waiting counts so
+	// autoscale policies do not grow capacity for units no pilot could
+	// start; they join Waiting once their inputs replicate.
+	HeldUnits, HeldCores int
 
 	byPilot map[*Pilot]*PilotView
 	// waiting are the units behind the Waiting counts, kept so the
@@ -174,6 +180,15 @@ func (um *UnitManager) buildView() *ClusterView {
 		v.WaitingUnits++
 		v.WaitingCores += u.Desc.Cores
 		v.waiting = append(v.waiting, u)
+	}
+	// Held units are counted apart from the waiting set (map order does
+	// not matter: the counts are commutative sums).
+	for u := range um.held {
+		if u.State() != UnitPendingInput {
+			continue
+		}
+		v.HeldUnits++
+		v.HeldCores += u.Desc.Cores
 	}
 	// Map iteration order does not matter: every accumulation below is
 	// commutative, and the waiting list is only ever summed over.

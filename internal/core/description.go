@@ -162,6 +162,13 @@ type ComputeUnitDescription struct {
 	// MemoryMB sizes the unit's YARN container in ModeYARN (default
 	// 2048).
 	MemoryMB int64
+	// Priority orders units within one bind pass: the Unit-Manager
+	// offers higher-priority units to the scheduling policy first; equal
+	// priorities keep submission (FIFO) order, so the zero value
+	// reproduces plain FIFO binding. Graph admission (internal/graph)
+	// sets it to each unit's critical-path length, making the longest
+	// remaining chain bind first.
+	Priority float64
 	// Inputs references the Data-Units the unit reads. The agent stages
 	// each input before the unit reaches UnitExecuting — a replica held
 	// by the pilot's attached data pilot is read locally, anything else
@@ -180,7 +187,9 @@ type ComputeUnitDescription struct {
 	//
 	// Deprecated: use Inputs with Data-Units managed by a DataManager;
 	// string paths carry no size or replica placement, so the scheduler
-	// can only count them. Kept so pre-Pilot-Data applications compile.
+	// can only count them. Every in-repo user has migrated to Inputs;
+	// the shim remains only so pre-Pilot-Data applications compile and
+	// will be removed in a future revision.
 	InputData []string
 	// InputStagingBytes are staged from the shared filesystem into the
 	// sandbox before execution.

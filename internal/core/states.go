@@ -68,6 +68,11 @@ type UnitState int
 // Unit states in lifecycle order.
 const (
 	UnitNew UnitState = iota
+	// UnitPendingInput: held by the Unit-Manager until every referenced
+	// input Data-Unit is replicated — the dependency-aware late-binding
+	// state graph-structured workloads park in. Units whose inputs are
+	// already readable at submission skip it.
+	UnitPendingInput
 	// UnitSchedulingUM: held by the Unit-Manager, selecting a pilot.
 	UnitSchedulingUM
 	// UnitPendingAgent: queued in the coordination store for the agent.
@@ -93,6 +98,8 @@ func (s UnitState) String() string {
 	switch s {
 	case UnitNew:
 		return "NEW"
+	case UnitPendingInput:
+		return "UMGR_PENDING_INPUT"
 	case UnitSchedulingUM:
 		return "UMGR_SCHEDULING"
 	case UnitPendingAgent:

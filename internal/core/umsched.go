@@ -31,7 +31,9 @@ const (
 	// backfill it only binds to Active pilots with free core capacity,
 	// but among the eligible ones the pilot whose attached data pilot
 	// holds the most input bytes wins — compute moves to the data, the
-	// Pilot-Data co-scheduling mode.
+	// Pilot-Data co-scheduling mode. The score is store-pressure aware:
+	// pilots whose attached store cannot absorb the unit's declared
+	// output bytes are avoided while an alternative exists.
 	SchedulerCoLocate = "co-locate"
 )
 
@@ -273,16 +275,77 @@ func (s *localityScheduler) Pick(p *sim.Proc, u *Unit, cands []*Candidate) (*Pil
 	return s.fallback.Pick(p, u, cands)
 }
 
+// outputBytes sums the declared output Data-Unit sizes of the unit —
+// the bytes the pilot's attached store will be asked to absorb when the
+// unit completes.
+func outputBytes(u *Unit) int64 {
+	var total int64
+	for _, ref := range u.Desc.Outputs {
+		if ref.Unit != nil {
+			total += ref.Unit.SizeBytes()
+		}
+	}
+	return total
+}
+
+// storePressurePenalty pushes a candidate whose attached store cannot
+// absorb a unit's declared outputs below every candidate that can. It
+// dwarfs any realistic input-byte score, but only reorders preferences:
+// a penalized pilot still binds when nothing better is admissible, so
+// store pressure never makes a unit unschedulable.
+const storePressurePenalty = int64(1) << 50
+
+// dataFreeBytes mirrors PilotView.DataFreeBytes for candidates without a
+// view: -1 for an unbounded store, 0 when no (live) data pilot is
+// attached.
+func dataFreeBytes(c *Candidate) int64 {
+	if c.View != nil {
+		return c.View.DataFreeBytes()
+	}
+	dp := c.Pilot.DataPilot()
+	if dp == nil || dp.Failed() {
+		return 0
+	}
+	st := dp.Store()
+	if st.CapacityBytes() <= 0 {
+		return -1
+	}
+	return st.CapacityBytes() - st.UsedBytes()
+}
+
+// hasDataPilot reports whether the candidate has a live attached store —
+// the store-pressure signal only applies where outputs could land
+// locally at all.
+func hasDataPilot(c *Candidate) bool {
+	if c.View != nil {
+		return c.View.DataPilot != nil
+	}
+	dp := c.Pilot.DataPilot()
+	return dp != nil && !dp.Failed()
+}
+
 // coLocateScheduler binds compute next to its data, late: a unit waits
 // in the manager's queue until a pilot is Active with free core
 // capacity (the backfill admission rule), and among the eligible pilots
 // the one whose attached data pilot holds the most input bytes wins —
-// ties resolved by fewest in-flight cores. Units without data behave
-// exactly like backfill.
+// ties resolved by fewest in-flight cores. The score is store-pressure
+// aware: an output-heavy unit avoids pilots whose attached store lacks
+// the free bytes for its declared outputs (PilotView.DataFreeBytes), so
+// produced data is not forced onto a remote store. Units without data
+// behave exactly like backfill.
 type coLocateScheduler struct{}
 
 func (*coLocateScheduler) Name() string { return SchedulerCoLocate }
 
 func (*coLocateScheduler) Pick(_ *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error) {
-	return pickAdmissible(u, cands, func(c *Candidate) int64 { return inputBytesOn(c, u) })
+	out := outputBytes(u)
+	return pickAdmissible(u, cands, func(c *Candidate) int64 {
+		score := inputBytesOn(c, u)
+		if out > 0 && hasDataPilot(c) {
+			if free := dataFreeBytes(c); free >= 0 && free < out {
+				score -= storePressurePenalty
+			}
+		}
+		return score
+	})
 }

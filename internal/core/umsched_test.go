@@ -303,6 +303,11 @@ func TestBackfillRespectsFreeCapacity(t *testing.T) {
 // TestLocalityPrefersHDFSPilot: a unit naming HDFS inputs goes to the
 // pilot whose filesystem hosts them; a data-free unit falls back to the
 // least-loaded pilot.
+//
+// This is deliberately the last in-repo user of the deprecated
+// InputData shim: it pins the path-hint scoring until the field is
+// removed. New code (and every migrated experiment) uses typed Inputs —
+// see TestLocalityPrefersDataReplicaBytes for that path.
 func TestLocalityPrefersHDFSPilot(t *testing.T) {
 	e := newEnv(t, 4, fastProfile())
 	e.addDedicatedYARN(t)

@@ -130,6 +130,14 @@ type UnitManager struct {
 
 	// pending holds units awaiting (re)binding, in submission order.
 	pending []*Unit
+	// held maps each unit parked in UnitPendingInput to its count of
+	// unresolved input Data-Units. A unit enters the map at Submit when
+	// some input is not yet replicated, and leaves it either into the
+	// pending queue (every input reached StateReplicated — the
+	// dependency-aware release) or into UnitFailed (an input retired
+	// unread). Held units are demand that cannot run yet: ClusterView
+	// reports them as Held, not Waiting.
+	held map[*Unit]int
 	// wake signals the bind loop; kicks coalesce while a pass runs.
 	wake *sim.Queue[struct{}]
 	// observers run on every scheduling event (submission, unit
@@ -184,6 +192,7 @@ func NewUnitManager(s *Session, opts ...UnitManagerOption) (*UnitManager, error)
 		policy:  policy,
 		load:    make(map[*Pilot]*pilotLoad),
 		charged: make(map[*Unit]*Pilot),
+		held:    make(map[*Unit]int),
 		wake:    sim.NewQueue[struct{}](s.eng),
 	}
 	s.nextUM++
@@ -297,6 +306,14 @@ func (um *UnitManager) schedulePass(p *sim.Proc) {
 		batch := um.pending
 		um.pending = nil
 		um.bumpGen() // the waiting set changed; views must recount
+		if len(batch) > 1 {
+			// Higher priority binds first; the stable sort keeps
+			// submission order among equals, so all-zero priorities (the
+			// default) reproduce plain FIFO exactly.
+			sort.SliceStable(batch, func(i, j int) bool {
+				return batch[i].Desc.Priority > batch[j].Desc.Priority
+			})
+		}
 		for _, u := range batch {
 			um.placeOne(p, u)
 		}
@@ -402,9 +419,13 @@ func (um *UnitManager) rebindOrphans(dead *Pilot) {
 // steps U.1–U.2). Eager policies — round-robin, least-loaded — bind
 // every unit before Submit returns, as in v1; late-binding policies may
 // leave units parked, to be bound by the bind loop once an eligible
-// pilot is available. Submit fails with ErrNoPilots when no pilot was
-// added; a unit that can never be placed fails individually (see
-// ErrNoLivePilot, ErrUnschedulable) rather than failing the batch.
+// pilot is available. Units whose input Data-Units are not yet
+// replicated are held in UnitPendingInput — under every policy — and
+// enter the bind queue only when the last input replicates (see
+// watchInputs); a unit whose input retires unread fails with
+// data.ErrUnavailable instead. Submit fails with ErrNoPilots when no
+// pilot was added; a unit that can never be placed fails individually
+// (see ErrNoLivePilot, ErrUnschedulable) rather than failing the batch.
 func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*Unit, error) {
 	if len(um.pilots) == 0 {
 		return nil, fmt.Errorf("core: %w", ErrNoPilots)
@@ -430,13 +451,107 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 				}
 			}
 		})
-		u.advance(UnitSchedulingUM)
-		um.pending = append(um.pending, u)
+		unresolved, err := um.watchInputs(u)
+		switch {
+		case err != nil:
+			// An input already retired unread: the unit can never run.
+			// Failing it here fires the final-state hook above, which
+			// cancels the unit's own still-new outputs — the failure
+			// cascades down a dependency graph at submission time.
+			u.fail(err)
+		case unresolved > 0:
+			// Dependency-aware late binding: the unit is not offered to
+			// the policy until every input Data-Unit is replicated. The
+			// watch callbacks release (or fail) it.
+			um.held[u] = unresolved
+			u.advance(UnitPendingInput)
+		default:
+			u.advance(UnitSchedulingUM)
+			um.pending = append(um.pending, u)
+		}
 		units = append(units, u)
 	}
 	um.notifyObservers() // autoscalers see the new backlog
 	um.schedulePass(p)
 	return units, nil
+}
+
+// unavailableInput builds the failure cause for a unit whose input
+// Data-Unit retired without ever becoming readable — the same wrap shape
+// the agent's awaitInputs produces, so both paths match
+// data.ErrUnavailable through errors.Is.
+func unavailableInput(u *Unit, du *data.Unit, st data.UnitState) error {
+	return fmt.Errorf("core: unit %s input %s: %w (%v)", u.ID, du.ID, data.ErrUnavailable, st)
+}
+
+// watchInputs inspects the unit's input Data-Units at submission: inputs
+// already replicated need no watch, an input already retired fails the
+// unit (the returned error), and each still-staging input registers a
+// callback on the Data-Unit's state fabric — the unit is released into
+// the bind queue when the last one replicates, with no polling anywhere.
+// It returns the number of unresolved inputs the caller must hold the
+// unit for.
+func (um *UnitManager) watchInputs(u *Unit) (int, error) {
+	unresolved := 0
+	for _, ref := range u.Desc.Inputs {
+		du := ref.Unit
+		if du == nil {
+			continue
+		}
+		st := du.State()
+		if st == data.StateReplicated {
+			continue // readable now; the agent re-checks at stage time
+		}
+		if st.Final() {
+			return 0, unavailableInput(u, du, st)
+		}
+		unresolved++
+		resolved := false
+		du.OnStateChange(func(du *data.Unit, st data.UnitState) {
+			// The immediate fire for a unit already StagingIn matches
+			// neither branch; only future transitions resolve the input.
+			switch {
+			case resolved || u.State().Final():
+			case st == data.StateReplicated:
+				resolved = true
+				um.releaseInput(u)
+			case st.Final():
+				resolved = true
+				um.failHeld(u, unavailableInput(u, du, st))
+			}
+		})
+	}
+	return unresolved, nil
+}
+
+// releaseInput retires one resolved input of a held unit; when the last
+// input replicates the unit leaves UnitPendingInput for the pending
+// queue and the bind loop is kicked — the dependency-aware release path.
+func (um *UnitManager) releaseInput(u *Unit) {
+	n, held := um.held[u]
+	if !held {
+		return
+	}
+	if n--; n > 0 {
+		um.held[u] = n
+		return
+	}
+	delete(um.held, u)
+	u.advance(UnitSchedulingUM)
+	um.pending = append(um.pending, u)
+	um.kick()
+}
+
+// failHeld fails a held unit whose input retired unread. The unit's
+// final-state hook cancels its own still-new outputs, so the failure
+// cascades to every transitive consumer through the ErrDataUnavailable
+// path — orphaned descendants never bind.
+func (um *UnitManager) failHeld(u *Unit, err error) {
+	if _, held := um.held[u]; !held {
+		return
+	}
+	delete(um.held, u)
+	u.fail(err)
 }
 
 // cancelOrphanOutputs retires the declared output Data-Units of a unit

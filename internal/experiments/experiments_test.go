@@ -477,3 +477,43 @@ func TestStagingComparisonShapes(t *testing.T) {
 		t.Error("empty rendering")
 	}
 }
+
+// TestDAGComparisonShapes pins the tentpole claim at seed 42:
+// critical-path ordering starts the skewed DAG's heavy chain in the
+// first wave and beats FIFO on makespan, with the dependency hold
+// parking exactly the units whose inputs are unproduced at submit. The
+// same CheckDAGComparison assertion guards the cmd/repro run.
+func TestDAGComparisonShapes(t *testing.T) {
+	rows, err := RunDAGComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDAGComparison(rows); err != nil {
+		t.Fatal(err)
+	}
+	cp, fifo := rows[0], rows[1]
+	// The win should be structural, not marginal: FIFO serializes the
+	// heavy chain after three full map waves.
+	if gain := fifo.Makespan - cp.Makespan; gain < 10*time.Second {
+		t.Errorf("critical-path won by only %v; the skew should be worth >10s", gain)
+	}
+	if cp.CriticalPath != fifo.CriticalPath {
+		t.Errorf("cells disagree on the critical path: %v vs %v", cp.CriticalPath, fifo.CriticalPath)
+	}
+	// Deterministic at a fixed seed.
+	again, err := RunDAGComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if again[i].Makespan != r.Makespan || again[i].HeavyStart != r.HeavyStart {
+			t.Errorf("%s not deterministic: %v/%v vs %v/%v", r.Ordering,
+				r.Makespan, r.HeavyStart, again[i].Makespan, again[i].HeavyStart)
+		}
+	}
+	var buf bytes.Buffer
+	WriteDAGComparison(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("WriteDAGComparison wrote nothing")
+	}
+}

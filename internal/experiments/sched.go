@@ -191,17 +191,37 @@ func runSchedCell(wl, policy string, seed int64) (*SchedRow, error) {
 				runErr = fmt.Errorf("YARN pilot ended %v", yarnPl.State())
 				return
 			}
+			// The input partitions are Data-Units on an HDFS data pilot
+			// over the portal's dedicated filesystem, attached to the
+			// Mode II pilot — the typed replacement for the deprecated
+			// InputData path hints.
+			dm := pilot.NewDataManager(session)
+			portal, err := dm.AddPilot(pilot.DataPilotDescription{
+				Backend: pilot.DataBackendHDFS, Label: "portal", HDFS: fs,
+			})
+			if err != nil {
+				runErr = err
+				return
+			}
+			if err := yarnPl.AttachDataPilot(portal); err != nil {
+				runErr = err
+				return
+			}
 			for i := 0; i < schedDataFiles; i++ {
-				path := fmt.Sprintf("/data/part-%02d", i)
-				if err := fs.Write(p, path, schedDataBytes, m.Nodes[i%len(m.Nodes)]); err != nil {
+				du, err := dm.Submit(p, pilot.DataUnitDescription{
+					Name:      fmt.Sprintf("/data/part-%02d", i),
+					SizeBytes: schedDataBytes,
+					Affinity:  "portal",
+				})
+				if err != nil {
 					runErr = err
 					return
 				}
 				descs = append(descs, pilot.ComputeUnitDescription{
-					Name:      fmt.Sprintf("data-%02d", i),
-					Cores:     2,
-					InputData: []string{path},
-					Body:      schedDataBody(path),
+					Name:   fmt.Sprintf("data-%02d", i),
+					Cores:  2,
+					Inputs: []pilot.DataRef{{Unit: du}},
+					Body:   schedDataBody(du),
 				})
 			}
 			for i := 0; i < 20; i++ {
@@ -245,14 +265,14 @@ func runSchedCell(wl, policy string, seed int64) (*SchedRow, error) {
 	return row, nil
 }
 
-// schedDataBody reads the unit's input from the pilot's HDFS when it
-// hosts it, and falls back to fetching it over the machine's external
-// link — the cost a locality-blind placement pays.
-func schedDataBody(path string) pilot.UnitBody {
+// schedDataBody models where the unit's partition comes from: on the
+// pilot whose attached data pilot holds a replica, the agent's stage-in
+// already delivered it from node-local blocks; anywhere else the portal
+// serves it over the machine's slow external link — the cost a
+// locality-blind placement pays.
+func schedDataBody(du *pilot.DataUnit) pilot.UnitBody {
 	return func(bp *sim.Proc, ctx *pilot.UnitContext) {
-		if fs := ctx.Unit.Pilot.HDFS(); fs != nil && fs.Exists(bp, path) {
-			_ = fs.Read(bp, path, ctx.Node)
-		} else {
+		if dp := ctx.Unit.Pilot.DataPilot(); dp == nil || !du.ReplicaOn(dp) {
 			ctx.Machine.DownloadExternal(bp, schedDataBytes)
 		}
 		ctx.Node.Compute(bp, 4)

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/sim"
+)
+
+// TestNoBindBeforeInputsReplicated is the conformance check of the hold
+// fabric: under EVERY registered scheduling policy, no graph unit may
+// reach the agent (UnitPendingAgent) before each of its input Data-Units
+// is REPLICATED. The hold lives in the Unit-Manager, above the policy
+// seam, so eager policies get no say.
+func TestNoBindBeforeInputsReplicated(t *testing.T) {
+	for _, sched := range core.UnitSchedulers() {
+		t.Run(sched, func(t *testing.T) {
+			e := newEnv(t, 2)
+			var violations []string
+			e.eng.Spawn("driver", func(p *sim.Proc) {
+				pm := core.NewPilotManager(e.session)
+				pl, err := pm.Submit(p, core.PilotDescription{
+					Resource: "tg", Nodes: 2, Runtime: time.Hour, Mode: core.ModeHPC,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pl.WaitState(p, core.PilotActive)
+				dp, err := e.dm.AddPilot(data.PilotDescription{
+					Backend: data.BackendMem, Label: "m", CapacityBytes: 1 << 30, MemBytesPerSec: 8e9,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				pl.AttachDataPilot(dp)
+
+				// part → produce → mid → consume → last → final: one
+				// external staged input plus a two-deep internal chain.
+				part, err := e.dm.Submit(p, data.UnitDescription{
+					Name: "/d/part", SizeBytes: 8 << 20, Affinity: "m",
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mid := e.declare(t, "/d/mid", 8<<20)
+				last := e.declare(t, "/d/last", 8<<20)
+				g := New()
+				e.add(t, g, core.ComputeUnitDescription{
+					Name: "produce", Inputs: ref(part), Outputs: ref(mid),
+					Body: func(bp *sim.Proc, ctx *core.UnitContext) { bp.Sleep(3 * time.Second) },
+				})
+				e.add(t, g, core.ComputeUnitDescription{
+					Name: "consume", Inputs: ref(mid), Outputs: ref(last),
+					Body: func(bp *sim.Proc, ctx *core.UnitContext) { bp.Sleep(2 * time.Second) },
+				})
+				e.add(t, g, core.ComputeUnitDescription{Name: "final", Inputs: ref(last)})
+
+				um, err := core.NewUnitManager(e.session, core.WithScheduler(sched))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				um.AddPilot(pl)
+				units, err := g.Submit(p, um)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i, n := range g.Nodes() {
+					u, inputs := units[i], n.desc.Inputs
+					name := n.Name()
+					u.OnStateChange(func(u *core.Unit, st core.UnitState) {
+						if st != core.UnitPendingAgent {
+							return
+						}
+						for _, r := range inputs {
+							if got := r.Unit.State(); got != data.StateReplicated {
+								violations = append(violations, fmt.Sprintf(
+									"%s bound with input %s in %v", name, r.Unit.Name(), got))
+							}
+						}
+					})
+				}
+				um.WaitAll(p, units)
+				for i, u := range units {
+					if u.State() != core.UnitDone {
+						t.Errorf("unit %d finished %v: %v", i, u.State(), u.Err)
+					}
+				}
+				pl.Cancel()
+			})
+			e.eng.Run()
+			e.eng.Close()
+			for _, v := range violations {
+				t.Errorf("scheduler %s: %s", sched, v)
+			}
+		})
+	}
+}
+
+// TestFailurePropagatesToDescendants: a producer that can never bind
+// (its core demand exceeds the whole machine) fails with
+// ErrUnschedulable; its declared outputs are canceled, and every
+// transitive descendant fails with data.ErrUnavailable instead of
+// waiting forever — the orphaned-descendant guarantee.
+func TestFailurePropagatesToDescendants(t *testing.T) {
+	e := newEnv(t, 2)
+	var rootErr, midErr, leafErr error
+	var midSt, leafSt core.UnitState
+	e.eng.Spawn("driver", func(p *sim.Proc) {
+		pm := core.NewPilotManager(e.session)
+		pl, err := pm.Submit(p, core.PilotDescription{
+			Resource: "tg", Nodes: 2, Runtime: time.Hour, Mode: core.ModeHPC,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pl.WaitState(p, core.PilotActive)
+		dp, err := e.dm.AddPilot(data.PilotDescription{
+			Backend: data.BackendMem, Label: "m", CapacityBytes: 1 << 30, MemBytesPerSec: 8e9,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pl.AttachDataPilot(dp)
+		a := e.declare(t, "/d/a", 1<<20)
+		b := e.declare(t, "/d/b", 1<<20)
+		g := New()
+		// 64 cores on a 16-core allocation: admission rejects it.
+		e.add(t, g, core.ComputeUnitDescription{Name: "root", Cores: 64, Outputs: ref(a)})
+		e.add(t, g, core.ComputeUnitDescription{Name: "mid", Inputs: ref(a), Outputs: ref(b)})
+		e.add(t, g, core.ComputeUnitDescription{Name: "leaf", Inputs: ref(b)})
+		um, err := core.NewUnitManager(e.session, core.WithScheduler(core.SchedulerBackfill))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		um.AddPilot(pl)
+		units, err := g.Submit(p, um)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		um.WaitAll(p, units)
+		rootErr = units[0].Err
+		midSt, midErr = units[1].State(), units[1].Err
+		leafSt, leafErr = units[2].State(), units[2].Err
+		pl.Cancel()
+	})
+	e.eng.Run()
+	e.eng.Close()
+	if !errors.Is(rootErr, core.ErrUnschedulable) {
+		t.Errorf("root error = %v, want ErrUnschedulable", rootErr)
+	}
+	if midSt != core.UnitFailed || !errors.Is(midErr, data.ErrUnavailable) {
+		t.Errorf("mid = %v (%v), want FAILED with data.ErrUnavailable", midSt, midErr)
+	}
+	if leafSt != core.UnitFailed || !errors.Is(leafErr, data.ErrUnavailable) {
+		t.Errorf("leaf = %v (%v), want cascaded FAILED with data.ErrUnavailable", leafSt, leafErr)
+	}
+}

@@ -1,0 +1,31 @@
+// Package graph is the UnitGraph subsystem: workload DAGs as a
+// first-class object over the Pilot-Abstraction.
+//
+// A Graph holds named Compute-Unit descriptions whose dependencies are
+// expressed purely through Pilot-Data: a unit listing another unit's
+// declared output Data-Unit among its Inputs depends on that unit. No
+// edge list is ever written down — Validate infers the edges from the
+// data refs, rejects graphs that could not execute (duplicate outputs,
+// inputs nothing produces, cycles — all errors.Is-matchable sentinels),
+// and computes each node's critical-path length.
+//
+// Execution rides entirely on existing fabric:
+//
+//   - Readiness. Submit admits every unit to the Unit-Manager at once;
+//     the manager holds each one in UnitPendingInput until its input
+//     Data-Units reach StateReplicated, released by the data layer's
+//     state callbacks (no polling). Producers and consumers need no
+//     hand-sequenced submission.
+//   - Ordering. Under OrderCriticalPath (the default) each unit's
+//     Priority is its critical-path length, so the bind loop starts the
+//     longest remaining chain first; OrderFIFO is the flat-bag
+//     baseline. The cmd/repro "dag" experiment measures the difference
+//     on a skewed map → shuffle → reduce DAG.
+//   - Failure propagation. A unit that fails or is canceled before
+//     staging its outputs cancels the still-new ones; consumers held on
+//     them fail with data.ErrUnavailable, and their own outputs cascade
+//     the same way — orphaned descendants never bind.
+//
+// The public surface is re-exported by the pilot package as UnitGraph,
+// GraphNode and the ErrGraph* sentinels.
+package graph

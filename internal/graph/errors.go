@@ -1,0 +1,38 @@
+package graph
+
+import "errors"
+
+// Sentinel errors for graph validation and admission. Validate and
+// Submit wrap them with the offending unit and data names via
+// fmt.Errorf("...: %w", ...), so callers branch on the cause with
+// errors.Is; the public pilot package re-exports them as ErrGraph*.
+var (
+	// ErrEmptyGraph reports a Validate or Submit on a graph with no
+	// units added.
+	ErrEmptyGraph = errors.New("graph has no units")
+
+	// ErrDuplicateUnit reports an Add reusing a unit name already in the
+	// graph — names are the graph's node identity.
+	ErrDuplicateUnit = errors.New("duplicate unit name in graph")
+
+	// ErrDuplicateOutput reports one Data-Unit declared as the output of
+	// two graph units: the second producer would race the first for the
+	// same staged object.
+	ErrDuplicateOutput = errors.New("data unit declared as output of two graph units")
+
+	// ErrUnknownInput reports an edge referencing an unknown unit: an
+	// input Data-Unit still in DataNew that no graph unit declares as an
+	// output — nothing inside or outside the graph will ever produce it,
+	// so every consumer would hang. Inputs already staged (or staging)
+	// by a DataManager are external sources and always valid.
+	ErrUnknownInput = errors.New("input data unit produced by no graph unit")
+
+	// ErrCycle reports a dependency cycle through the data edges: some
+	// units each wait on a Data-Unit downstream of themselves and none
+	// could ever become schedulable.
+	ErrCycle = errors.New("graph has a dependency cycle")
+
+	// ErrAlreadySubmitted reports a second Submit of the same graph; a
+	// graph instance admits its units exactly once.
+	ErrAlreadySubmitted = errors.New("graph already submitted")
+)

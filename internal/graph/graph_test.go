@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/hpc"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// env bundles the simulation pieces the graph tests share.
+type env struct {
+	eng     *sim.Engine
+	session *core.Session
+	dm      *data.Manager
+}
+
+func testProfile() core.BootstrapProfile {
+	p := core.DefaultProfile()
+	p.AgentSetup = 2 * time.Second
+	p.AgentVenvOps = 50
+	p.AgentComponents = time.Second
+	p.UnitWrapperOps = 20
+	p.UnitWrapperSetup = 2 * time.Second
+	p.Jitter = 0
+	return p
+}
+
+func newEnv(t *testing.T, nodes int) *env {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := cluster.New(eng, cluster.MachineSpec{
+		Name:  "tg",
+		Nodes: nodes,
+		Node: cluster.NodeSpec{
+			Cores: 8, MemoryMB: 32 * 1024, DiskBW: 200e6,
+			DiskOpLatency: time.Millisecond, NICBW: 1e9,
+		},
+		FabricBW: 10e9,
+		Lustre: storage.LustreSpec{
+			AggregateBW: 2e9, MDSServers: 4,
+			MDSServiceTime: 2 * time.Millisecond, ClientLatency: 3 * time.Millisecond,
+		},
+		CPUFactor:  1,
+		ExternalBW: 100e6,
+	})
+	b := hpc.NewBatch(m, hpc.Config{
+		SchedCycle:      10 * time.Second,
+		Prolog:          2 * time.Second,
+		MinQueueWait:    time.Second,
+		DefaultWallTime: 4 * time.Hour,
+		Seed:            3,
+	})
+	s := core.NewSession(eng, testProfile(), 42)
+	if err := s.AddResource(&core.Resource{
+		Name: "tg", URL: "slurm://tg", Machine: m, Batch: b,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &env{eng: eng, session: s, dm: core.NewDataManager(s)}
+}
+
+// declare makes a StateNew Data-Unit — the shape of a graph-internal
+// output before its producer runs.
+func (e *env) declare(t *testing.T, name string, size int64) *data.Unit {
+	t.Helper()
+	du, err := e.dm.Declare(data.UnitDescription{Name: name, SizeBytes: size})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return du
+}
+
+func (e *env) add(t *testing.T, g *Graph, d core.ComputeUnitDescription) *Node {
+	t.Helper()
+	n, err := g.Add(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func ref(dus ...*data.Unit) []core.DataRef {
+	out := make([]core.DataRef, len(dus))
+	for i, du := range dus {
+		out[i] = core.DataRef{Unit: du}
+	}
+	return out
+}
+
+func TestValidateEmptyGraph(t *testing.T) {
+	if err := New().Validate(); !errors.Is(err, ErrEmptyGraph) {
+		t.Fatalf("Validate() = %v, want ErrEmptyGraph", err)
+	}
+}
+
+func TestAddDuplicateUnitName(t *testing.T) {
+	g := New()
+	if _, err := g.Add(core.ComputeUnitDescription{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add(core.ComputeUnitDescription{Name: "a"}); !errors.Is(err, ErrDuplicateUnit) {
+		t.Fatalf("second Add(a) = %v, want ErrDuplicateUnit", err)
+	}
+	if _, err := g.Add(core.ComputeUnitDescription{}); err == nil {
+		t.Fatal("Add with empty name succeeded, want error")
+	}
+}
+
+func TestValidateDuplicateOutput(t *testing.T) {
+	e := newEnv(t, 1)
+	out := e.declare(t, "/d/out", 1<<20)
+	g := New()
+	e.add(t, g, core.ComputeUnitDescription{Name: "a", Outputs: ref(out)})
+	e.add(t, g, core.ComputeUnitDescription{Name: "b", Outputs: ref(out)})
+	if err := g.Validate(); !errors.Is(err, ErrDuplicateOutput) {
+		t.Fatalf("Validate() = %v, want ErrDuplicateOutput", err)
+	}
+	e.eng.Close()
+}
+
+func TestValidateUnknownInput(t *testing.T) {
+	e := newEnv(t, 1)
+	orphan := e.declare(t, "/d/orphan", 1<<20)
+	g := New()
+	e.add(t, g, core.ComputeUnitDescription{Name: "a", Inputs: ref(orphan)})
+	if err := g.Validate(); !errors.Is(err, ErrUnknownInput) {
+		t.Fatalf("Validate() = %v, want ErrUnknownInput", err)
+	}
+	e.eng.Close()
+}
+
+func TestValidateCycle(t *testing.T) {
+	e := newEnv(t, 1)
+	ab := e.declare(t, "/d/ab", 1<<20)
+	ba := e.declare(t, "/d/ba", 1<<20)
+	g := New()
+	e.add(t, g, core.ComputeUnitDescription{Name: "a", Inputs: ref(ba), Outputs: ref(ab)})
+	e.add(t, g, core.ComputeUnitDescription{Name: "b", Inputs: ref(ab), Outputs: ref(ba)})
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Validate() = %v, want ErrCycle", err)
+	}
+	e.eng.Close()
+}
+
+// TestCriticalPathValues checks the admission-time critical-path
+// computation on a diamond with a heavy spine:
+//
+//	src(2) → heavy(10) → sink(3)
+//	src(2) → light(1)  → sink(3)
+func TestCriticalPathValues(t *testing.T) {
+	e := newEnv(t, 1)
+	sh := e.declare(t, "/d/sh", 1<<20)
+	sl := e.declare(t, "/d/sl", 1<<20)
+	hs := e.declare(t, "/d/hs", 1<<20)
+	ls := e.declare(t, "/d/ls", 1<<20)
+	g := New()
+	src := e.add(t, g, core.ComputeUnitDescription{Name: "src", Outputs: ref(sh, sl)}).SetWork(2)
+	heavy := e.add(t, g, core.ComputeUnitDescription{Name: "heavy", Inputs: ref(sh), Outputs: ref(hs)}).SetWork(10)
+	light := e.add(t, g, core.ComputeUnitDescription{Name: "light", Inputs: ref(sl), Outputs: ref(ls)}).SetWork(1)
+	sink := e.add(t, g, core.ComputeUnitDescription{Name: "sink", Inputs: ref(hs, ls)}).SetWork(3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		n    *Node
+		want float64
+	}{{src, 15}, {heavy, 13}, {light, 4}, {sink, 3}} {
+		if got := tc.n.CriticalPath(); got != tc.want {
+			t.Errorf("critical path of %q = %v, want %v", tc.n.Name(), got, tc.want)
+		}
+	}
+	e.eng.Close()
+}
+
+// TestSubmitSetsPriorities: OrderCriticalPath stamps each description's
+// Priority with the node's critical-path length; OrderFIFO leaves all
+// priorities at zero; a second Submit is refused.
+func TestSubmitSetsPriorities(t *testing.T) {
+	for _, fifo := range []bool{false, true} {
+		e := newEnv(t, 2)
+		var units []*core.Unit
+		var submitErr, resubmitErr error
+		g := New()
+		e.eng.Spawn("driver", func(p *sim.Proc) {
+			pm := core.NewPilotManager(e.session)
+			pl, err := pm.Submit(p, core.PilotDescription{
+				Resource: "tg", Nodes: 2, Runtime: time.Hour, Mode: core.ModeHPC,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			pl.WaitState(p, core.PilotActive)
+			dp, err := e.dm.AddPilot(data.PilotDescription{
+				Backend: data.BackendMem, Label: "m", CapacityBytes: 1 << 30, MemBytesPerSec: 8e9,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			pl.AttachDataPilot(dp)
+			mid := e.declare(t, "/d/mid", 1<<20)
+			um, err := core.NewUnitManager(e.session)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			um.AddPilot(pl)
+			g.Add(core.ComputeUnitDescription{Name: "up", Outputs: ref(mid)})
+			up, _ := g.Node("up")
+			up.SetWork(5)
+			g.Add(core.ComputeUnitDescription{Name: "down", Inputs: ref(mid)})
+			opts := []SubmitOption{}
+			if fifo {
+				opts = append(opts, WithOrdering(OrderFIFO))
+			}
+			units, submitErr = g.Submit(p, um, opts...)
+			if submitErr == nil {
+				_, resubmitErr = g.Submit(p, um)
+				um.WaitAll(p, units)
+			}
+			pl.Cancel()
+		})
+		e.eng.Run()
+		e.eng.Close()
+		if submitErr != nil {
+			t.Fatalf("fifo=%v: Submit: %v", fifo, submitErr)
+		}
+		if !errors.Is(resubmitErr, ErrAlreadySubmitted) {
+			t.Fatalf("fifo=%v: resubmit = %v, want ErrAlreadySubmitted", fifo, resubmitErr)
+		}
+		wantUp, wantDown := 6.0, 1.0
+		if fifo {
+			wantUp, wantDown = 0, 0
+		}
+		if units[0].Desc.Priority != wantUp || units[1].Desc.Priority != wantDown {
+			t.Fatalf("fifo=%v: priorities = %v/%v, want %v/%v", fifo,
+				units[0].Desc.Priority, units[1].Desc.Priority, wantUp, wantDown)
+		}
+		for i, u := range units {
+			if u.State() != core.UnitDone {
+				t.Fatalf("fifo=%v: unit %d finished %v: %v", fifo, i, u.State(), u.Err)
+			}
+		}
+		up, _ := g.Node("up")
+		if up.Unit() != units[0] {
+			t.Fatalf("fifo=%v: Node(up).Unit() not recorded", fifo)
+		}
+	}
+}

@@ -24,8 +24,9 @@
 //   - Unit schedulers. NewUnitManager takes WithScheduler to select the
 //     policy that binds Compute-Units to pilots: the built-ins are
 //     "round-robin" (the default), "least-loaded", "backfill"
-//     (capacity-aware late binding), and "locality" (HDFS-aware
-//     placement via ComputeUnitDescription.InputData). New policies
+//     (capacity-aware late binding), "locality" (data-aware placement
+//     via ComputeUnitDescription.Inputs, with the deprecated InputData
+//     path hints as fallback), and "co-locate". New policies
 //     implement UnitScheduler and register with RegisterUnitScheduler.
 //     Under every policy, units bound to a pilot that dies while they
 //     are still queued in the coordination store are rebound to the
@@ -70,7 +71,24 @@
 //     every declared output when it completes. Attach a data pilot
 //     with Pilot.AttachDataPilot and the "locality" and "co-locate"
 //     schedulers bind compute to the pilot holding the most input
-//     bytes.
+//     bytes; "co-locate" additionally ranks pilots last when their
+//     attached store cannot absorb the unit's declared output bytes.
+//
+//   - Workload DAGs. NewUnitGraph builds a UnitGraph: Compute-Units
+//     whose dependency edges are inferred from Pilot-Data references —
+//     a unit listing another unit's declared output among its Inputs
+//     depends on it. Submit validates the graph (ErrGraphDuplicateOutput,
+//     ErrGraphUnknownInput, ErrGraphCycle and friends, all
+//     errors.Is-matchable) and admits every unit at once; the
+//     Unit-Manager holds each in UnitPendingInput until its inputs are
+//     REPLICATED, releases it off the data layer's state callbacks, and
+//     binds by ComputeUnitDescription.Priority — set per unit to its
+//     critical-path length under OrderCriticalPath (the default), or
+//     left zero for Add-order under OrderFIFO. Failed or unplaceable
+//     producers cancel their still-new outputs, so held descendants
+//     fail with ErrDataUnavailable instead of waiting forever. The
+//     cmd/repro "dag" experiment measures critical-path vs FIFO
+//     ordering on a skewed map/shuffle/reduce DAG.
 //
 // # Placement fabric
 //
@@ -118,7 +136,9 @@
 // ErrUnknownBackend, ErrNotElastic, ErrPilotFinal and
 // ErrUnknownAutoscalePolicy sentinels with errors.Is; the Pilot-Data
 // analogues are ErrUnknownDataBackend, ErrNoDataPilots,
-// ErrDataUnavailable and ErrDataStoreFull.
+// ErrDataUnavailable and ErrDataStoreFull, and the UnitGraph analogues
+// ErrGraphEmpty, ErrGraphDuplicateUnit, ErrGraphDuplicateOutput,
+// ErrGraphUnknownInput, ErrGraphCycle and ErrGraphSubmitted.
 //
 // # Quickstart
 //

@@ -1,0 +1,76 @@
+// Workload DAGs: the UnitGraph subsystem, re-exported from
+// internal/graph. See the package documentation in doc.go for the
+// overview.
+
+package pilot
+
+import (
+	"repro/internal/graph"
+)
+
+type (
+	// UnitGraph is a DAG of Compute-Units connected by data edges — a
+	// unit's Inputs referencing another unit's declared Outputs. Build
+	// one with NewUnitGraph and UnitGraph.Add, then Submit it to a
+	// UnitManager: the manager holds every unit until its input
+	// Data-Units are replicated (dependency-aware late binding) and
+	// binds by the chosen ordering. Failed producers cancel their
+	// still-new outputs, failing orphaned descendants with
+	// ErrDataUnavailable.
+	UnitGraph = graph.Graph
+	// GraphNode is one vertex of a UnitGraph: the named unit, its work
+	// estimate (GraphNode.SetWork) and, after validation, its
+	// critical-path length.
+	GraphNode = graph.Node
+	// GraphOrdering selects how a submitted graph ranks its units for
+	// the bind loop: OrderCriticalPath or OrderFIFO.
+	GraphOrdering = graph.Ordering
+	// GraphSubmitOption configures UnitGraph.Submit; see
+	// WithGraphOrdering.
+	GraphSubmitOption = graph.SubmitOption
+)
+
+// The graph bind orderings.
+const (
+	// OrderCriticalPath (the default) binds the longest remaining chain
+	// first: each unit's priority is its work plus the heaviest chain of
+	// dependent work below it.
+	OrderCriticalPath = graph.OrderCriticalPath
+	// OrderFIFO binds in Add order — the flat-bag baseline.
+	OrderFIFO = graph.OrderFIFO
+)
+
+// The graph sentinel errors, matchable with errors.Is like the compute
+// and data sentinels.
+var (
+	// ErrGraphEmpty: Validate or Submit on a graph with no units.
+	ErrGraphEmpty = graph.ErrEmptyGraph
+	// ErrGraphDuplicateUnit: two graph units share a name.
+	ErrGraphDuplicateUnit = graph.ErrDuplicateUnit
+	// ErrGraphDuplicateOutput: one Data-Unit declared as the output of
+	// two graph units.
+	ErrGraphDuplicateOutput = graph.ErrDuplicateOutput
+	// ErrGraphUnknownInput: an input Data-Unit that no graph unit
+	// produces and no DataManager has staged — an edge to an unknown
+	// unit.
+	ErrGraphUnknownInput = graph.ErrUnknownInput
+	// ErrGraphCycle: the data edges form a dependency cycle.
+	ErrGraphCycle = graph.ErrCycle
+	// ErrGraphSubmitted: a second Submit of the same graph.
+	ErrGraphSubmitted = graph.ErrAlreadySubmitted
+)
+
+// NewUnitGraph creates an empty workload DAG:
+//
+//	g := pilot.NewUnitGraph()
+//	out, _ := dm.Declare(pilot.DataUnitDescription{Name: "/d/map-0", SizeBytes: 64 << 20})
+//	g.Add(pilot.ComputeUnitDescription{Name: "map-0", Outputs: []pilot.DataRef{{Unit: out}}})
+//	g.Add(pilot.ComputeUnitDescription{Name: "reduce", Inputs: []pilot.DataRef{{Unit: out}}})
+//	units, err := g.Submit(p, um) // critical-path ordering by default
+func NewUnitGraph() *UnitGraph { return graph.New() }
+
+// WithGraphOrdering selects the bind ordering for UnitGraph.Submit
+// (default OrderCriticalPath).
+func WithGraphOrdering(o GraphOrdering) GraphSubmitOption {
+	return graph.WithOrdering(o)
+}
