@@ -455,3 +455,60 @@ func BenchmarkUnitGraphAdmission(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkUnitKey measures the content-address digest over a
+// realistically sized description (8 inputs, 2 outputs) — the price the
+// result cache adds to every Submit.
+func BenchmarkUnitKey(b *testing.B) {
+	eng := sim.NewEngine()
+	defer eng.Close()
+	session := pilot.NewSession(eng, pilot.WithSeed(1))
+	dm := pilot.NewDataManager(session)
+	desc := pilot.ComputeUnitDescription{
+		Executable: "/bin/derive",
+		Arguments:  []string{"--mode=full", "--passes=3", "--out-format=parquet"},
+	}
+	for i := 0; i < 8; i++ {
+		du, err := dm.Declare(pilot.DataUnitDescription{
+			Name: fmt.Sprintf("/bench/key-in-%d", i), SizeBytes: 64 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		desc.Inputs = append(desc.Inputs, pilot.DataRef{Unit: du})
+	}
+	for i := 0; i < 2; i++ {
+		du, err := dm.Declare(pilot.DataUnitDescription{
+			Name: fmt.Sprintf("/bench/key-out-%d", i), SizeBytes: 16 << 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		desc.Outputs = append(desc.Outputs, pilot.DataRef{Unit: du})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pilot.UnitKey(desc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResultCache runs the cmd/repro cache comparison — the
+// redundant multi-user workload with and without WithResultCache — and
+// reports the cached cell's simulated makespan plus the makespan
+// speedup over the uncached cell.
+func BenchmarkResultCache(b *testing.B) {
+	var simSec, speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunCacheComparison(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		un, ca := rows[0], rows[1]
+		simSec += ca.Makespan.Seconds()
+		speedup += un.Makespan.Seconds() / ca.Makespan.Seconds()
+	}
+	b.ReportMetric(simSec/float64(b.N), "sim-sec")
+	b.ReportMetric(speedup/float64(b.N), "speedup")
+}

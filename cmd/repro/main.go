@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|breakdown|all
+//	repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|breakdown|all
 package main
 
 import (
@@ -23,7 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
 	trials := flag.Int("trials", 3, "trials per Figure 5 bar")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|breakdown|all\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|breakdown|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,6 +45,7 @@ func main() {
 	known := map[string]bool{"fig5": true, "fig6": true, "speedups": true,
 		"ablate-shuffle": true, "ablate-amreuse": true, "sched": true,
 		"elastic": true, "data": true, "dataelastic": true, "dag": true,
+		"cache":     true,
 		"breakdown": true, "all": true}
 	if !known[cmd] {
 		flag.Usage()
@@ -143,6 +144,22 @@ func main() {
 				return err
 			}
 			fmt.Println("dag assertions hold: critical-path starts the heavy chain first and wins on makespan")
+		}
+		return nil
+	})
+	run("cache", func() error {
+		rows, err := experiments.RunCacheComparison(*seed)
+		if err != nil {
+			return err
+		}
+		experiments.WriteCacheComparison(os.Stdout, rows)
+		if *seed == 42 {
+			// The committed claim: at the reference seed, the result cache
+			// must collapse redundant submissions and win on makespan.
+			if err := experiments.CheckCacheComparison(rows); err != nil {
+				return err
+			}
+			fmt.Println("cache assertions hold: one execution per distinct job, redundant resubmission served entirely from cache, cached makespan wins")
 		}
 		return nil
 	})

@@ -1,0 +1,114 @@
+// Package cache is the content-addressed caching subsystem: a
+// deterministic digest over what a Compute-Unit computes (Key), a
+// byte-bounded LRU (LRU), and a result cache with singleflight
+// coalescing of concurrent identical requests (ResultCache).
+//
+// The package is a leaf — it imports neither internal/core nor
+// internal/data — so both sides can build on it: the Unit-Manager's
+// result cache (core.WithResultCache) and the Pilot-Data layer's
+// opportunistic replica cache share the one LRU policy defined here.
+//
+// Everything in this package is plain bookkeeping: no virtual time
+// passes inside any call, and iteration never touches map order, so a
+// simulation using it stays deterministic per seed.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Key is the content address of a Compute-Unit's result: a SHA-256
+// digest over the fields that determine what the unit computes. Two
+// descriptions with equal keys are interchangeable as far as their
+// declared outputs go.
+type Key [sha256.Size]byte
+
+// String renders the full hex digest.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Short renders the first eight hex digits — the form trace lines use.
+func (k Key) Short() string { return hex.EncodeToString(k[:4]) }
+
+// Sentinel errors for units that have no cacheable identity. Callers
+// match the base with errors.Is and fall back to ordinary execution.
+var (
+	// ErrUncacheable is the base sentinel: the description cannot be
+	// given a result-cache key, so every submission of it executes.
+	ErrUncacheable = errors.New("cache: unit is uncacheable")
+
+	// ErrNoOutputs marks the common case: a unit that declares no
+	// output Data-Units has no result the cache could replay, so it is
+	// uncacheable. Wraps ErrUncacheable.
+	ErrNoOutputs = fmt.Errorf("%w: no declared outputs", ErrUncacheable)
+)
+
+// ObjectRef identifies one Data-Unit by logical name and size — the
+// portion of a Data-Unit's identity that participates in a Key. Replica
+// placement deliberately does not: where the bytes live never changes
+// what a unit computes.
+type ObjectRef struct {
+	Name      string
+	SizeBytes int64
+}
+
+// DigestKey derives the content address of a unit from its executable,
+// arguments, input objects and declared output objects. Resource
+// demands (cores, memory, launch method) are excluded: they change how
+// fast a unit runs, never what it produces. Inputs and Outputs are
+// sorted by name (then size) before digesting, so permuted-but-equal
+// descriptions collide to the same key. A unit with no declared outputs
+// has no replayable result and yields ErrNoOutputs.
+func DigestKey(executable string, args []string, inputs, outputs []ObjectRef) (Key, error) {
+	if len(outputs) == 0 {
+		return Key{}, ErrNoOutputs
+	}
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	// Every field is length-prefixed so adjacent fields can never blur
+	// into each other ("ab"+"c" vs "a"+"bc").
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeRefs := func(refs []ObjectRef) {
+		refs = sortedRefs(refs)
+		writeInt(int64(len(refs)))
+		for _, r := range refs {
+			writeStr(r.Name)
+			writeInt(r.SizeBytes)
+		}
+	}
+	writeStr("unitkey/v1")
+	writeStr(executable)
+	writeInt(int64(len(args)))
+	for _, a := range args {
+		writeStr(a)
+	}
+	writeRefs(inputs)
+	writeRefs(outputs)
+	var k Key
+	h.Sum(k[:0])
+	return k, nil
+}
+
+// sortedRefs returns a copy of refs in (name, size) order — the
+// order-stability fix: the digest must not depend on declaration order.
+func sortedRefs(refs []ObjectRef) []ObjectRef {
+	out := append([]ObjectRef(nil), refs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].SizeBytes < out[j].SizeBytes
+	})
+	return out
+}

@@ -1,0 +1,154 @@
+package cache
+
+// Entry is one cached object as the LRU reports it back — on eviction,
+// or from RemoveOldest. The caller owns the side effects (deleting
+// store bytes, dropping replica bookkeeping); the LRU only decides
+// which entry goes.
+type Entry[K comparable, V any] struct {
+	Key       K
+	Value     V
+	SizeBytes int64
+}
+
+// LRU is a byte-bounded least-recently-used cache over comparable keys.
+// It is pure bookkeeping — no clock, no goroutines, recency tracked by
+// a doubly-linked list — so eviction order is fully deterministic: the
+// entry touched longest ago goes first, ties impossible by
+// construction. A capacity of zero (or negative) means unbounded: Put
+// never evicts, and eviction is the caller's business (the replica
+// cache drives it from its store's free space instead).
+//
+// Both caches of the repository sit on this one policy: the
+// Unit-Manager's result cache bounds it by total cached output bytes,
+// and the Pilot-Data replica cache uses the recency order with
+// RemoveOldest.
+type LRU[K comparable, V any] struct {
+	capacity int64
+	used     int64
+	nodes    map[K]*lruNode[K, V]
+	// head is the most recently used node, tail the least.
+	head, tail *lruNode[K, V]
+}
+
+type lruNode[K comparable, V any] struct {
+	prev, next *lruNode[K, V]
+	ent        Entry[K, V]
+}
+
+// NewLRU creates an LRU bounded by capacityBytes (<= 0: unbounded).
+func NewLRU[K comparable, V any](capacityBytes int64) *LRU[K, V] {
+	return &LRU[K, V]{capacity: capacityBytes, nodes: make(map[K]*lruNode[K, V])}
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int { return len(l.nodes) }
+
+// UsedBytes returns the summed size of the cached entries.
+func (l *LRU[K, V]) UsedBytes() int64 { return l.used }
+
+// CapacityBytes returns the configured bound (<= 0: unbounded).
+func (l *LRU[K, V]) CapacityBytes() int64 { return l.capacity }
+
+// Get returns the entry's value and marks it most recently used.
+func (l *LRU[K, V]) Get(k K) (V, bool) {
+	n, ok := l.nodes[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.moveToFront(n)
+	return n.ent.Value, true
+}
+
+// Peek returns the entry's value without touching recency.
+func (l *LRU[K, V]) Peek(k K) (V, bool) {
+	n, ok := l.nodes[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return n.ent.Value, true
+}
+
+// Put inserts (or replaces) the entry and marks it most recently used,
+// evicting least-recently-used entries until the bound holds again. It
+// returns the evicted entries in eviction order, and whether the entry
+// was actually stored: an entry larger than the whole capacity is
+// rejected (stored == false) without disturbing the cache.
+func (l *LRU[K, V]) Put(k K, v V, sizeBytes int64) (evicted []Entry[K, V], stored bool) {
+	if l.capacity > 0 && sizeBytes > l.capacity {
+		return nil, false
+	}
+	if n, ok := l.nodes[k]; ok {
+		l.used += sizeBytes - n.ent.SizeBytes
+		n.ent.Value, n.ent.SizeBytes = v, sizeBytes
+		l.moveToFront(n)
+	} else {
+		n = &lruNode[K, V]{ent: Entry[K, V]{Key: k, Value: v, SizeBytes: sizeBytes}}
+		l.nodes[k] = n
+		l.pushFront(n)
+		l.used += sizeBytes
+	}
+	for l.capacity > 0 && l.used > l.capacity {
+		ent, _ := l.RemoveOldest()
+		evicted = append(evicted, ent)
+	}
+	return evicted, true
+}
+
+// Remove drops the entry, reporting whether it was present.
+func (l *LRU[K, V]) Remove(k K) bool {
+	n, ok := l.nodes[k]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	delete(l.nodes, k)
+	l.used -= n.ent.SizeBytes
+	return true
+}
+
+// RemoveOldest drops and returns the least-recently-used entry — the
+// hook callers with external capacity signals (the replica cache's
+// store free space) drive eviction through.
+func (l *LRU[K, V]) RemoveOldest() (Entry[K, V], bool) {
+	if l.tail == nil {
+		return Entry[K, V]{}, false
+	}
+	ent := l.tail.ent
+	l.Remove(ent.Key)
+	return ent, true
+}
+
+func (l *LRU[K, V]) pushFront(n *lruNode[K, V]) {
+	n.prev, n.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *LRU[K, V]) unlink(n *lruNode[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *LRU[K, V]) moveToFront(n *lruNode[K, V]) {
+	if l.head == n {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}

@@ -1,0 +1,146 @@
+package cache
+
+// Outcome is what Acquire decided for one request.
+type Outcome int
+
+const (
+	// Hit: the result is cached; Acquire returned it and the caller
+	// replays it without executing anything.
+	Hit Outcome = iota
+	// Leader: nothing cached and nothing in flight — the caller
+	// executes, and owes the cache a Complete or Abort for the key.
+	Leader
+	// Coalesced: an identical request is already executing; the caller
+	// was parked in the flight's waiter list and will be handed the
+	// leader's outcome via Complete's (or Abort's) return value.
+	Coalesced
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Leader:
+		return "leader"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats is a point-in-time snapshot of a ResultCache's counters and
+// gauges — surfaced through the ClusterView so placement layers and
+// experiments read cache effectiveness the same way they read demand.
+type Stats struct {
+	// Hits counts Acquires served from the cache; Misses counts
+	// Acquires that made the caller a leader; Coalesced counts Acquires
+	// parked behind a leader in flight.
+	Hits, Misses, Coalesced uint64
+	// Completions and Aborts count how leaders settled their flights;
+	// Evictions counts entries the byte bound pushed out.
+	Completions, Aborts, Evictions uint64
+	// Entries/UsedBytes/CapacityBytes describe the cached set;
+	// InFlight/Waiting the open flights and the waiters parked on them.
+	Entries                  int
+	UsedBytes, CapacityBytes int64
+	InFlight, Waiting        int
+}
+
+// ResultCache pairs a byte-bounded LRU of completed results with an
+// in-flight table that coalesces concurrent identical requests
+// singleflight-style: the first Acquire of a key becomes the leader and
+// executes; further Acquires of the same key park as waiters until the
+// leader settles the flight. Complete caches the leader's result and
+// returns the waiters to be served from it; Abort — the failed-leader
+// path — drops the flight without caching anything and returns the
+// waiters so they can execute independently: a failed leader never
+// poisons its waiters.
+//
+// V is the cached result value; W is whatever the caller parks per
+// waiter (the Unit-Manager parks *Unit). Like the LRU underneath, the
+// cache is pure deterministic bookkeeping.
+type ResultCache[V, W any] struct {
+	lru      *LRU[Key, V]
+	inflight map[Key]*flight[W]
+	waiting  int
+
+	hits, misses, coalesced    uint64
+	completions, aborts, evict uint64
+}
+
+type flight[W any] struct {
+	waiters []W
+}
+
+// NewResultCache creates a result cache whose completed results are
+// bounded by capacityBytes in total (<= 0: unbounded).
+func NewResultCache[V, W any](capacityBytes int64) *ResultCache[V, W] {
+	return &ResultCache[V, W]{
+		lru:      NewLRU[Key, V](capacityBytes),
+		inflight: make(map[Key]*flight[W]),
+	}
+}
+
+// Acquire resolves one request for key k: (Hit, result) when cached,
+// (Coalesced, zero) when parked behind an in-flight leader — w is then
+// retained until the leader settles — and (Leader, zero) when the
+// caller must execute and later call Complete or Abort.
+func (c *ResultCache[V, W]) Acquire(k Key, w W) (Outcome, V) {
+	if v, ok := c.lru.Get(k); ok {
+		c.hits++
+		return Hit, v
+	}
+	var zero V
+	if f, ok := c.inflight[k]; ok {
+		f.waiters = append(f.waiters, w)
+		c.waiting++
+		c.coalesced++
+		return Coalesced, zero
+	}
+	c.inflight[k] = &flight[W]{}
+	c.misses++
+	return Leader, zero
+}
+
+// Complete settles the leader's flight for k with its result: the
+// result is cached (evicting older entries past the byte bound; a
+// result alone larger than the whole bound is simply not cached) and
+// the coalesced waiters are returned, in arrival order, for the caller
+// to serve from it.
+func (c *ResultCache[V, W]) Complete(k Key, v V, sizeBytes int64) []W {
+	evicted, _ := c.lru.Put(k, v, sizeBytes)
+	c.evict += uint64(len(evicted))
+	c.completions++
+	return c.settle(k)
+}
+
+// Abort settles the leader's flight for k with nothing: no entry is
+// cached — a failed leader must not poison later submissions — and the
+// waiters are returned, in arrival order, to execute independently.
+func (c *ResultCache[V, W]) Abort(k Key) []W {
+	c.aborts++
+	return c.settle(k)
+}
+
+func (c *ResultCache[V, W]) settle(k Key) []W {
+	f, ok := c.inflight[k]
+	if !ok {
+		return nil
+	}
+	delete(c.inflight, k)
+	c.waiting -= len(f.waiters)
+	return f.waiters
+}
+
+// Stats snapshots the counters and gauges.
+func (c *ResultCache[V, W]) Stats() Stats {
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Coalesced: c.coalesced,
+		Completions: c.completions, Aborts: c.aborts, Evictions: c.evict,
+		Entries:   c.lru.Len(),
+		UsedBytes: c.lru.UsedBytes(), CapacityBytes: c.lru.CapacityBytes(),
+		InFlight: len(c.inflight), Waiting: c.waiting,
+	}
+}

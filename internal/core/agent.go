@@ -162,7 +162,7 @@ func (a *agent) unitPipeline(p *sim.Proc, u *Unit) {
 		return
 	}
 	u.advance(UnitStagingOutput)
-	if err := a.stageOutputs(p, u); err != nil {
+	if err := stageDeclaredOutputs(p, u); err != nil {
 		u.fail(err)
 		return
 	}
@@ -222,6 +222,9 @@ func (a *agent) stageInputs(p *sim.Proc, u *Unit, sl *Slot) error {
 			if err := local.Store().ServeTo(p, du.Name(), reader); err != nil {
 				return fmt.Errorf("core: unit %s input %s: %w", u.ID, du.ID, err)
 			}
+			// A local read of a cached copy refreshes its LRU recency
+			// (CacheReplica on an already-present object touches only).
+			du.Manager().CacheReplica(p, du, local)
 			continue
 		}
 		reps := du.Replicas()
@@ -241,11 +244,14 @@ func (a *agent) stageInputs(p *sim.Proc, u *Unit, sl *Slot) error {
 	return nil
 }
 
-// stageOutputs stages every declared output Data-Unit once the unit's
-// executable has finished, before UnitDone: the referenced unit's
-// manager places its replicas (a unit rebound after a pilot failure
-// re-stages idempotently — Stage on a Replicated unit is a no-op).
-func (a *agent) stageOutputs(p *sim.Proc, u *Unit) error {
+// stageDeclaredOutputs stages every declared output Data-Unit of a
+// completing unit, before UnitDone: the referenced unit's manager
+// places its replicas (a unit rebound after a pilot failure re-stages
+// idempotently — Stage on a Replicated unit is a no-op). The agent runs
+// it after the executable finishes; the result cache runs the same
+// function to materialize a cache-served unit's outputs, so both
+// completion paths leave identical data-layer state.
+func stageDeclaredOutputs(p *sim.Proc, u *Unit) error {
 	for _, ref := range u.Desc.Outputs {
 		du := ref.Unit
 		if du == nil {

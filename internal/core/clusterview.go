@@ -42,6 +42,13 @@ type ClusterView struct {
 	// autoscale policies do not grow capacity for units no pilot could
 	// start; they join Waiting once their inputs replicate.
 	HeldUnits, HeldCores int
+	// Cache is the result cache's snapshot (WithResultCache): hit,
+	// miss, coalesce and eviction counters plus the in-flight gauges.
+	// Coalesced waiters parked in UnitPendingResult are deliberately
+	// invisible to the Waiting and Held counts — they represent work
+	// already executing once, not demand for more capacity — so this is
+	// where they surface. Enabled is false on managers without a cache.
+	Cache CacheSnapshot
 
 	byPilot map[*Pilot]*PilotView
 	// waiting are the units behind the Waiting counts, kept so the
@@ -223,6 +230,10 @@ func (um *UnitManager) buildView() *ClusterView {
 // they are never served stale.
 func (um *UnitManager) refreshView(v *ClusterView) {
 	v.Now = um.session.eng.Now()
+	v.Cache = CacheSnapshot{}
+	if um.rc != nil {
+		v.Cache = CacheSnapshot{Enabled: true, Stats: um.rc.Stats()}
+	}
 	anyData := false
 	for _, pv := range v.Pilots {
 		pl := pv.Pilot

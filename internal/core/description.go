@@ -180,17 +180,6 @@ type ComputeUnitDescription struct {
 	// agent stages each one (Manager.Stage) when the unit completes,
 	// before UnitDone.
 	Outputs []DataRef
-	// InputData lists the HDFS paths the unit reads, as a placement hint:
-	// the "locality" unit scheduler prefers the pilot whose filesystem
-	// hosts them. It does not trigger staging by itself — the unit's Body
-	// (or InputStagingBytes) still performs the reads.
-	//
-	// Deprecated: use Inputs with Data-Units managed by a DataManager;
-	// string paths carry no size or replica placement, so the scheduler
-	// can only count them. Every in-repo user has migrated to Inputs;
-	// the shim remains only so pre-Pilot-Data applications compile and
-	// will be removed in a future revision.
-	InputData []string
 	// InputStagingBytes are staged from the shared filesystem into the
 	// sandbox before execution.
 	InputStagingBytes int64

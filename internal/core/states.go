@@ -68,6 +68,13 @@ type UnitState int
 // Unit states in lifecycle order.
 const (
 	UnitNew UnitState = iota
+	// UnitPendingResult: held by the Unit-Manager because an identical
+	// unit is already executing — the singleflight hold of the result
+	// cache (WithResultCache). The leader's final state releases it:
+	// UnitDone completes the waiter from the cached result, a failed or
+	// canceled leader sends it back through the ordinary submit path to
+	// execute on its own. Only coalesced waiters ever enter this state.
+	UnitPendingResult
 	// UnitPendingInput: held by the Unit-Manager until every referenced
 	// input Data-Unit is replicated — the dependency-aware late-binding
 	// state graph-structured workloads park in. Units whose inputs are
@@ -98,6 +105,8 @@ func (s UnitState) String() string {
 	switch s {
 	case UnitNew:
 		return "NEW"
+	case UnitPendingResult:
+		return "UMGR_PENDING_RESULT"
 	case UnitPendingInput:
 		return "UMGR_PENDING_INPUT"
 	case UnitSchedulingUM:

@@ -23,9 +23,9 @@ const (
 	// finishing units is backfilled immediately.
 	SchedulerBackfill = "backfill"
 	// SchedulerLocality prefers the pilot holding the unit's input data:
-	// replica bytes of ComputeUnitDescription.Inputs on the pilot's
-	// attached data pilot first, then hosted InputData paths (HDFS block
-	// locality across pilots), falling back to least-loaded placement.
+	// the replica bytes of ComputeUnitDescription.Inputs on the pilot's
+	// attached data pilot decide, falling back to least-loaded placement
+	// for data-free units.
 	SchedulerLocality = "locality"
 	// SchedulerCoLocate is the affinity-aware late binder: like
 	// backfill it only binds to Active pilots with free core capacity,
@@ -232,11 +232,8 @@ func inputBytesOn(c *Candidate, u *Unit) int64 {
 // localityScheduler implements the paper's data-locality argument at the
 // Unit-Manager level: a unit referencing input data goes to the pilot
 // holding it. Typed Inputs count by replica bytes on the pilot's
-// attached data pilot; legacy InputData paths count by presence in the
-// pilot's HDFS (each lookup pays the NameNode round trip, like the real
-// scheduler's metadata queries). More bytes win, then more paths, then
-// fewer in-flight units; data-free units fall back to least-loaded
-// placement.
+// attached data pilot; more bytes win, ties by fewer in-flight units.
+// Data-free units fall back to least-loaded placement.
 type localityScheduler struct {
 	fallback leastLoadedScheduler
 }
@@ -244,28 +241,17 @@ type localityScheduler struct {
 func (*localityScheduler) Name() string { return SchedulerLocality }
 
 func (s *localityScheduler) Pick(p *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error) {
-	if len(u.Desc.InputData) > 0 || len(u.Desc.Inputs) > 0 {
+	if len(u.Desc.Inputs) > 0 {
 		var best *Candidate
 		var bestBytes int64
-		bestPaths := 0
 		for _, c := range cands {
 			bytes := inputBytesOn(c, u)
-			paths := 0
-			if fs := c.Pilot.HDFS(); fs != nil {
-				for _, path := range u.Desc.InputData {
-					if fs.Exists(p, path) {
-						paths++
-					}
-				}
-			}
-			if bytes == 0 && paths == 0 {
+			if bytes == 0 {
 				continue
 			}
-			better := best == nil || bytes > bestBytes ||
-				(bytes == bestBytes && (paths > bestPaths ||
-					(paths == bestPaths && c.InFlightUnits < best.InFlightUnits)))
-			if better {
-				best, bestBytes, bestPaths = c, bytes, paths
+			if best == nil || bytes > bestBytes ||
+				(bytes == bestBytes && c.InFlightUnits < best.InFlightUnits) {
+				best, bestBytes = c, bytes
 			}
 		}
 		if best != nil {

@@ -300,69 +300,6 @@ func TestBackfillRespectsFreeCapacity(t *testing.T) {
 	}
 }
 
-// TestLocalityPrefersHDFSPilot: a unit naming HDFS inputs goes to the
-// pilot whose filesystem hosts them; a data-free unit falls back to the
-// least-loaded pilot.
-//
-// This is deliberately the last in-repo user of the deprecated
-// InputData shim: it pins the path-hint scoring until the field is
-// removed. New code (and every migrated experiment) uses typed Inputs —
-// see TestLocalityPrefersDataReplicaBytes for that path.
-func TestLocalityPrefersHDFSPilot(t *testing.T) {
-	e := newEnv(t, 4, fastProfile())
-	e.addDedicatedYARN(t)
-	var dataPilot, freePilot *Pilot
-	var hpcPl, yarnPl *Pilot
-	e.eng.Spawn("driver", func(p *sim.Proc) {
-		pm := NewPilotManager(e.session)
-		var err error
-		hpcPl, err = pm.Submit(p, PilotDescription{
-			Resource: "tm", Nodes: 2, Runtime: time.Hour, Mode: ModeHPC,
-		})
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		yarnPl, err = pm.Submit(p, PilotDescription{
-			Resource: "tm", Nodes: 2, Runtime: time.Hour,
-			Mode: ModeYARN, ConnectDedicated: true,
-		})
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		if err := e.res.DedicatedHDFS.Write(p, "/data/part-0", 64<<20, e.machine.Nodes[0]); err != nil {
-			t.Error(err)
-			return
-		}
-		um := newUM(t, e.session, WithScheduler(SchedulerLocality))
-		um.AddPilot(hpcPl)
-		um.AddPilot(yarnPl)
-		hpcPl.WaitState(p, PilotActive)
-		yarnPl.WaitState(p, PilotActive)
-		units, err := um.Submit(p, []ComputeUnitDescription{
-			{InputData: []string{"/data/part-0"}},
-			{},
-		})
-		if err != nil {
-			t.Error(err)
-			return
-		}
-		um.WaitAll(p, units)
-		dataPilot, freePilot = units[0].Pilot, units[1].Pilot
-		hpcPl.Cancel()
-		yarnPl.Cancel()
-	})
-	e.eng.Run()
-	e.eng.Close()
-	if dataPilot != yarnPl {
-		t.Fatalf("data unit placed on %v, want the HDFS-hosting pilot", dataPilot)
-	}
-	if freePilot != hpcPl {
-		t.Fatalf("data-free unit placed on %v, want the least-loaded pilot", freePilot)
-	}
-}
-
 // TestSentinelErrorsMatchable asserts every sentinel is produced by its
 // failure mode and matches through errors.Is despite wrapping.
 func TestSentinelErrorsMatchable(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/data"
 	"repro/internal/sim"
 )
@@ -138,6 +139,12 @@ type UnitManager struct {
 	// unread). Held units are demand that cannot run yet: ClusterView
 	// reports them as Held, not Waiting.
 	held map[*Unit]int
+	// rc is the content-addressed result cache (WithResultCache), nil
+	// without the option — the nil check is the only cost the cache adds
+	// to an unconfigured manager. rcKeys maps each in-flight leader unit
+	// to the key its completion will settle.
+	rc     *cache.ResultCache[cachedResult, *Unit]
+	rcKeys map[*Unit]cache.Key
 	// wake signals the bind loop; kicks coalesce while a pass runs.
 	wake *sim.Queue[struct{}]
 	// observers run on every scheduling event (submission, unit
@@ -167,7 +174,9 @@ type pilotLoad struct {
 type UnitManagerOption func(*umConfig)
 
 type umConfig struct {
-	scheduler string
+	scheduler        string
+	resultCache      bool
+	resultCacheBytes int64
 }
 
 // WithScheduler selects the manager's unit-scheduling policy by
@@ -194,6 +203,10 @@ func NewUnitManager(s *Session, opts ...UnitManagerOption) (*UnitManager, error)
 		charged: make(map[*Unit]*Pilot),
 		held:    make(map[*Unit]int),
 		wake:    sim.NewQueue[struct{}](s.eng),
+	}
+	if cfg.resultCache {
+		um.rc = cache.NewResultCache[cachedResult, *Unit](cfg.resultCacheBytes)
+		um.rcKeys = make(map[*Unit]cache.Key)
 	}
 	s.nextUM++
 	s.eng.SpawnDaemon(fmt.Sprintf("umgr:%02d", s.nextUM), um.bindLoop)
@@ -423,7 +436,11 @@ func (um *UnitManager) rebindOrphans(dead *Pilot) {
 // replicated are held in UnitPendingInput — under every policy — and
 // enter the bind queue only when the last input replicates (see
 // watchInputs); a unit whose input retires unread fails with
-// data.ErrUnavailable instead. Submit fails with ErrNoPilots when no
+// data.ErrUnavailable instead. Under WithResultCache, cacheable units
+// are first offered to the result cache: a hit completes immediately, a
+// duplicate of an in-flight unit parks in UnitPendingResult, and only
+// cache leaders and uncacheable units continue into the flow above.
+// Submit fails with ErrNoPilots when no
 // pilot was added; a unit that can never be placed fails individually
 // (see ErrNoLivePilot, ErrUnschedulable) rather than failing the batch.
 func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*Unit, error) {
@@ -445,12 +462,25 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 			um.bumpGen() // any transition can shift the waiting/running split
 			if st.Final() {
 				um.uncharge(u)
+				// A leader's end releases its coalesced waiters. Waiters
+				// sent back to execute will produce the dead leader's
+				// declared outputs themselves, so those outputs are not
+				// orphaned and must not be canceled here.
+				released := um.settleFlight(u, st)
 				um.kick() // freed capacity may unblock parked units
-				if st != UnitDone {
+				if st != UnitDone && !released {
 					cancelOrphanOutputs(u)
 				}
 			}
 		})
+		if um.acquireCached(p, u) {
+			// Result-cache hit (completed just now, from the cached
+			// result) or coalesced duplicate (parked in UnitPendingResult
+			// until the in-flight leader settles): either way the unit
+			// never enters the bind loop.
+			units = append(units, u)
+			continue
+		}
 		unresolved, err := um.watchInputs(u)
 		switch {
 		case err != nil:

@@ -58,8 +58,7 @@ func (dm *Manager) FailPilot(p *sim.Proc, dp *Pilot) error {
 			// Promote one cached copy so the unit survives; reReplicate
 			// promotes further ones only up to the replication target, so
 			// cached copies never inflate the managed replica count.
-			du.replicas = append(du.replicas, du.cached[0])
-			du.cached = du.cached[1:]
+			du.promoteCached()
 		}
 		if len(du.replicas) == 0 {
 			du.fail(fmt.Errorf("data: unit %s: %w: store %s failed holding the last replica",
@@ -83,8 +82,7 @@ func (dm *Manager) reReplicate(p *sim.Proc, du *Unit) error {
 	src := du.replicas[0]
 	for len(du.replicas) < du.Desc.Replication {
 		if len(du.cached) > 0 {
-			du.replicas = append(du.replicas, du.cached[0])
-			du.cached = du.cached[1:]
+			du.promoteCached()
 			continue
 		}
 		var best *Pilot
@@ -115,12 +113,15 @@ func (dm *Manager) reReplicate(p *sim.Proc, du *Unit) error {
 // stage-in cache: when a Compute-Unit on a pilot with an attached store
 // reads a remote replica, the bytes just travelled anyway, so parking a
 // copy costs only the local write. Cached replicas are capacity-bounded
-// (a full store skips the cache, nothing is evicted), excluded from the
-// replication target count, and count as replicas for reads and
-// placement scoring — an iterative workload's second pass reads fully
-// local. It reports whether a copy was cached; every skip (unit not
-// readable, store failed or full or already holding) is silent, as
-// befits a cache.
+// through the shared LRU policy (internal/cache): a store without room
+// first evicts its least-recently-read cached copies — managed replicas
+// are never touched — and only skips the cache when even that cannot
+// make space. Cached copies are excluded from the replication target
+// count but count as replicas for reads and placement scoring — an
+// iterative workload's second pass reads fully local. It reports
+// whether a copy was cached; every skip (unit not readable, store
+// failed or irreparably full or already holding) is silent, as befits a
+// cache. Re-caching an already cached copy refreshes its recency.
 func (dm *Manager) CacheReplica(p *sim.Proc, du *Unit, dp *Pilot) bool {
 	if du == nil || du.mgr != dm || dp == nil || dp.mgr != dm {
 		return false
@@ -129,15 +130,35 @@ func (dm *Manager) CacheReplica(p *sim.Proc, du *Unit, dp *Pilot) bool {
 		return false
 	}
 	if dp.store.Has(du.Name()) {
+		if du.CachedOn(dp) {
+			dp.cached.Get(du.Name()) // a re-read: refresh recency only
+		}
 		return false
 	}
-	if cap := dp.store.CapacityBytes(); cap > 0 && dp.store.UsedBytes()+du.Desc.SizeBytes > cap {
-		return false
+	need := du.Desc.SizeBytes
+	if cap := dp.store.CapacityBytes(); cap > 0 {
+		if dp.store.UsedBytes()-dp.cached.UsedBytes()+need > cap {
+			// Managed replicas alone overflow the store: no amount of
+			// cache eviction makes room, so do not evict for nothing.
+			return false
+		}
+		for dp.store.UsedBytes()+need > cap {
+			ent, ok := dp.cached.RemoveOldest()
+			if !ok {
+				return false
+			}
+			if err := dp.store.Delete(p, ent.Key); err != nil {
+				return false
+			}
+			ent.Value.dropCachedOn(dp)
+			dm.eng.Tracef("data unit %s evicted from the cache on %s", ent.Value.ID, dp.store.Name())
+		}
 	}
-	if err := dp.store.Ingest(p, du.Name(), du.Desc.SizeBytes, nil); err != nil {
+	if err := dp.store.Ingest(p, du.Name(), need, nil); err != nil {
 		return false
 	}
 	du.cached = append(du.cached, dp)
+	dp.cached.Put(du.Name(), du, need)
 	dm.eng.Tracef("data unit %s cached on %s", du.ID, dp.store.Name())
 	return true
 }

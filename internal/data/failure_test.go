@@ -227,3 +227,68 @@ func TestCacheReplicaSemantics(t *testing.T) {
 	})
 	e.Run()
 }
+
+// TestCacheReplicaEviction: cached copies on a bounded store are an
+// LRU — a new cached copy that does not fit evicts the
+// least-recently-used cached copy to make room, while managed replicas
+// are never evicted, and a store whose managed replicas alone overflow
+// refuses without evicting anything.
+func TestCacheReplicaEviction(t *testing.T) {
+	e, _, dm := newTestManager(t)
+	src := addMemPilot(t, dm, "src", 1<<30)
+	// Holds one 8 MB managed replica plus one 8 MB cached copy.
+	small := addMemPilot(t, dm, "small", 16<<20)
+	e.Spawn("driver", func(p *sim.Proc) {
+		pinned, err := dm.Submit(p, UnitDescription{Name: "/d/pin", SizeBytes: 8 << 20, Affinity: "small"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		a, err := dm.Submit(p, UnitDescription{Name: "/d/a", SizeBytes: 8 << 20, Affinity: "src"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b, err := dm.Submit(p, UnitDescription{Name: "/d/b", SizeBytes: 8 << 20, Affinity: "src"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !dm.CacheReplica(p, a, small) {
+			t.Error("first cached copy refused despite free space")
+		}
+		// B does not fit alongside A; A is the LRU cached copy and must
+		// be evicted to admit B. The pinned managed replica stays put.
+		if !dm.CacheReplica(p, b, small) {
+			t.Error("cached copy refused instead of evicting the LRU one")
+		}
+		if a.CachedOn(small) || small.Store().Has("/d/a") {
+			t.Error("evicted copy still present")
+		}
+		if !b.CachedOn(small) || !small.Store().Has("/d/b") {
+			t.Error("admitting copy missing after eviction")
+		}
+		if !small.Store().Has("/d/pin") || len(pinned.Replicas()) != 1 {
+			t.Error("eviction touched a managed replica")
+		}
+		// A is untouched elsewhere: still a healthy replica on src.
+		if a.State() != StateReplicated || !a.ReplicaOn(src) {
+			t.Errorf("eviction damaged the unit itself: %v", a.State())
+		}
+		// Recency matters: touch B (the would-be victim) by re-caching,
+		// then a copy that still fits after one eviction... cannot evict
+		// the managed replica, so an oversize copy is refused outright.
+		big, err := dm.Submit(p, UnitDescription{Name: "/d/big", SizeBytes: 12 << 20, Affinity: "src"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if dm.CacheReplica(p, big, small) {
+			t.Error("cache evicted past the managed-replica floor")
+		}
+		if !b.CachedOn(small) {
+			t.Error("refused admission still evicted the resident copy")
+		}
+	})
+	e.Run()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cache"
 	"repro/internal/saga"
 	"repro/internal/sim"
 )
@@ -20,6 +21,12 @@ type Pilot struct {
 	mgr    *Manager
 	index  int
 	failed bool
+	// cached tracks the opportunistic stage-in copies on this store in
+	// recency order — the same LRU policy (internal/cache) behind the
+	// Unit-Manager's result cache. The list itself is unbounded;
+	// eviction is driven by the store's free space at CacheReplica time,
+	// draining least-recently-read copies first.
+	cached *cache.LRU[string, *Unit]
 }
 
 // Store returns the pilot's provisioned store.
@@ -64,10 +71,11 @@ func (dm *Manager) AddPilot(d PilotDescription) (*Pilot, error) {
 	}
 	dm.nextPilot++
 	dp := &Pilot{
-		ID:    fmt.Sprintf("dp.%04d", dm.nextPilot),
-		Desc:  d,
-		mgr:   dm,
-		index: len(dm.pilots),
+		ID:     fmt.Sprintf("dp.%04d", dm.nextPilot),
+		Desc:   d,
+		mgr:    dm,
+		index:  len(dm.pilots),
+		cached: cache.NewLRU[string, *Unit](0),
 	}
 	if d.Label == "" {
 		dp.Desc.Label = dp.ID
@@ -317,6 +325,7 @@ func (dm *Manager) Remove(p *sim.Proc, du *Unit) error {
 		if err := dp.store.Delete(p, du.Name()); err != nil {
 			return err
 		}
+		dp.cached.Remove(du.Name())
 		du.cached = du.cached[1:]
 	}
 	du.advance(StateDone)

@@ -152,6 +152,30 @@ func (du *Unit) dropPilot(dp *Pilot) bool {
 	return dropped
 }
 
+// dropCachedOn removes dp from the unit's cached list only — the
+// replica-cache eviction path; deleting the store object and the
+// pilot's LRU entry is the caller's business.
+func (du *Unit) dropCachedOn(dp *Pilot) {
+	keep := du.cached[:0]
+	for _, r := range du.cached {
+		if r != dp {
+			keep = append(keep, r)
+		}
+	}
+	du.cached = keep
+}
+
+// promoteCached turns the unit's first cached copy into a managed
+// replica — the bytes already exist, so durability is restored for
+// free. The holding pilot's replica-cache LRU forgets the object:
+// promoted copies are replicas now and must never be evicted.
+func (du *Unit) promoteCached() {
+	dp := du.cached[0]
+	du.cached = du.cached[1:]
+	dp.cached.Remove(du.Name())
+	du.replicas = append(du.replicas, dp)
+}
+
 // OnStateChange registers fn to run for every state the unit actually
 // enters from now on, in registration order, synchronously at the
 // transition's virtual time. If the unit has already left StateNew, fn

@@ -517,3 +517,55 @@ func TestDAGComparisonShapes(t *testing.T) {
 		t.Error("WriteDAGComparison wrote nothing")
 	}
 }
+
+// TestCacheComparisonShapes pins the result-cache claim at seed 42: the
+// cached cell executes each distinct computation exactly once (leaders
+// plus private jobs), coalesces mid-flight duplicates, serves the fully
+// redundant resubmission without a single execution, and beats the
+// uncached cell on makespan. The same CheckCacheComparison assertion
+// guards the cmd/repro run.
+func TestCacheComparisonShapes(t *testing.T) {
+	rows, err := RunCacheComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCacheComparison(rows); err != nil {
+		t.Fatal(err)
+	}
+	un, ca := rows[0], rows[1]
+	// The win should be structural: the uncached cell executes 3.4x the
+	// bodies, so the gap must be worth whole minutes, not jitter.
+	if gain := un.Makespan - ca.Makespan; gain < time.Minute {
+		t.Errorf("cache won by only %v; collapsing %d executions to %d should be worth >1m",
+			gain, CacheJobs()+cacheSharedJobs, cacheDistinctJobs())
+	}
+	// Every accounting identity the snapshot promises: a miss per
+	// distinct computation, a completion per miss, everything cached
+	// (nothing evicted at this capacity), no aborted flights.
+	cs := ca.Cache
+	if cs.Misses != uint64(cacheDistinctJobs()) || cs.Completions != cs.Misses {
+		t.Errorf("misses/completions = %d/%d, want %d each", cs.Misses, cs.Completions, cacheDistinctJobs())
+	}
+	if cs.Entries != cacheDistinctJobs() || cs.Evictions != 0 || cs.Aborts != 0 {
+		t.Errorf("entries/evictions/aborts = %d/%d/%d", cs.Entries, cs.Evictions, cs.Aborts)
+	}
+	if int(cs.Hits)+int(cs.Coalesced) != CacheJobs()+cacheSharedJobs-cacheDistinctJobs() {
+		t.Errorf("hits %d + coalesced %d must cover the %d redundant submissions",
+			cs.Hits, cs.Coalesced, CacheJobs()+cacheSharedJobs-cacheDistinctJobs())
+	}
+	// Deterministic at a fixed seed.
+	again, err := RunCacheComparison(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if again[i].Makespan != r.Makespan || again[i].Cache != r.Cache {
+			t.Errorf("%s not deterministic: %v vs %v", r.Label, r.Makespan, again[i].Makespan)
+		}
+	}
+	var buf bytes.Buffer
+	WriteCacheComparison(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("WriteCacheComparison wrote nothing")
+	}
+}

@@ -193,8 +193,8 @@ func runSchedCell(wl, policy string, seed int64) (*SchedRow, error) {
 			}
 			// The input partitions are Data-Units on an HDFS data pilot
 			// over the portal's dedicated filesystem, attached to the
-			// Mode II pilot — the typed replacement for the deprecated
-			// InputData path hints.
+			// Mode II pilot — so the locality scheduler places by replica
+			// bytes.
 			dm := pilot.NewDataManager(session)
 			portal, err := dm.AddPilot(pilot.DataPilotDescription{
 				Backend: pilot.DataBackendHDFS, Label: "portal", HDFS: fs,

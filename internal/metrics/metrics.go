@@ -110,6 +110,55 @@ func Seconds(d time.Duration) string {
 	return fmt.Sprintf("%.1f", d.Seconds())
 }
 
+// Counters is an ordered set of named event counts — the shape cache
+// and scheduler effectiveness numbers take in experiment reports. A
+// name first seen by Add is appended to the order; the zero value is
+// ready to use.
+type Counters struct {
+	order  []string
+	counts map[string]int64
+}
+
+// Add increments the named counter by delta, creating it at zero (and
+// fixing its report position) on first touch.
+func (c *Counters) Add(name string, delta int64) {
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	if _, seen := c.counts[name]; !seen {
+		c.order = append(c.order, name)
+	}
+	c.counts[name] += delta
+}
+
+// Get returns the named counter (0 if never touched).
+func (c *Counters) Get(name string) int64 { return c.counts[name] }
+
+// Names returns the counter names in first-touch order.
+func (c *Counters) Names() []string {
+	return append([]string(nil), c.order...)
+}
+
+// Write renders the counters as a two-column table, in first-touch
+// order.
+func (c *Counters) Write(w io.Writer) {
+	tbl := NewTable("counter", "value")
+	for _, name := range c.order {
+		tbl.AddRow(name, fmt.Sprintf("%d", c.counts[name]))
+	}
+	tbl.Write(w)
+}
+
+// String renders the counters compactly: "a=1 b=2", in first-touch
+// order.
+func (c *Counters) String() string {
+	parts := make([]string, len(c.order))
+	for i, name := range c.order {
+		parts[i] = fmt.Sprintf("%s=%d", name, c.counts[name])
+	}
+	return strings.Join(parts, " ")
+}
+
 // Table renders aligned text tables.
 type Table struct {
 	header []string

@@ -109,3 +109,31 @@ func TestTableRendering(t *testing.T) {
 		t.Fatalf("padded row %q", lines[3])
 	}
 }
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Add("hits", 1)
+	c.Add("misses", 3)
+	c.Add("hits", 2)
+	if got := c.Get("hits"); got != 3 {
+		t.Fatalf("hits = %d, want 3", got)
+	}
+	if got := c.Get("never"); got != 0 {
+		t.Fatalf("untouched counter = %d", got)
+	}
+	if names := c.Names(); len(names) != 2 || names[0] != "hits" || names[1] != "misses" {
+		t.Fatalf("names = %v, want first-touch order", names)
+	}
+	if got := c.String(); got != "hits=3 misses=3" {
+		t.Fatalf("String = %q", got)
+	}
+	var sb strings.Builder
+	c.Write(&sb)
+	if out := sb.String(); !strings.Contains(out, "hits") || !strings.Contains(out, "3") {
+		t.Fatalf("Write output:\n%s", out)
+	}
+	var zero Counters
+	if zero.String() != "" || len(zero.Names()) != 0 {
+		t.Fatal("zero value not empty")
+	}
+}

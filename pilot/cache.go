@@ -1,0 +1,62 @@
+package pilot
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// The result-cache surface: a Unit-Manager built WithResultCache serves
+// repeat submissions of identical Compute-Units from a
+// content-addressed cache of completed results and coalesces concurrent
+// identical submissions singleflight-style. See WithResultCache and
+// UnitKey for the rules.
+type (
+	// CacheKey is the content address of a Compute-Unit's result — the
+	// UnitKey digest.
+	CacheKey = cache.Key
+	// CacheStats carries the result cache's hit/miss/coalesce/eviction
+	// counters and in-flight gauges.
+	CacheStats = cache.Stats
+	// CacheSnapshot is ClusterView.Cache: CacheStats plus whether the
+	// manager has a cache configured at all.
+	CacheSnapshot = core.CacheSnapshot
+)
+
+// Sentinels for units that cannot be cached; match with errors.Is.
+var (
+	// ErrUncacheable is the base cause UnitKey reports for descriptions
+	// without a cacheable identity; such units always execute.
+	ErrUncacheable = cache.ErrUncacheable
+	// ErrCacheNoOutputs marks the concrete case: no declared Outputs
+	// means no replayable result. Wraps ErrUncacheable.
+	ErrCacheNoOutputs = cache.ErrNoOutputs
+)
+
+// WithResultCache equips the Unit-Manager with a content-addressed
+// result cache bounded by capacityBytes of cached output bytes (<= 0:
+// unbounded). A submission whose UnitKey matches a completed unit
+// finishes immediately, its declared Outputs staged as ordinary
+// replicas, without entering the bind loop; a submission identical to a
+// unit still executing parks in UnitPendingResult and completes when
+// the leader does. A failed leader releases its waiters to execute
+// independently and caches nothing — never a poisoned entry. The cache
+// is strictly opt-in: without this option the manager is unchanged.
+//
+// The determinism contract is the application's: under a result cache,
+// Executable + Arguments + input Data-Units must fully determine the
+// declared outputs (the simulated Body is not part of the key). Read
+// ClusterView.Cache for effectiveness counters.
+func WithResultCache(capacityBytes int64) UnitManagerOption {
+	return core.WithResultCache(capacityBytes)
+}
+
+// UnitKey derives the content address the result cache keys a unit by:
+// a digest over Executable, Arguments, the input Data-Units (logical
+// name + size, sorted — declaration order does not matter) and the
+// declared output Data-Units. Resource demands (Cores, MemoryMB,
+// Launch) and staging byte counts are excluded: they change how fast a
+// unit runs, never what it produces. Units declaring no Outputs are
+// uncacheable (ErrCacheNoOutputs, wrapping ErrUncacheable).
+func UnitKey(d ComputeUnitDescription) (CacheKey, error) {
+	return core.UnitKey(d)
+}

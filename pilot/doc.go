@@ -25,8 +25,7 @@
 //     policy that binds Compute-Units to pilots: the built-ins are
 //     "round-robin" (the default), "least-loaded", "backfill"
 //     (capacity-aware late binding), "locality" (data-aware placement
-//     via ComputeUnitDescription.Inputs, with the deprecated InputData
-//     path hints as fallback), and "co-locate". New policies
+//     via ComputeUnitDescription.Inputs), and "co-locate". New policies
 //     implement UnitScheduler and register with RegisterUnitScheduler.
 //     Under every policy, units bound to a pilot that dies while they
 //     are still queued in the coordination store are rebound to the
@@ -89,6 +88,29 @@
 //     fail with ErrDataUnavailable instead of waiting forever. The
 //     cmd/repro "dag" experiment measures critical-path vs FIFO
 //     ordering on a skewed map/shuffle/reduce DAG.
+//
+//   - Result caching. NewUnitManager(s, WithResultCache(bytes)) serves
+//     repeat submissions of identical Compute-Units from a
+//     content-addressed cache of completed results. Submissions are
+//     keyed by UnitKey — a digest over Executable, Arguments, the input
+//     Data-Units (logical name + size) and the declared output
+//     Data-Units, order-insensitive over Inputs/Outputs; Cores,
+//     MemoryMB, Launch and staging byte counts are excluded because
+//     they change how fast a unit runs, never what it produces. A hit
+//     completes inside Submit with its Outputs staged as ordinary
+//     replicas, never entering the bind loop; a submission identical to
+//     a unit still executing coalesces singleflight-style, parking in
+//     UnitPendingResult (invisible to ClusterView demand counts) until
+//     the leader settles. A failed or canceled leader caches nothing
+//     and releases its waiters to execute independently — never a
+//     poisoned entry. Entries are LRU-evicted past the byte bound;
+//     units declaring no Outputs are uncacheable (ErrCacheNoOutputs,
+//     wrapping ErrUncacheable) and always execute. Counters surface as
+//     ClusterView.Cache; the cmd/repro "cache" experiment measures the
+//     effect on a redundant multi-user workload. The cache is strictly
+//     opt-in, and the determinism contract is the application's:
+//     executable + arguments + inputs must fully determine the declared
+//     outputs.
 //
 // # Placement fabric
 //

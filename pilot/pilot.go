@@ -88,6 +88,8 @@ const (
 // Unit states in lifecycle order.
 const (
 	UnitNew             = core.UnitNew
+	UnitPendingResult   = core.UnitPendingResult
+	UnitPendingInput    = core.UnitPendingInput
 	UnitSchedulingUM    = core.UnitSchedulingUM
 	UnitPendingAgent    = core.UnitPendingAgent
 	UnitSchedulingAgent = core.UnitSchedulingAgent
