@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|breakdown|all
+//	repro [-seed N] [-trials N] [-trace out.json] [-series out.jsonl] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|breakdown|all
+//
+// With -trace, every experiment cell runs under a flight recorder and
+// the whole session exports as one Chrome trace-event JSON file,
+// viewable in Perfetto (ui.perfetto.dev). With -series, the live
+// cluster gauges sampled on every scheduling event export as JSONL.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,8 +28,10 @@ import (
 func main() {
 	seed := flag.Int64("seed", 42, "simulation seed (runs are deterministic per seed)")
 	trials := flag.Int("trials", 3, "trials per Figure 5 bar")
+	traceOut := flag.String("trace", "", "write every cell's flight-recorder stream as one Chrome trace-event JSON file")
+	seriesOut := flag.String("series", "", "write every cell's live cluster gauges as JSON Lines")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|breakdown|all\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] [-trace out.json] [-series out.jsonl] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|breakdown|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -32,6 +40,11 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+	var tap *experiments.Tap
+	if *traceOut != "" || *seriesOut != "" {
+		tap = new(experiments.Tap)
+		experiments.SetTap(tap)
+	}
 	run := func(name string, fn func() error) {
 		if cmd != name && cmd != "all" {
 			return
@@ -164,21 +177,68 @@ func main() {
 		return nil
 	})
 	run("breakdown", func() error { return breakdown(*seed) })
+
+	if tap != nil {
+		if err := writeTapOutputs(tap, *traceOut, *seriesOut); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTapOutputs exports the collected flight-recorder streams.
+func writeTapOutputs(tap *experiments.Tap, tracePath, seriesPath string) error {
+	write := func(path, what string, fn func(w io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", what, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells, %d events) to %s\n", what, tap.Cells(), tap.Events(), path)
+		return nil
+	}
+	if tracePath != "" {
+		if err := write(tracePath, "Chrome trace", tap.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if seriesPath != "" {
+		if err := write(seriesPath, "gauge series", tap.WriteSeriesJSONL); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // breakdown prints the per-phase unit time decomposition for fork vs
 // YARN launch paths on Stampede — where the Figure 5 inset seconds go.
+// The decomposition is event-sourced: a flight recorder captures the
+// run and the profile derives from its stream, so the printed numbers
+// come from the same timeline -trace exports.
 func breakdown(seed int64) error {
 	for _, sys := range []struct {
 		label string
+		short string
 		mode  pilot.PilotMode
 	}{
-		{"RADICAL-Pilot (fork launch method)", pilot.ModeHPC},
-		{"RADICAL-Pilot-YARN (YARN launch method)", pilot.ModeYARN},
+		{"RADICAL-Pilot (fork launch method)", "fork", pilot.ModeHPC},
+		{"RADICAL-Pilot-YARN (YARN launch method)", "yarn", pilot.ModeYARN},
 	} {
 		env, err := experiments.NewEnv(experiments.Stampede, 3, seed)
 		if err != nil {
 			return err
+		}
+		env.Label = "breakdown/" + sys.short
+		rec := env.Rec
+		if rec == nil {
+			rec = pilot.NewRecorder(env.Eng)
+			env.Session.AttachRecorder(rec)
 		}
 		var units []*pilot.Unit
 		var runErr error
@@ -221,13 +281,14 @@ func breakdown(seed int64) error {
 			fmt.Printf("%s\n", sys.label)
 			fmt.Printf("  pilot: queue wait %ss, agent startup %ss (hadoop spawn %ss)\n",
 				metrics.Seconds(ov.QueueWait), metrics.Seconds(ov.AgentStartup), metrics.Seconds(ov.HadoopSpawn))
-			prof, skipped := profiling.NewProfile(units)
+			events := rec.Events()
+			prof, skipped := profiling.ProfileFromEvents(events)
 			if skipped > 0 {
 				runErr = fmt.Errorf("%d units did not finish", skipped)
 				return
 			}
 			prof.Write(os.Stdout)
-			spans := profiling.ExecutionSpans(units)
+			spans := profiling.SpansFromEvents(events)
 			fmt.Printf("  peak concurrency %d, core utilization %.0f%%\n\n",
 				profiling.MaxConcurrency(spans),
 				100*profiling.Utilization(spans, 16))

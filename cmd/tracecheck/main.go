@@ -1,0 +1,74 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by repro -trace: the file must parse as a trace-event object, every
+// complete ("X") span must carry a timestamp and a non-negative
+// duration, and with -spans N the span count must equal N — one span
+// per completed Compute-Unit. CI runs it against the dag experiment's
+// trace so the export format cannot rot silently.
+//
+// Usage:
+//
+//	tracecheck [-spans N] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	spans := flag.Int("spans", -1, "required number of complete (ph=X) spans; -1 skips the count check")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tracecheck [-spans N] trace.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %s\n", path, fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  *int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("not valid Chrome trace-event JSON: %v", err)
+	}
+	if tf.TraceEvents == nil {
+		fail("missing traceEvents array")
+	}
+	got := 0
+	for i, te := range tf.TraceEvents {
+		switch te.Ph {
+		case "X":
+			got++
+			if te.Ts == nil || te.Dur == nil || *te.Dur < 0 || te.Pid == nil {
+				fail("event %d (%q): malformed span (needs ts, pid and non-negative dur)", i, te.Name)
+			}
+		case "i", "M":
+			// Instants and process metadata.
+		default:
+			fail("event %d (%q): unexpected phase %q", i, te.Name, te.Ph)
+		}
+	}
+	if *spans >= 0 && got != *spans {
+		fail("%d complete spans, want %d (one per completed unit)", got, *spans)
+	}
+	fmt.Printf("tracecheck: %s OK: %d events, %d spans\n", path, len(tf.TraceEvents), got)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/registry"
 	"repro/internal/sim"
 	"repro/internal/yarn"
@@ -440,26 +441,30 @@ func (as *Autoscaler) evaluate(p *sim.Proc) bool {
 		}
 	}
 	snap := as.snapshot()
-	delta := as.policy.Decide(snap)
-	target := snap.Nodes + delta
+	raw := as.policy.Decide(snap)
+	target := snap.Nodes + raw
 	if target < as.min {
 		target = as.min
 	}
 	if target > as.max {
 		target = as.max
 	}
-	delta = target - snap.Nodes
+	delta := target - snap.Nodes
 	if delta < 0 {
 		// Shrinks release whole allocation chunks: snap the magnitude
 		// down to what is actually releasable, so the loop never issues
 		// a resize that is doomed to fail.
 		delta = -as.pilot.ShrinkableBy(-delta)
 	}
+	as.recordVerdict(snap, raw, delta, nil)
 	if delta == 0 {
 		return true
 	}
 	from := snap.Nodes
 	err := as.pilot.Resize(p, delta)
+	if err != nil {
+		as.recordVerdict(snap, raw, delta, err)
+	}
 	as.lastDone = eng.Now()
 	as.resized = true
 	switch {
@@ -471,6 +476,27 @@ func (as *Autoscaler) evaluate(p *sim.Proc) bool {
 		eng.Tracef("autoscaler %s: resize by %+d: %v", as.pilot.ID, delta, err)
 	}
 	return true
+}
+
+// recordVerdict emits a non-zero autoscale decision (raw policy delta
+// and the clamped delta actually requested, with the demand snapshot it
+// was made against) to the attached flight recorder. Zero verdicts —
+// the overwhelming majority of kicks — are not recorded; a failed
+// Resize re-records the verdict with the error as Detail.
+func (as *Autoscaler) recordVerdict(snap *AutoscaleSnapshot, raw, applied int, err error) {
+	r := as.pilot.session.rec
+	if r == nil || (raw == 0 && applied == 0) {
+		return
+	}
+	ev := obs.Event{
+		Kind: obs.KindAutoscale, Pilot: as.pilot.ID, Policy: as.policy.Name(),
+		Delta: raw, Applied: applied, Nodes: snap.Nodes,
+		Waiting: snap.WaitingUnits, Running: snap.RunningUnits,
+	}
+	if err != nil {
+		ev.Detail = err.Error()
+	}
+	r.Record(ev)
 }
 
 // snapshot assembles the policy's world view from the Unit-Manager's

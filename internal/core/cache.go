@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -91,15 +92,27 @@ func (um *UnitManager) acquireCached(p *sim.Proc, u *Unit) bool {
 	switch outcome, _ := um.rc.Acquire(key, u); outcome {
 	case cache.Hit:
 		um.session.eng.Tracef("unit %s result-cache hit (%s)", u.ID, key.Short())
+		um.recordCache(u, "hit", key)
 		um.completeFromCache(p, u)
 		return true
 	case cache.Coalesced:
 		um.session.eng.Tracef("unit %s coalesced onto in-flight %s", u.ID, key.Short())
+		um.recordCache(u, "coalesce", key)
 		u.advance(UnitPendingResult)
 		return true
 	default: // cache.Leader
 		um.rcKeys[u] = key
+		um.recordCache(u, "lead", key)
 		return false
+	}
+}
+
+// recordCache emits a result-cache traffic event to the attached flight
+// recorder, carrying the content address the unit resolved to.
+func (um *UnitManager) recordCache(u *Unit, op string, key cache.Key) {
+	if r := um.session.rec; r != nil {
+		r.Record(obs.Event{Kind: obs.KindCache, Op: op, Unit: u.ID,
+			Name: u.Desc.Name, Detail: key.Short()})
 	}
 }
 
@@ -143,6 +156,11 @@ func (um *UnitManager) settleFlight(u *Unit, st UnitState) bool {
 	if st == UnitDone {
 		res := cachedResult{OutputBytes: outputBytes(u)}
 		waiters := um.rc.Complete(key, res, res.OutputBytes)
+		if r := um.session.rec; r != nil {
+			r.Record(obs.Event{Kind: obs.KindCache, Op: "complete", Unit: u.ID,
+				Name: u.Desc.Name, Bytes: res.OutputBytes, Waiting: len(waiters),
+				Detail: key.Short()})
+		}
 		if len(waiters) == 0 {
 			return false
 		}
@@ -153,8 +171,13 @@ func (um *UnitManager) settleFlight(u *Unit, st UnitState) bool {
 		})
 		return false
 	}
+	if r := um.session.rec; r != nil {
+		r.Record(obs.Event{Kind: obs.KindCache, Op: "abort", Unit: u.ID,
+			Name: u.Desc.Name, Detail: key.Short()})
+	}
 	released := false
 	for _, w := range um.rc.Abort(key) {
+		um.recordCache(w, "requeue", key)
 		um.requeueWaiter(w)
 		released = true
 	}
@@ -178,6 +201,7 @@ func (um *UnitManager) requeueWaiter(u *Unit) {
 		u.fail(err)
 	case unresolved > 0:
 		um.held[u] = unresolved
+		um.recordHold(u, unresolved)
 		u.advance(UnitPendingInput)
 		um.bumpGen()
 	default:

@@ -6,6 +6,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/hdfs"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/saga"
 	"repro/internal/sim"
 	"repro/internal/yarn"
@@ -120,7 +121,17 @@ func (pl *Pilot) advance(st PilotState) {
 	pl.state = st
 	pl.Timestamps[st] = pl.session.eng.Now()
 	pl.session.eng.Tracef("pilot %s -> %s", pl.ID, st)
+	pl.recordState(st)
 	pl.watch.Entered(st)
+}
+
+// recordState emits the pilot's state transition (with its current node
+// capacity) to the session's flight recorder, when one is attached.
+func (pl *Pilot) recordState(st PilotState) {
+	if r := pl.session.rec; r != nil {
+		r.Record(obs.Event{Kind: obs.KindPilotState, Pilot: pl.ID,
+			State: st.String(), Nodes: pl.Capacity()})
+	}
 }
 
 // enterResizing moves an Active pilot into the transient Resizing state
@@ -133,6 +144,7 @@ func (pl *Pilot) enterResizing() {
 	pl.state = PilotResizing
 	pl.Timestamps[PilotResizing] = pl.session.eng.Now()
 	pl.session.eng.Tracef("pilot %s -> %s", pl.ID, PilotResizing)
+	pl.recordState(PilotResizing)
 	pl.watch.Entered(PilotResizing)
 }
 
@@ -148,6 +160,7 @@ func (pl *Pilot) exitResizing() {
 	}
 	pl.state = PilotActive
 	pl.session.eng.Tracef("pilot %s -> %s", pl.ID, PilotActive)
+	pl.recordState(PilotActive)
 	pl.watch.Entered(PilotActive)
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/hdfs"
 	"repro/internal/hpc"
+	"repro/internal/obs"
 	"repro/internal/saga"
 	"repro/internal/sim"
 	"repro/internal/yarn"
@@ -140,6 +141,7 @@ type Session struct {
 	profile   BootstrapProfile
 	resources map[string]*Resource
 	seed      int64
+	rec       *obs.Recorder
 	nextPilot int
 	nextUnit  int
 	nextUM    int
@@ -161,6 +163,15 @@ func NewSession(e *sim.Engine, profile BootstrapProfile, seed int64) *Session {
 // Engine returns the simulation engine.
 func (s *Session) Engine() *sim.Engine { return s.eng }
 
+// AttachRecorder wires a flight recorder into the session: every
+// manager created afterwards (and every pilot/unit of managers created
+// before) records its events through it. Attach before building
+// managers to capture the full timeline; attaching nil detaches.
+func (s *Session) AttachRecorder(r *obs.Recorder) { s.rec = r }
+
+// Recorder returns the attached flight recorder (nil when none).
+func (s *Session) Recorder() *obs.Recorder { return s.rec }
+
 // FileTransfer returns the session's SAGA transfer facade — the path
 // Compute-Unit and Data-Unit staging runs over.
 func (s *Session) FileTransfer() *saga.FileTransfer { return s.ft }
@@ -170,7 +181,11 @@ func (s *Session) FileTransfer() *saga.FileTransfer { return s.ft }
 // Manager.AddPilot and attached to compute pilots with
 // Pilot.AttachDataPilot.
 func NewDataManager(s *Session) *data.Manager {
-	return data.NewManager(s.eng, s.ft)
+	m := data.NewManager(s.eng, s.ft)
+	if s.rec != nil {
+		m.SetRecorder(s.rec)
+	}
+	return m
 }
 
 // Store returns the coordination store (exposed for tests and metrics).

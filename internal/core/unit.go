@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -78,7 +79,26 @@ func (u *Unit) advance(st UnitState) {
 	u.state = st
 	u.Timestamps[st] = u.session.eng.Now()
 	u.session.eng.Tracef("unit %s -> %s", u.ID, st)
+	u.recordState(st, "")
 	u.watch.Entered(st)
+}
+
+// recordState emits the unit's state transition to the session's flight
+// recorder, when one is attached; the nil check is the only cost paid
+// without one.
+func (u *Unit) recordState(st UnitState, detail string) {
+	r := u.session.rec
+	if r == nil {
+		return
+	}
+	ev := obs.Event{
+		Kind: obs.KindUnitState, Unit: u.ID, Name: u.Desc.Name,
+		State: st.String(), Cores: u.Desc.Cores, Detail: detail,
+	}
+	if u.Pilot != nil {
+		ev.Pilot = u.Pilot.ID
+	}
+	r.Record(ev)
 }
 
 // fail moves the unit to UnitFailed with a cause, waking every parked
@@ -92,6 +112,7 @@ func (u *Unit) fail(err error) {
 	u.state = UnitFailed
 	u.Timestamps[UnitFailed] = u.session.eng.Now()
 	u.session.eng.Tracef("unit %s -> FAILED: %v", u.ID, err)
+	u.recordState(UnitFailed, err.Error())
 	u.watch.Entered(UnitFailed)
 }
 
@@ -103,6 +124,7 @@ func (u *Unit) cancel() {
 	u.state = UnitCanceled
 	u.Timestamps[UnitCanceled] = u.session.eng.Now()
 	u.session.eng.Tracef("unit %s -> CANCELED", u.ID)
+	u.recordState(UnitCanceled, "")
 	u.watch.Entered(UnitCanceled)
 }
 
@@ -163,6 +185,9 @@ type UnitManager struct {
 	gen     uint64
 	viewGen uint64
 	view    *ClusterView
+	// sampleGen is the generation the flight recorder last sampled gauges
+	// at: one gauge reading per scheduling-event generation, not per kick.
+	sampleGen uint64
 }
 
 type pilotLoad struct {
@@ -215,6 +240,11 @@ func NewUnitManager(s *Session, opts ...UnitManagerOption) (*UnitManager, error)
 
 // Scheduler returns the manager's unit-scheduling policy name.
 func (um *UnitManager) Scheduler() string { return um.policy.Name() }
+
+// Session returns the session the manager was built on — the path
+// sibling subsystems (the UnitGraph) reach the session's flight
+// recorder through.
+func (um *UnitManager) Session() *Session { return um.session }
 
 // AddPilot registers a pilot as an execution target and hooks its state
 // transitions into the bind loop: a pilot becoming Active can unblock
@@ -273,6 +303,48 @@ func (um *UnitManager) notifyObservers() {
 	for _, fn := range um.observers {
 		fn()
 	}
+	um.sampleGauges()
+}
+
+// sampleGauges appends one live-gauge reading to the attached flight
+// recorder's series per scheduling-event generation — after observers
+// (the autoscaler) ran, so their effects land in the same tick. Without
+// a recorder the cost is one nil check.
+func (um *UnitManager) sampleGauges() {
+	r := um.session.rec
+	if r == nil || um.sampleGen == um.gen {
+		return
+	}
+	um.sampleGen = um.gen
+	v := um.ClusterView()
+	g := obs.GaugeSample{
+		QueueDepth:   v.WaitingUnits,
+		WaitingCores: v.WaitingCores,
+		HeldUnits:    v.HeldUnits,
+		HeldCores:    v.HeldCores,
+		RunningUnits: v.RunningUnits,
+		RunningCores: v.RunningCores,
+	}
+	if v.Cache.Enabled {
+		g.CacheEntries = v.Cache.Entries
+		g.CacheBytes = v.Cache.UsedBytes
+	}
+	for _, pv := range v.Pilots {
+		if pv.State.Final() {
+			continue
+		}
+		g.TotalCores += pv.TotalCores
+		if dp := pv.DataPilot; dp != nil {
+			if g.StoreFree == nil {
+				g.StoreFree = make(map[string]int64)
+			}
+			g.StoreFree[dp.Label()] = pv.DataFreeBytes()
+		}
+	}
+	if g.TotalCores > 0 {
+		g.Utilization = float64(g.RunningCores) / float64(g.TotalCores)
+	}
+	r.Sample(g)
 }
 
 // demand summarizes the manager's current workload for autoscaling:
@@ -390,6 +462,16 @@ func (um *UnitManager) placeOne(p *sim.Proc, u *Unit) {
 	ld := um.load[pl]
 	ld.units++
 	ld.cores += u.Desc.Cores
+	if r := um.session.rec; r != nil {
+		detail := ""
+		if pv := view.For(pl); pv != nil {
+			detail = fmt.Sprintf("%d/%d cores in flight", pv.InFlightCores, pv.TotalCores)
+		}
+		r.Record(obs.Event{
+			Kind: obs.KindBind, Unit: u.ID, Name: u.Desc.Name, Pilot: pl.ID,
+			Policy: um.policy.Name(), Cores: u.Desc.Cores, Detail: detail,
+		})
+	}
 	u.advance(UnitPendingAgent)
 	um.session.store.Push(p, pl.queueName, u)
 }
@@ -494,6 +576,7 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 			// the policy until every input Data-Unit is replicated. The
 			// watch callbacks release (or fail) it.
 			um.held[u] = unresolved
+			um.recordHold(u, unresolved)
 			u.advance(UnitPendingInput)
 		default:
 			u.advance(UnitSchedulingUM)
@@ -567,9 +650,23 @@ func (um *UnitManager) releaseInput(u *Unit) {
 		return
 	}
 	delete(um.held, u)
+	if r := um.session.rec; r != nil {
+		r.Record(obs.Event{Kind: obs.KindRelease, Op: "input", Unit: u.ID,
+			Name: u.Desc.Name, Cores: u.Desc.Cores})
+	}
 	u.advance(UnitSchedulingUM)
 	um.pending = append(um.pending, u)
 	um.kick()
+}
+
+// recordHold emits a hold-edge event for a unit parking in
+// UnitPendingInput with unresolved unreplicated inputs.
+func (um *UnitManager) recordHold(u *Unit, unresolved int) {
+	if r := um.session.rec; r != nil {
+		r.Record(obs.Event{Kind: obs.KindHold, Op: "input", Unit: u.ID,
+			Name: u.Desc.Name, Cores: u.Desc.Cores,
+			Detail: fmt.Sprintf("%d unreplicated inputs", unresolved)})
+	}
 }
 
 // failHeld fails a held unit whose input retired unread. The unit's
@@ -581,6 +678,10 @@ func (um *UnitManager) failHeld(u *Unit, err error) {
 		return
 	}
 	delete(um.held, u)
+	if r := um.session.rec; r != nil {
+		r.Record(obs.Event{Kind: obs.KindRelease, Op: "failed", Unit: u.ID,
+			Name: u.Desc.Name, Detail: err.Error()})
+	}
 	u.fail(err)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -40,6 +41,10 @@ func (dm *Manager) FailPilot(p *sim.Proc, dp *Pilot) error {
 	}
 	dp.failed = true
 	dm.eng.Tracef("data pilot %s (%s) FAILED", dp.ID, dp.store.Name())
+	if r := dm.rec; r != nil {
+		r.Record(obs.Event{Kind: obs.KindStoreFail, Pilot: dp.Label(),
+			Detail: dp.store.Name()})
+	}
 
 	// Collect the live units in ID order so re-replication placement is
 	// deterministic regardless of map iteration.
@@ -104,6 +109,7 @@ func (dm *Manager) reReplicate(p *sim.Proc, du *Unit) error {
 			return fmt.Errorf("data: unit %s re-replica to %s: %w", du.ID, best.store.Name(), err)
 		}
 		du.replicas = append(du.replicas, best)
+		dm.recordReplica(du, best, "re-replicate")
 		dm.eng.Tracef("data unit %s re-replicated to %s", du.ID, best.store.Name())
 	}
 	return nil
@@ -151,6 +157,7 @@ func (dm *Manager) CacheReplica(p *sim.Proc, du *Unit, dp *Pilot) bool {
 				return false
 			}
 			ent.Value.dropCachedOn(dp)
+			dm.recordReplica(ent.Value, dp, "evict")
 			dm.eng.Tracef("data unit %s evicted from the cache on %s", ent.Value.ID, dp.store.Name())
 		}
 	}
@@ -159,6 +166,7 @@ func (dm *Manager) CacheReplica(p *sim.Proc, du *Unit, dp *Pilot) bool {
 	}
 	du.cached = append(du.cached, dp)
 	dp.cached.Put(du.Name(), du, need)
+	dm.recordReplica(du, dp, "cache")
 	dm.eng.Tracef("data unit %s cached on %s", du.ID, dp.store.Name())
 	return true
 }

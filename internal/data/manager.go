@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/saga"
 	"repro/internal/sim"
 )
@@ -50,6 +51,9 @@ type Manager struct {
 	// names reserves each live (non-final) unit's logical name, so two
 	// different datasets can never alias one store object.
 	names map[string]*Unit
+	// rec is the attached flight recorder, nil without one — the nil
+	// check is the only cost recording adds to an unobserved manager.
+	rec *obs.Recorder
 
 	nextPilot int
 	nextUnit  int
@@ -59,6 +63,21 @@ type Manager struct {
 // facade.
 func NewManager(e *sim.Engine, ft *saga.FileTransfer) *Manager {
 	return &Manager{eng: e, ft: ft, names: make(map[string]*Unit)}
+}
+
+// SetRecorder attaches a flight recorder: Data-Unit state transitions,
+// replica motion and store failures record through it from now on.
+// core.NewDataManager forwards the session's recorder automatically;
+// passing nil detaches.
+func (dm *Manager) SetRecorder(r *obs.Recorder) { dm.rec = r }
+
+// recordReplica emits one replica-motion event (placement,
+// re-replication, caching, eviction, promotion) for du on dp.
+func (dm *Manager) recordReplica(du *Unit, dp *Pilot, op string) {
+	if r := dm.rec; r != nil {
+		r.Record(obs.Event{Kind: obs.KindReplica, Op: op, Data: du.ID,
+			Name: du.Name(), Pilot: dp.Label(), Bytes: du.Desc.SizeBytes})
+	}
 }
 
 // AddPilot provisions a data pilot: the description's backend builds a
@@ -192,6 +211,7 @@ func (dm *Manager) Stage(p *sim.Proc, du *Unit) error {
 		return err
 	}
 	du.replicas = append(du.replicas, first)
+	dm.recordReplica(du, first, "place")
 	if err := dm.abandonIfCanceled(p, du); err != nil {
 		return err
 	}
@@ -212,6 +232,7 @@ func (dm *Manager) Stage(p *sim.Proc, du *Unit) error {
 			continue // died mid-copy; bytes lost with the store
 		}
 		du.replicas = append(du.replicas, t)
+		dm.recordReplica(du, t, "place")
 		if err := dm.abandonIfCanceled(p, du); err != nil {
 			return err
 		}
@@ -343,5 +364,6 @@ func (dm *Manager) Cancel(du *Unit) {
 	du.state = StateCanceled
 	du.Timestamps[StateCanceled] = dm.eng.Now()
 	dm.eng.Tracef("data unit %s -> CANCELED", du.ID)
+	du.recordState(StateCanceled, "")
 	du.watch.Entered(StateCanceled)
 }

@@ -3,6 +3,7 @@ package data
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -174,6 +175,7 @@ func (du *Unit) promoteCached() {
 	du.cached = du.cached[1:]
 	dp.cached.Remove(du.Name())
 	du.replicas = append(du.replicas, dp)
+	du.mgr.recordReplica(du, dp, "promote")
 }
 
 // OnStateChange registers fn to run for every state the unit actually
@@ -221,7 +223,17 @@ func (du *Unit) advance(st UnitState) {
 	du.state = st
 	du.Timestamps[st] = du.mgr.eng.Now()
 	du.mgr.eng.Tracef("data unit %s -> %s", du.ID, st)
+	du.recordState(st, "")
 	du.watch.Entered(st)
+}
+
+// recordState emits the Data-Unit's state transition to the manager's
+// flight recorder, when one is attached.
+func (du *Unit) recordState(st UnitState, detail string) {
+	if r := du.mgr.rec; r != nil {
+		r.Record(obs.Event{Kind: obs.KindDataState, Data: du.ID, Name: du.Name(),
+			State: st.String(), Bytes: du.Desc.SizeBytes, Detail: detail})
+	}
 }
 
 // fail moves the unit to StateFailed with a cause.
@@ -233,5 +245,6 @@ func (du *Unit) fail(err error) {
 	du.state = StateFailed
 	du.Timestamps[StateFailed] = du.mgr.eng.Now()
 	du.mgr.eng.Tracef("data unit %s -> FAILED: %v", du.ID, err)
+	du.recordState(StateFailed, err.Error())
 	du.watch.Entered(StateFailed)
 }

@@ -113,7 +113,12 @@ func runCacheCell(cached bool, seed int64) (*CacheRow, error) {
 		DefaultWallTime: 4 * time.Hour,
 		Seed:            seed,
 	})
-	session := pilot.NewSession(eng, pilot.WithProfile(schedProfile()), pilot.WithSeed(seed))
+	// The cell always runs with a flight recorder: the bind-invariant
+	// check below audits its stream — in the cached cell it proves the
+	// coalesced and hit submissions completed without ever binding.
+	rec := pilot.NewRecorder(eng)
+	session := pilot.NewSession(eng,
+		pilot.WithProfile(schedProfile()), pilot.WithSeed(seed), pilot.WithRecorder(rec))
 	res := &pilot.Resource{Name: "cache", URL: "slurm://cache", Machine: m, Batch: batch}
 	if err := session.AddResource(res); err != nil {
 		return nil, err
@@ -287,6 +292,16 @@ func runCacheCell(cached bool, seed int64) (*CacheRow, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	// Recorder invariants: every executed DONE unit bound exactly once;
+	// every hit or coalesced submission completed with zero binds.
+	events := rec.Events()
+	if err := pilot.VerifyBinds(events); err != nil {
+		return nil, fmt.Errorf("recorder bind invariants (%s): %w", row.Label, err)
+	}
+	if got, want := pilot.DoneUnits(events), CacheJobs()+cacheSharedJobs; got != want {
+		return nil, fmt.Errorf("recorder saw %d DONE units, want %d", got, want)
+	}
+	tapCommit("cache/"+row.Label, rec)
 	return row, nil
 }
 

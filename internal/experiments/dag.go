@@ -112,7 +112,11 @@ func runDAGCell(ord pilot.GraphOrdering, seed int64) (*DAGRow, error) {
 		DefaultWallTime: 4 * time.Hour,
 		Seed:            seed,
 	})
-	session := pilot.NewSession(eng, pilot.WithProfile(schedProfile()), pilot.WithSeed(seed))
+	// The cell always runs with a flight recorder: its event stream is
+	// what the bind-invariant check below audits, tap or no tap.
+	rec := pilot.NewRecorder(eng)
+	session := pilot.NewSession(eng,
+		pilot.WithProfile(schedProfile()), pilot.WithSeed(seed), pilot.WithRecorder(rec))
 	res := &pilot.Resource{Name: "dag", URL: "slurm://dag", Machine: m, Batch: batch}
 	if err := session.AddResource(res); err != nil {
 		return nil, err
@@ -289,6 +293,16 @@ func runDAGCell(ord pilot.GraphOrdering, seed int64) (*DAGRow, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	// Recorder invariants: every graph unit reached DONE through exactly
+	// one bind decision (no cache here, so no zero-bind completions).
+	events := rec.Events()
+	if err := pilot.VerifyBinds(events); err != nil {
+		return nil, fmt.Errorf("recorder bind invariants (%s): %w", ord, err)
+	}
+	if got := pilot.DoneUnits(events); got != DAGUnits() {
+		return nil, fmt.Errorf("recorder saw %d DONE units, want %d", got, DAGUnits())
+	}
+	tapCommit("dag/"+ord.String(), rec)
 	return row, nil
 }
 

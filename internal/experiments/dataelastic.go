@@ -123,6 +123,7 @@ func runDataElasticCell(policy string, seed int64) (*DataElasticRow, error) {
 		Seed:            seed,
 	})
 	session := pilot.NewSession(eng, pilot.WithProfile(schedProfile()), pilot.WithSeed(seed))
+	rec := tapRecorder(eng, session)
 	res := &pilot.Resource{Name: "dataelastic", URL: "slurm://dataelastic", Machine: m, Batch: batch}
 	if err := session.AddResource(res); err != nil {
 		return nil, err
@@ -262,6 +263,7 @@ func runDataElasticCell(policy string, seed int64) (*DataElasticRow, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	tapCommit("dataelastic/"+policy, rec)
 	return row, nil
 }
 

@@ -123,6 +123,7 @@ func runElasticCell(name string, policy pilot.AutoscalePolicy, seed int64) (*Ela
 		Seed:            seed,
 	})
 	session := pilot.NewSession(eng, pilot.WithProfile(schedProfile()), pilot.WithSeed(seed))
+	rec := tapRecorder(eng, session)
 	res := &pilot.Resource{Name: "elastic", URL: "slurm://elastic", Machine: m, Batch: batch}
 	if err := session.AddResource(res); err != nil {
 		return nil, err
@@ -221,6 +222,7 @@ func runElasticCell(name string, policy pilot.AutoscalePolicy, seed int64) (*Ela
 	if runErr != nil {
 		return nil, runErr
 	}
+	tapCommit("elastic/"+name, rec)
 	return row, nil
 }
 

@@ -27,6 +27,13 @@ type Env struct {
 	Batch   *hpc.Batch
 	Session *pilot.Session
 	Res     *pilot.Resource
+	// Rec is the flight recorder attached to the session while a Tap is
+	// installed (SetTap); nil otherwise. Its stream publishes to the tap
+	// at Close under Label.
+	Rec *pilot.Recorder
+	// Label tags this environment's stream in tap exports; NewEnv sets
+	// it to the machine name and callers may override before Close.
+	Label string
 }
 
 // MachineName selects a machine profile.
@@ -83,11 +90,17 @@ func NewEnv(name MachineName, nodes int, seed int64) (*Env, error) {
 	if err := session.AddResource(res); err != nil {
 		return nil, err
 	}
-	return &Env{Eng: eng, Machine: m, Batch: b, Session: session, Res: res}, nil
+	return &Env{Eng: eng, Machine: m, Batch: b, Session: session, Res: res,
+		Rec: tapRecorder(eng, session), Label: string(name)}, nil
 }
 
-// Close tears the environment down, reaping daemon processes.
-func (e *Env) Close() { e.Eng.Close() }
+// Close tears the environment down, reaping daemon processes, and
+// publishes the recorder stream (if any) to the installed tap.
+func (e *Env) Close() {
+	tapCommit(e.Label, e.Rec)
+	e.Rec = nil
+	e.Eng.Close()
+}
 
 // System identifies the middleware variant under test.
 type System string

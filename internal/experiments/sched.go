@@ -128,6 +128,7 @@ func runSchedCell(wl, policy string, seed int64) (*SchedRow, error) {
 		return nil, err
 	}
 	session := pilot.NewSession(eng, pilot.WithProfile(schedProfile()), pilot.WithSeed(seed))
+	rec := tapRecorder(eng, session)
 	res := &pilot.Resource{
 		Name: "hetero", URL: "slurm://hetero", Machine: m, Batch: batch,
 		DedicatedYARN: rm, DedicatedHDFS: fs,
@@ -262,6 +263,7 @@ func runSchedCell(wl, policy string, seed int64) (*SchedRow, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	tapCommit("sched/"+wl+"/"+policy, rec)
 	return row, nil
 }
 

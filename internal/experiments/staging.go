@@ -119,6 +119,7 @@ func runStagingCell(mode string, seed int64) (*StagingRow, error) {
 		Seed:            seed,
 	})
 	session := pilot.NewSession(eng, pilot.WithProfile(schedProfile()), pilot.WithSeed(seed))
+	rec := tapRecorder(eng, session)
 	res := &pilot.Resource{Name: "staging", URL: "slurm://staging", Machine: m, Batch: batch}
 	if err := session.AddResource(res); err != nil {
 		return nil, err
@@ -285,6 +286,7 @@ func runStagingCell(mode string, seed int64) (*StagingRow, error) {
 	if runErr != nil {
 		return nil, runErr
 	}
+	tapCommit("data/"+mode, rec)
 	return row, nil
 }
 

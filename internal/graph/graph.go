@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -278,8 +279,13 @@ func (g *Graph) Submit(p *sim.Proc, um *core.UnitManager, opts ...SubmitOption) 
 		return nil, err
 	}
 	g.submitted = true
+	rec := um.Session().Recorder()
 	for i, n := range g.nodes {
 		n.unit = units[i]
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindGraphAdmit, Unit: units[i].ID,
+				Name: n.name, Critical: n.critical})
+		}
 	}
 	return units, nil
 }

@@ -8,16 +8,23 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Sample accumulates duration observations.
 type Sample struct {
 	values []time.Duration
+	// sorted caches the ascending order for Percentile; Add invalidates
+	// it, so repeated quantile reads between observations sort once.
+	sorted []time.Duration
 }
 
 // Add appends an observation.
-func (s *Sample) Add(d time.Duration) { s.values = append(s.values, d) }
+func (s *Sample) Add(d time.Duration) {
+	s.values = append(s.values, d)
+	s.sorted = nil
+}
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.values) }
@@ -86,8 +93,10 @@ func (s *Sample) Percentile(q float64) time.Duration {
 	if n == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), s.values...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if s.sorted == nil {
+		s.sorted = append(make([]time.Duration, 0, n), s.values...)
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	}
 	rank := int(math.Ceil(q * float64(n)))
 	if rank < 1 {
 		rank = 1
@@ -95,7 +104,7 @@ func (s *Sample) Percentile(q float64) time.Duration {
 	if rank > n {
 		rank = n
 	}
-	return sorted[rank-1]
+	return s.sorted[rank-1]
 }
 
 // P50 returns the median observation.
@@ -113,8 +122,10 @@ func Seconds(d time.Duration) string {
 // Counters is an ordered set of named event counts — the shape cache
 // and scheduler effectiveness numbers take in experiment reports. A
 // name first seen by Add is appended to the order; the zero value is
-// ready to use.
+// ready to use. All methods are safe for concurrent use, so callbacks
+// firing from different goroutines may share one Counters.
 type Counters struct {
+	mu     sync.Mutex
 	order  []string
 	counts map[string]int64
 }
@@ -122,6 +133,8 @@ type Counters struct {
 // Add increments the named counter by delta, creating it at zero (and
 // fixing its report position) on first touch.
 func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.counts == nil {
 		c.counts = make(map[string]int64)
 	}
@@ -132,26 +145,48 @@ func (c *Counters) Add(name string, delta int64) {
 }
 
 // Get returns the named counter (0 if never touched).
-func (c *Counters) Get(name string) int64 { return c.counts[name] }
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
 
 // Names returns the counter names in first-touch order.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]string(nil), c.order...)
+}
+
+// Snapshot returns a point-in-time copy of every counter, safe to read
+// while other goroutines keep counting.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for name, v := range c.counts {
+		out[name] = v
+	}
+	return out
 }
 
 // Write renders the counters as a two-column table, in first-touch
 // order.
 func (c *Counters) Write(w io.Writer) {
+	c.mu.Lock()
 	tbl := NewTable("counter", "value")
 	for _, name := range c.order {
 		tbl.AddRow(name, fmt.Sprintf("%d", c.counts[name]))
 	}
+	c.mu.Unlock()
 	tbl.Write(w)
 }
 
 // String renders the counters compactly: "a=1 b=2", in first-touch
 // order.
 func (c *Counters) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	parts := make([]string, len(c.order))
 	for i, name := range c.order {
 		parts[i] = fmt.Sprintf("%s=%d", name, c.counts[name])

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -135,5 +136,86 @@ func TestCounters(t *testing.T) {
 	var zero Counters
 	if zero.String() != "" || len(zero.Names()) != 0 {
 		t.Fatal("zero value not empty")
+	}
+	if len(zero.Snapshot()) != 0 {
+		t.Fatal("zero-value snapshot not empty")
+	}
+}
+
+func TestCountersSnapshotIsCopy(t *testing.T) {
+	var c Counters
+	c.Add("hits", 2)
+	snap := c.Snapshot()
+	c.Add("hits", 5)
+	c.Add("misses", 1)
+	if snap["hits"] != 2 || len(snap) != 1 {
+		t.Fatalf("snapshot mutated by later counting: %v", snap)
+	}
+	if got := c.Snapshot(); got["hits"] != 7 || got["misses"] != 1 {
+		t.Fatalf("live counters = %v", got)
+	}
+}
+
+// TestCountersConcurrent hammers one Counters from many goroutines;
+// run under -race this pins the concurrency-safety contract.
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Add("events", 1)
+				_ = c.Get("events")
+				if i%100 == 0 {
+					_ = c.Snapshot()
+					_ = c.String()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("events"); got != workers*each {
+		t.Fatalf("events = %d, want %d", got, workers*each)
+	}
+}
+
+// TestPercentileCacheInvalidation: quantiles stay correct when reads
+// interleave with new observations (the sorted cache must rebuild).
+func TestPercentileCacheInvalidation(t *testing.T) {
+	var s Sample
+	s.Add(4 * time.Second)
+	s.Add(2 * time.Second)
+	if got := s.P50(); got != 2*time.Second {
+		t.Fatalf("P50 of {2,4} = %v, want 2s", got)
+	}
+	s.Add(time.Second) // invalidates the cached order
+	if got := s.P50(); got != 2*time.Second {
+		t.Fatalf("P50 of {1,2,4} = %v, want 2s", got)
+	}
+	if got := s.Percentile(1); got != 4*time.Second {
+		t.Fatalf("max quantile = %v, want 4s", got)
+	}
+	s.Add(10 * time.Second)
+	if got := s.Percentile(1); got != 10*time.Second {
+		t.Fatalf("max quantile after add = %v, want 10s", got)
+	}
+}
+
+// BenchmarkSamplePercentile reads two quantiles per appended
+// observation — the experiment harness's access pattern. The sorted
+// cache makes the repeated reads O(1) between observations.
+func BenchmarkSamplePercentile(b *testing.B) {
+	var s Sample
+	for i := 0; i < 10_000; i++ {
+		s.Add(time.Duration(i*7919%10_000) * time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.P50() == 0 || s.P95() == 0 {
+			b.Fatal("unexpected zero quantile")
+		}
 	}
 }

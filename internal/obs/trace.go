@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Cell is one experiment cell's event stream, rendered as its own
+// process group in the Chrome trace so cells compared side by side
+// (critical-path vs FIFO, cached vs uncached) land on separate tracks.
+type Cell struct {
+	Label  string
+	Events []Event
+}
+
+// traceEvent is one Chrome trace-event JSON object (the subset the
+// exporter emits: "X" complete spans, "i" instants, "M" metadata).
+// Timestamps and durations are microseconds, per the format.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON Object Format envelope.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// DoneUnits counts the distinct Compute-Units whose event stream
+// reports a DONE state — exactly the spans WriteChromeTrace emits.
+func DoneUnits(events []Event) int {
+	n := 0
+	seen := make(map[string]bool)
+	for _, ev := range events {
+		if ev.Kind == KindUnitState && ev.State == "DONE" && !seen[ev.Unit] {
+			seen[ev.Unit] = true
+			n++
+		}
+	}
+	return n
+}
+
+// WriteChromeTrace renders one event stream as a Chrome trace-event
+// JSON file, viewable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Every unit that reached DONE becomes one complete
+// ("X") span on its pilot's process group — executing start to DONE,
+// or a zero-length span at completion time for units served from the
+// result cache without executing — laid out on greedily assigned
+// lanes (tids) so overlapping units stack instead of overdrawing.
+// Binds, autoscale verdicts, cache traffic and store failures become
+// instant ("i") events on track 0 of the group they concern.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	return WriteChromeTraceCells(w, []Cell{{Events: events}})
+}
+
+// WriteChromeTraceCells is WriteChromeTrace over several cells in one
+// file; each cell's tracks get their own pid range and are labeled
+// "<cell>/<pilot>" through process_name metadata.
+func WriteChromeTraceCells(w io.Writer, cells []Cell) error {
+	var out []traceEvent
+	nextPid := 1
+	for _, c := range cells {
+		out = append(out, cellTraceEvents(c, &nextPid)...)
+	}
+	if out == nil {
+		out = []traceEvent{} // an empty trace still parses
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("obs: chrome trace encode: %w", err)
+	}
+	return nil
+}
+
+// unitTimeline accumulates one unit's state entries while scanning a
+// cell's events.
+type unitTimeline struct {
+	id     string
+	name   string
+	pilot  string
+	cached bool
+	states map[string]time.Duration
+}
+
+// span is one laid-out unit execution.
+type span struct {
+	unit       *unitTimeline
+	start, end time.Duration
+}
+
+// micros converts virtual time to trace microseconds.
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// cellTraceEvents renders one cell: spans per DONE unit grouped by
+// pilot, instants for decisions, metadata naming each group.
+func cellTraceEvents(c Cell, nextPid *int) []traceEvent {
+	units := make(map[string]*unitTimeline)
+	var order []*unitTimeline
+	lookup := func(id string) *unitTimeline {
+		u, ok := units[id]
+		if !ok {
+			u = &unitTimeline{id: id, states: make(map[string]time.Duration)}
+			units[id] = u
+			order = append(order, u)
+		}
+		return u
+	}
+	var instants []Event
+	for _, ev := range c.Events {
+		switch ev.Kind {
+		case KindUnitState:
+			u := lookup(ev.Unit)
+			if _, dup := u.states[ev.State]; !dup {
+				u.states[ev.State] = ev.At
+			}
+			if ev.Pilot != "" {
+				u.pilot = ev.Pilot
+			}
+			if ev.Name != "" {
+				u.name = ev.Name
+			}
+		case KindCache:
+			if ev.Op == "hit" || ev.Op == "coalesce" {
+				lookup(ev.Unit).cached = true
+			}
+			instants = append(instants, ev)
+		case KindBind, KindAutoscale, KindStoreFail:
+			instants = append(instants, ev)
+		}
+	}
+
+	// One span per DONE unit: executing→DONE, or zero-length at DONE
+	// for units that never executed (cache completions).
+	byTrack := make(map[string][]span)
+	var trackOrder []string
+	track := func(name string) []span {
+		if _, ok := byTrack[name]; !ok {
+			byTrack[name] = nil
+			trackOrder = append(trackOrder, name)
+		}
+		return byTrack[name]
+	}
+	for _, u := range order {
+		done, ok := u.states["DONE"]
+		if !ok {
+			continue
+		}
+		start, ran := u.states["AGENT_EXECUTING"]
+		if !ran {
+			start = done
+		}
+		tr := u.pilot
+		if tr == "" {
+			tr = "unbound"
+		}
+		byTrack[tr] = append(track(tr), span{unit: u, start: start, end: done})
+	}
+
+	// Instants land on track 0 of the group they concern; groups that
+	// only ever see instants (a failed store's label) still render.
+	instantTrack := func(ev Event) string {
+		if ev.Pilot != "" {
+			return ev.Pilot
+		}
+		return "events"
+	}
+	for _, ev := range instants {
+		track(instantTrack(ev))
+	}
+
+	var out []traceEvent
+	pids := make(map[string]int)
+	for _, tr := range trackOrder {
+		pid := *nextPid
+		*nextPid++
+		pids[tr] = pid
+		label := tr
+		if c.Label != "" {
+			label = c.Label + "/" + tr
+		}
+		out = append(out, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": label},
+		})
+		spans := byTrack[tr]
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].start != spans[j].start {
+				return spans[i].start < spans[j].start
+			}
+			return spans[i].unit.id < spans[j].unit.id
+		})
+		// Greedy lane assignment: each span takes the first lane free
+		// at its start, so concurrent units stack on separate tids.
+		var laneEnd []time.Duration
+		for _, s := range spans {
+			lane := -1
+			for i, end := range laneEnd {
+				if end <= s.start {
+					lane = i
+					break
+				}
+			}
+			if lane == -1 {
+				lane = len(laneEnd)
+				laneEnd = append(laneEnd, 0)
+			}
+			laneEnd[lane] = s.end
+			name := s.unit.name
+			if name == "" {
+				name = s.unit.id
+			}
+			dur := micros(s.end - s.start)
+			args := map[string]any{"unit": s.unit.id}
+			if s.unit.cached {
+				args["cached"] = true
+			}
+			out = append(out, traceEvent{
+				Name: name, Cat: "unit", Ph: "X",
+				Ts: micros(s.start), Dur: &dur,
+				Pid: pids[tr], Tid: lane + 1, Args: args,
+			})
+		}
+	}
+	for _, ev := range instants {
+		name := string(ev.Kind)
+		if ev.Op != "" {
+			name += ":" + ev.Op
+		}
+		args := map[string]any{}
+		if ev.Unit != "" {
+			args["unit"] = ev.Unit
+		}
+		if ev.Policy != "" {
+			args["policy"] = ev.Policy
+		}
+		if ev.Applied != 0 {
+			args["applied"] = ev.Applied
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		out = append(out, traceEvent{
+			Name: name, Cat: string(ev.Kind), Ph: "i", S: "p",
+			Ts: micros(ev.At), Pid: pids[instantTrack(ev)], Tid: 0,
+			Args: args,
+		})
+	}
+	return out
+}

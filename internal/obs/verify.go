@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VerifyBinds checks the recorder invariants the scheduler must hold
+// on a failure-free run, from the event stream alone: every unit that
+// reached DONE by executing was bound exactly once, and every unit the
+// result cache completed (a hit, or a coalesced waiter whose leader
+// succeeded) was never bound at all. A coalesced waiter whose leader
+// aborted is requeued (Op "requeue") and must then bind like any other
+// unit. Returns nil when the invariants hold, else an error naming the
+// first offending unit.
+func VerifyBinds(events []Event) error {
+	type tally struct {
+		binds    int
+		done     bool
+		cached   bool // completed by the cache: hit, or coalesce...
+		requeued bool // ...unless later requeued to run for itself
+	}
+	tallies := make(map[string]*tally)
+	var order []string
+	get := func(id string) *tally {
+		t, ok := tallies[id]
+		if !ok {
+			t = &tally{}
+			tallies[id] = t
+			order = append(order, id)
+		}
+		return t
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindBind:
+			get(ev.Unit).binds++
+		case KindUnitState:
+			if ev.State == "DONE" {
+				get(ev.Unit).done = true
+			}
+		case KindCache:
+			switch ev.Op {
+			case "hit", "coalesce":
+				get(ev.Unit).cached = true
+			case "requeue":
+				get(ev.Unit).requeued = true
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, id := range order {
+		t := tallies[id]
+		if !t.done {
+			continue
+		}
+		want := 1
+		if t.cached && !t.requeued {
+			want = 0
+		}
+		if t.binds != want {
+			return fmt.Errorf("obs: unit %s: %d bind events, want %d (cached=%v requeued=%v)",
+				id, t.binds, want, t.cached, t.requeued)
+		}
+	}
+	return nil
+}

@@ -4,6 +4,11 @@
 // the time go: scheduling, staging, launching, executing?) and computes
 // concurrency and utilization series, the quantities behind the paper's
 // overhead discussion.
+//
+// The decomposition consumes state-entry timelines, which come from two
+// equivalent sources: a unit's Timestamps map (UnitBreakdown), or a
+// flight recorder's event stream (Timelines, ProfileFromEvents,
+// SpansFromEvents) — one source of truth when a recorder is attached.
 package profiling
 
 import (
@@ -13,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/pilot"
 )
@@ -22,6 +28,12 @@ type Phase string
 
 // The phases a Compute-Unit's time divides into.
 const (
+	// PhaseHeld is time parked in the Unit-Manager's hold states —
+	// UMGR_PENDING_INPUT (inputs not yet replicated) and
+	// UMGR_PENDING_RESULT (coalesced onto an in-flight identical unit) —
+	// before scheduling proper begins. Held time is attributed, never
+	// silently dropped.
+	PhaseHeld        Phase = "held"
 	PhaseUnitManager Phase = "unit-manager" // submission to agent pickup
 	PhaseScheduling  Phase = "agent-scheduling"
 	// PhaseStagingAndLaunch spans input staging through executable
@@ -35,8 +47,29 @@ const (
 
 // Phases lists the phases in lifecycle order.
 var Phases = []Phase{
-	PhaseUnitManager, PhaseScheduling, PhaseStagingAndLaunch,
+	PhaseHeld, PhaseUnitManager, PhaseScheduling, PhaseStagingAndLaunch,
 	PhaseExecuting, PhaseStagingOut,
+}
+
+// milestones are the states whose entry marks a phase boundary, in
+// lifecycle order, each with the phase the time *after* it belongs to.
+// The decomposition walks the milestones actually present in a unit's
+// timeline and attributes the gap between consecutive present ones to
+// the earlier one's phase — so skipped states (a unit with no inputs
+// never enters AGENT_STAGING_INPUT; a cache-completed unit never
+// executes) hand their span to the preceding phase instead of losing it.
+var milestones = []struct {
+	state pilot.UnitState
+	phase Phase
+}{
+	{pilot.UnitPendingResult, PhaseHeld},
+	{pilot.UnitPendingInput, PhaseHeld},
+	{pilot.UnitSchedulingUM, PhaseUnitManager},
+	{pilot.UnitPendingAgent, PhaseUnitManager},
+	{pilot.UnitSchedulingAgent, PhaseScheduling},
+	{pilot.UnitStagingInput, PhaseStagingAndLaunch},
+	{pilot.UnitExecuting, PhaseExecuting},
+	{pilot.UnitStagingOutput, PhaseStagingOut},
 }
 
 // Breakdown is a per-phase duration decomposition.
@@ -52,27 +85,53 @@ func (b Breakdown) Total() time.Duration {
 }
 
 // UnitBreakdown decomposes one finished unit's time-to-completion.
-// Returns an error if the unit did not complete.
+// Returns an error if the unit did not complete. Every phase is present
+// in the result (zero when skipped); the sum over phases covers the
+// whole span from the first recorded milestone to DONE, so hold time
+// and cache-completed lifetimes are attributed, not dropped.
 func UnitBreakdown(u *pilot.Unit) (Breakdown, error) {
 	if u.State() != pilot.UnitDone {
 		return nil, fmt.Errorf("profiling: unit %s is %v, not DONE", u.ID, u.State())
 	}
-	ts := u.Timestamps
-	seg := func(from, to pilot.UnitState) time.Duration {
-		a, okA := ts[from]
-		b, okB := ts[to]
-		if !okA || !okB || b < a {
-			return 0
-		}
-		return b - a
+	entry := make(map[string]time.Duration, len(u.Timestamps))
+	for st, at := range u.Timestamps {
+		entry[st.String()] = at
 	}
-	return Breakdown{
-		PhaseUnitManager:      seg(pilot.UnitSchedulingUM, pilot.UnitSchedulingAgent),
-		PhaseScheduling:       seg(pilot.UnitSchedulingAgent, pilot.UnitStagingInput),
-		PhaseStagingAndLaunch: seg(pilot.UnitStagingInput, pilot.UnitExecuting),
-		PhaseExecuting:        seg(pilot.UnitExecuting, pilot.UnitStagingOutput),
-		PhaseStagingOut:       seg(pilot.UnitStagingOutput, pilot.UnitDone),
-	}, nil
+	return breakdownFromEntries(entry), nil
+}
+
+// breakdownFromEntries runs the milestone walk over a completed unit's
+// state-entry times, keyed by state name (the one format both
+// Unit.Timestamps and the flight-recorder event stream reduce to). The
+// caller guarantees a DONE entry exists. Gaps between consecutive
+// present milestones go to the earlier milestone's phase; the final
+// present milestone runs to DONE.
+func breakdownFromEntries(entry map[string]time.Duration) Breakdown {
+	b := make(Breakdown, len(Phases))
+	for _, ph := range Phases {
+		b[ph] = 0
+	}
+	done := entry[pilot.UnitDone.String()]
+	type point struct {
+		at    time.Duration
+		phase Phase
+	}
+	var pts []point
+	for _, m := range milestones {
+		if at, ok := entry[m.state.String()]; ok {
+			pts = append(pts, point{at, m.phase})
+		}
+	}
+	for i, pt := range pts {
+		end := done
+		if i+1 < len(pts) {
+			end = pts[i+1].at
+		}
+		if end > pt.at {
+			b[pt.phase] += end - pt.at
+		}
+	}
+	return b
 }
 
 // Profile aggregates breakdowns over a set of units.
@@ -130,6 +189,87 @@ func ExecutionSpans(units []*pilot.Unit) []Span {
 		end, ok2 := u.Timestamps[pilot.UnitStagingOutput]
 		if !ok2 {
 			end, ok2 = u.Timestamps[pilot.UnitDone]
+		}
+		if ok1 && ok2 && end > start {
+			spans = append(spans, Span{Start: start, End: end})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	return spans
+}
+
+// Timelines reduces a flight recorder's event stream to per-unit
+// state-entry times: unit ID → state name → entry time (first entry
+// wins, matching Unit.Timestamps' forward-only semantics).
+func Timelines(events []obs.Event) map[string]map[string]time.Duration {
+	tl := make(map[string]map[string]time.Duration)
+	for _, ev := range events {
+		if ev.Kind != obs.KindUnitState || ev.Unit == "" {
+			continue
+		}
+		m := tl[ev.Unit]
+		if m == nil {
+			m = make(map[string]time.Duration)
+			tl[ev.Unit] = m
+		}
+		if _, seen := m[ev.State]; !seen {
+			m[ev.State] = ev.At
+		}
+	}
+	return tl
+}
+
+// BreakdownFromStates decomposes one unit's recorded state-entry times
+// (one value of Timelines). Returns an error if the unit never reached
+// DONE in the stream.
+func BreakdownFromStates(unit string, entry map[string]time.Duration) (Breakdown, error) {
+	if _, ok := entry[pilot.UnitDone.String()]; !ok {
+		return nil, fmt.Errorf("profiling: unit %s never reached DONE in the event stream", unit)
+	}
+	return breakdownFromEntries(entry), nil
+}
+
+// ProfileFromEvents builds the aggregate profile from a flight
+// recorder's event stream — the event-sourced twin of NewProfile, for
+// when the units themselves are out of reach (a serialized trace, a
+// finished experiment cell). Units that never reached DONE are skipped
+// and counted.
+func ProfileFromEvents(events []obs.Event) (*Profile, int) {
+	p := &Profile{Phases: make(map[Phase]*metrics.Sample)}
+	for _, ph := range Phases {
+		p.Phases[ph] = &metrics.Sample{}
+	}
+	tl := Timelines(events)
+	ids := make([]string, 0, len(tl))
+	for id := range tl {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	skipped := 0
+	for _, id := range ids {
+		b, err := BreakdownFromStates(id, tl[id])
+		if err != nil {
+			skipped++
+			continue
+		}
+		p.Units++
+		for ph, d := range b {
+			p.Phases[ph].Add(d)
+		}
+	}
+	return p, skipped
+}
+
+// SpansFromEvents extracts executing intervals from a flight recorder's
+// event stream — the event-sourced twin of ExecutionSpans, feeding
+// MaxConcurrency and Utilization.
+func SpansFromEvents(events []obs.Event) []Span {
+	var spans []Span
+	for _, entry := range Timelines(events) {
+		start, ok1 := entry[pilot.UnitExecuting.String()]
+		end, ok2 := entry[pilot.UnitStagingOutput.String()]
+		if !ok2 {
+			end, ok2 = entry[pilot.UnitDone.String()]
 		}
 		if ok1 && ok2 && end > start {
 			spans = append(spans, Span{Start: start, End: end})

@@ -2,6 +2,7 @@ package profiling
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"time"
 
@@ -13,11 +14,24 @@ import (
 // runUnits drives a small pilot workload and returns its units and pilot.
 func runUnits(t *testing.T, mode pilot.PilotMode, n int) ([]*pilot.Unit, *pilot.Pilot) {
 	t.Helper()
+	units, pl, _ := runWorkload(t, mode, n, false)
+	return units, pl
+}
+
+// runWorkload is runUnits with an optional flight recorder attached, for
+// cross-checking the Timestamps-based and event-sourced decompositions.
+func runWorkload(t *testing.T, mode pilot.PilotMode, n int, record bool) ([]*pilot.Unit, *pilot.Pilot, *pilot.Recorder) {
+	t.Helper()
 	env, err := experiments.NewEnv(experiments.Wrangler, 3, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer env.Close()
+	var rec *pilot.Recorder
+	if record {
+		rec = pilot.NewRecorder(env.Eng)
+		env.Session.AttachRecorder(rec)
+	}
 	var units []*pilot.Unit
 	var pl *pilot.Pilot
 	env.Eng.Spawn("driver", func(p *sim.Proc) {
@@ -59,7 +73,7 @@ func runUnits(t *testing.T, mode pilot.PilotMode, n int) ([]*pilot.Unit, *pilot.
 		pl.Cancel()
 	})
 	env.Eng.Run()
-	return units, pl
+	return units, pl, rec
 }
 
 func TestUnitBreakdownSumsToTTC(t *testing.T) {
@@ -141,6 +155,170 @@ func TestMaxConcurrencySynthetic(t *testing.T) {
 	}
 	if MaxConcurrency(nil) != 0 {
 		t.Fatal("empty spans should have zero concurrency")
+	}
+}
+
+// sec shortens synthetic timeline literals.
+func sec(s int) time.Duration { return time.Duration(s) * time.Second }
+
+// TestBreakdownSkipsAbsentStagingStates: a unit that never entered the
+// staging states (no inputs to pull, instant stage-out) still decomposes
+// fully — the milestone walk hands each absent state's span to the
+// preceding phase instead of dropping it.
+func TestBreakdownSkipsAbsentStagingStates(t *testing.T) {
+	b := breakdownFromEntries(map[string]time.Duration{
+		pilot.UnitSchedulingUM.String():    sec(0),
+		pilot.UnitPendingAgent.String():    sec(2),
+		pilot.UnitSchedulingAgent.String(): sec(3),
+		pilot.UnitExecuting.String():       sec(5),  // no AGENT_STAGING_INPUT
+		pilot.UnitDone.String():            sec(35), // no AGENT_STAGING_OUTPUT
+	})
+	want := Breakdown{
+		PhaseHeld:             0,
+		PhaseUnitManager:      sec(3),
+		PhaseScheduling:       sec(2),
+		PhaseStagingAndLaunch: 0,
+		PhaseExecuting:        sec(30),
+		PhaseStagingOut:       0,
+	}
+	for _, ph := range Phases {
+		if b[ph] != want[ph] {
+			t.Errorf("%s = %v, want %v", ph, b[ph], want[ph])
+		}
+	}
+	if b.Total() != sec(35) {
+		t.Errorf("total = %v, want the full 35s span", b.Total())
+	}
+}
+
+// TestBreakdownAttributesHoldTime: time parked in the Unit-Manager hold
+// states lands in PhaseHeld — for an input hold (UMGR_PENDING_INPUT)
+// and for a coalesced waiter completed from the result cache
+// (UMGR_PENDING_RESULT), whose only other milestones are UMGR_SCHEDULING
+// and DONE.
+func TestBreakdownAttributesHoldTime(t *testing.T) {
+	held := breakdownFromEntries(map[string]time.Duration{
+		pilot.UnitPendingInput.String():    sec(0),
+		pilot.UnitSchedulingUM.String():    sec(10),
+		pilot.UnitSchedulingAgent.String(): sec(11),
+		pilot.UnitStagingInput.String():    sec(12),
+		pilot.UnitExecuting.String():       sec(13),
+		pilot.UnitStagingOutput.String():   sec(43),
+		pilot.UnitDone.String():            sec(44),
+	})
+	if held[PhaseHeld] != sec(10) {
+		t.Errorf("input hold: PhaseHeld = %v, want 10s", held[PhaseHeld])
+	}
+	if held.Total() != sec(44) {
+		t.Errorf("input hold: total = %v, want 44s (hold attributed, not dropped)", held.Total())
+	}
+
+	waiter := breakdownFromEntries(map[string]time.Duration{
+		pilot.UnitPendingResult.String(): sec(5),
+		pilot.UnitSchedulingUM.String():  sec(20),
+		pilot.UnitDone.String():          sec(21),
+	})
+	if waiter[PhaseHeld] != sec(15) {
+		t.Errorf("coalesced waiter: PhaseHeld = %v, want 15s", waiter[PhaseHeld])
+	}
+	if waiter[PhaseUnitManager] != sec(1) {
+		t.Errorf("coalesced waiter: PhaseUnitManager = %v, want 1s (cache completion)", waiter[PhaseUnitManager])
+	}
+	if waiter[PhaseExecuting] != 0 {
+		t.Errorf("coalesced waiter never executed, PhaseExecuting = %v", waiter[PhaseExecuting])
+	}
+}
+
+// TestBreakdownFailedUnit: a unit that really failed (its only pilot
+// canceled before it could bind) is refused by UnitBreakdown and
+// skipped by NewProfile rather than decomposed.
+func TestBreakdownFailedUnit(t *testing.T) {
+	env, err := experiments.NewEnv(experiments.Wrangler, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	var units []*pilot.Unit
+	env.Eng.Spawn("driver", func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(env.Session)
+		pl, err := pm.Submit(p, pilot.PilotDescription{
+			Resource: "wrangler", Nodes: 1, Runtime: time.Hour,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pl.WaitState(p, pilot.PilotActive)
+		um, err := pilot.NewUnitManager(env.Session)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		um.AddPilot(pl)
+		pl.Cancel()
+		pl.WaitState(p, pilot.PilotCanceled)
+		units, err = um.Submit(p, []pilot.ComputeUnitDescription{{Cores: 1}})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		um.WaitAll(p, units)
+	})
+	env.Eng.Run()
+	if len(units) != 1 || units[0].State() != pilot.UnitFailed {
+		t.Fatalf("expected one FAILED unit, got %v", units)
+	}
+	if _, err := UnitBreakdown(units[0]); err == nil {
+		t.Fatal("UnitBreakdown accepted a FAILED unit")
+	}
+	prof, skipped := NewProfile(units)
+	if skipped != 1 || prof.Units != 0 {
+		t.Fatalf("NewProfile(failed) = %d units, %d skipped; want 0/1", prof.Units, skipped)
+	}
+}
+
+// TestBreakdownFromStatesRequiresDone mirrors the failed-unit rule on
+// the event-sourced path.
+func TestBreakdownFromStatesRequiresDone(t *testing.T) {
+	_, err := BreakdownFromStates("u1", map[string]time.Duration{
+		pilot.UnitSchedulingUM.String(): sec(0),
+		pilot.UnitFailed.String():       sec(3),
+	})
+	if err == nil {
+		t.Fatal("BreakdownFromStates accepted a stream that never reached DONE")
+	}
+}
+
+// TestEventStreamMatchesTimestamps: the flight-recorder event stream and
+// the units' own Timestamps maps are two views of one timeline — the
+// breakdowns, profiles and execution spans derived from each must agree
+// exactly.
+func TestEventStreamMatchesTimestamps(t *testing.T) {
+	units, _, rec := runWorkload(t, pilot.ModeHPC, 3, true)
+	tl := Timelines(rec.Events())
+	for _, u := range units {
+		fromUnit, err := UnitBreakdown(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromEvents, err := BreakdownFromStates(u.ID, tl[u.ID])
+		if err != nil {
+			t.Fatalf("unit %s missing from event stream: %v", u.ID, err)
+		}
+		for _, ph := range Phases {
+			if fromUnit[ph] != fromEvents[ph] {
+				t.Errorf("unit %s phase %s: timestamps say %v, events say %v",
+					u.ID, ph, fromUnit[ph], fromEvents[ph])
+			}
+		}
+	}
+	p, skipped := ProfileFromEvents(rec.Events())
+	if skipped != 0 || p.Units != len(units) {
+		t.Fatalf("ProfileFromEvents = %d units, %d skipped; want %d/0", p.Units, skipped, len(units))
+	}
+	s1, s2 := ExecutionSpans(units), SpansFromEvents(rec.Events())
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("spans diverge:\n units: %v\nevents: %v", s1, s2)
 	}
 }
 

@@ -31,6 +31,7 @@ type Engine struct {
 	running  bool
 	closed   bool
 	trace    io.Writer
+	traceFn  func(at time.Duration, msg string)
 	nspawned int
 
 	// liveNormal counts unfinished non-daemon processes; nonDaemon
@@ -58,13 +59,25 @@ func (e *Engine) Now() time.Duration { return e.now }
 // command-line tools.
 func (e *Engine) SetTrace(w io.Writer) { e.trace = w }
 
+// SetTraceFunc installs a structured trace sink: fn receives every Tracef
+// line with its virtual timestamp. It works alongside any SetTrace writer
+// (both receive the line) and is how a flight recorder folds engine-level
+// events into its timeline. Passing nil uninstalls the sink.
+func (e *Engine) SetTraceFunc(fn func(at time.Duration, msg string)) { e.traceFn = fn }
+
 // Tracef writes a trace line stamped with the current virtual time. It is
-// a no-op unless SetTrace has been called with a non-nil writer.
+// a no-op unless SetTrace or SetTraceFunc installed a sink.
 func (e *Engine) Tracef(format string, args ...any) {
-	if e.trace == nil {
+	if e.trace == nil && e.traceFn == nil {
 		return
 	}
-	fmt.Fprintf(e.trace, "[%12s] %s\n", e.now, fmt.Sprintf(format, args...))
+	msg := fmt.Sprintf(format, args...)
+	if e.trace != nil {
+		fmt.Fprintf(e.trace, "[%12s] %s\n", e.now, msg)
+	}
+	if e.traceFn != nil {
+		e.traceFn(e.now, msg)
+	}
 }
 
 // item is a scheduled callback. Callbacks run in kernel context: they must

@@ -145,6 +145,31 @@
 // distinguishes it), so iterative workloads converge to fully local
 // reads without affinity hints.
 //
+// # Observability
+//
+// The stack is wired to an opt-in flight recorder. Build a session
+// with NewSession(eng, WithRecorder(NewRecorder(eng))) — or attach one
+// later with Session.AttachRecorder — and every layer emits typed,
+// sim-timestamped events onto one stream (Recorder.Events): pilot,
+// unit and Data-Unit state transitions; scheduler bind verdicts;
+// autoscaler grow/shrink/hold decisions; DAG admissions and
+// hold/release edges; result-cache hits, misses and coalesces; replica
+// placement, failure and re-replication; and the engine's Tracef
+// lines. On every scheduling event the recorder also samples
+// ClusterView into a Series of live gauges (cores, utilization,
+// demand, cache counters), exportable as JSON Lines.
+//
+// Three consumers sit on the stream: WriteChromeTrace and
+// WriteChromeTraceCells render it as Chrome trace-event JSON viewable
+// in Perfetto (one complete span per executed unit, instants for
+// decisions); VerifyBinds and DoneUnits audit scheduling invariants
+// (every DONE unit bound exactly once, coalesced cache waiters never
+// bound); and internal/profiling derives its per-phase breakdowns
+// from the same events. The cmd/repro harness records any experiment
+// with -trace/-series, and cmd/tracecheck validates the export.
+// Without a recorder attached, every instrumentation site reduces to
+// a nil check.
+//
 // Every pluggable seam above — execution backends, unit schedulers,
 // autoscale policies, data backends — is one instance of the same
 // generic registry (internal/registry): duplicate, empty and nil

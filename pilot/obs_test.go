@@ -1,0 +1,143 @@
+package pilot_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hpc"
+	"repro/internal/sim"
+	"repro/pilot"
+)
+
+// TestRecorderEndToEnd drives a small workload through the public API
+// with a flight recorder attached and checks the event stream carries
+// the full causal chain: pilot states, bind decisions, unit states, the
+// engine trace, the scheduler invariants, live gauges and the Chrome
+// trace export.
+func TestRecorderEndToEnd(t *testing.T) {
+	eng := sim.NewEngine()
+	rec := pilot.NewRecorder(eng)
+	m := cluster.New(eng, testSpec(2))
+	b := hpc.NewBatch(m, hpc.Config{
+		SchedCycle:      10 * time.Second,
+		Prolog:          2 * time.Second,
+		MinQueueWait:    time.Second,
+		DefaultWallTime: 4 * time.Hour,
+		Seed:            3,
+	})
+	s := pilot.NewSession(eng,
+		pilot.WithProfile(fastProfile()), pilot.WithSeed(42), pilot.WithRecorder(rec))
+	if s.Recorder() != rec {
+		t.Fatal("WithRecorder did not attach the recorder")
+	}
+	if err := s.AddResource(&pilot.Resource{Name: "tm", Machine: m, Batch: b}); err != nil {
+		t.Fatal(err)
+	}
+	e := &testEnv{eng: eng, machine: m, session: s}
+	const units = 4
+	e.run(t, func(p *sim.Proc) {
+		pm := pilot.NewPilotManager(s)
+		pl, err := pm.Submit(p, pilot.PilotDescription{
+			Resource: "tm", Nodes: 2, Runtime: time.Hour, Mode: pilot.ModeHPC,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		pl.WaitState(p, pilot.PilotActive)
+		um := newUM(t, s)
+		um.AddPilot(pl)
+		var descs []pilot.ComputeUnitDescription
+		for i := 0; i < units; i++ {
+			descs = append(descs, pilot.ComputeUnitDescription{
+				Cores: 2,
+				Body:  func(bp *sim.Proc, ctx *pilot.UnitContext) { bp.Sleep(5 * time.Second) },
+			})
+		}
+		us, err := um.Submit(p, descs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		um.WaitAll(p, us)
+		pl.Cancel()
+	})
+
+	events := rec.Events()
+	if pilot.DoneUnits(events) != units {
+		t.Fatalf("DONE units in stream = %d, want %d", pilot.DoneUnits(events), units)
+	}
+	if got := rec.Count(pilot.EventBind); got != units {
+		t.Errorf("bind events = %d, want %d", got, units)
+	}
+	if rec.Count(pilot.EventPilotState) == 0 {
+		t.Error("no pilot-state events recorded")
+	}
+	if rec.Count(pilot.EventTrace) == 0 {
+		t.Error("engine Tracef lines did not land in the recorder")
+	}
+	if err := pilot.VerifyBinds(events); err != nil {
+		t.Errorf("bind invariants: %v", err)
+	}
+	// Every bind names the policy and a pilot; unit DONE events carry
+	// the bound pilot so the trace exporter can track them.
+	for _, ev := range events {
+		if ev.Kind == pilot.EventBind && (ev.Pilot == "" || ev.Policy == "") {
+			t.Fatalf("bind event missing pilot/policy: %+v", ev)
+		}
+		if ev.Kind == pilot.EventUnitState && ev.State == "DONE" && ev.Pilot == "" {
+			t.Fatalf("DONE unit-state event missing pilot: %+v", ev)
+		}
+	}
+
+	series := rec.Series()
+	if series.Len() == 0 {
+		t.Fatal("no gauge samples recorded")
+	}
+	peakRunning := 0
+	for _, g := range series.Samples() {
+		if g.RunningUnits > peakRunning {
+			peakRunning = g.RunningUnits
+		}
+	}
+	if peakRunning == 0 {
+		t.Error("gauges never saw a running unit")
+	}
+	if last := series.Last(); last.RunningUnits != 0 || last.QueueDepth != 0 {
+		t.Errorf("final gauge sample not drained: %+v", last)
+	}
+
+	var buf bytes.Buffer
+	if err := pilot.WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, te := range tf.TraceEvents {
+		if te.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != units {
+		t.Fatalf("trace spans = %d, want %d (== completed units)", spans, units)
+	}
+}
+
+// TestRecorderOffCostsNothingVisible pins the opt-in contract: a
+// session without WithRecorder records nothing and behaves identically.
+func TestRecorderOffNoRecorder(t *testing.T) {
+	e := newTestEnv(t, 1)
+	if e.session.Recorder() != nil {
+		t.Fatal("session without WithRecorder has a recorder attached")
+	}
+}
