@@ -512,3 +512,25 @@ func BenchmarkResultCache(b *testing.B) {
 	b.ReportMetric(simSec/float64(b.N), "sim-sec")
 	b.ReportMetric(speedup/float64(b.N), "speedup")
 }
+
+// BenchmarkScaleSweep runs the engine-speed sweep at its small and
+// medium tiers (the 10⁴ tier is the offline BENCH_scale.json run) and
+// reports the medium tier's throughput as "units/sec" plus its bind
+// loop rescan amplification as "offers/unit".
+func BenchmarkScaleSweep(b *testing.B) {
+	var unitsPerSec, offersPerUnit float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunScaleSweep(int64(i)+1, []int{100, 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := experiments.CheckScaleSweep(rows, []int{100, 1000}); err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		unitsPerSec += last.UnitsPerSec
+		offersPerUnit += float64(last.Offered) / float64(last.Units)
+	}
+	b.ReportMetric(unitsPerSec/float64(b.N), "units/sec")
+	b.ReportMetric(offersPerUnit/float64(b.N), "offers/unit")
+}

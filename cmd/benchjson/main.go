@@ -1,9 +1,12 @@
-// Command benchjson converts `go test -bench` text output on stdin into
-// a JSON document on stdout, so CI can publish benchmark results as a
+// Command benchjson converts `go test -bench` text output into a JSON
+// document on stdout, so CI can publish benchmark results as a
 // machine-readable perf-trajectory artifact (BENCH_*.json):
 //
 //	go test -run '^$' -bench . ./... | go run ./cmd/benchjson > BENCH_results.json
+//	go run ./cmd/benchjson bench-core.txt bench-data.txt > BENCH_results.json
 //
+// With no arguments it reads stdin; with file arguments it reads each
+// file in order and concatenates their benchmarks into one document.
 // Each benchmark line becomes one record with its iteration count and
 // every reported metric (ns/op, B/op, allocs/op, and custom metrics
 // like sim-sec or speedup).
@@ -13,6 +16,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -41,9 +45,11 @@ type Doc struct {
 // benchLine matches "BenchmarkName-8   	  100	  12345 ns/op  3.2 sim-sec".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 
-func main() {
-	doc := Doc{Benchmarks: []Result{}}
-	sc := bufio.NewScanner(os.Stdin)
+// scan folds one bench-text stream into doc. The pkg/goos/goarch
+// headers stick across inputs, so later files without their own
+// headers inherit nothing stale: each header line overwrites.
+func scan(doc *Doc, r io.Reader) error {
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -77,9 +83,30 @@ func main() {
 		}
 		doc.Benchmarks = append(doc.Benchmarks, res)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
-		os.Exit(1)
+	return sc.Err()
+}
+
+func main() {
+	doc := Doc{Benchmarks: []Result{}}
+	if len(os.Args) < 2 {
+		if err := scan(&doc, os.Stdin); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, path := range os.Args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(1)
+			}
+			err = scan(&doc, f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: read %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

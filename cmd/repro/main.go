@@ -3,12 +3,22 @@
 //
 // Usage:
 //
-//	repro [-seed N] [-trials N] [-trace out.json] [-series out.jsonl] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|breakdown|all
+//	repro [-seed N] [-trials N] [-trace out.json] [-series out.jsonl] [-metrics addr] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|scale|breakdown|all
 //
 // With -trace, every experiment cell runs under a flight recorder and
 // the whole session exports as one Chrome trace-event JSON file,
 // viewable in Perfetto (ui.perfetto.dev). With -series, the live
 // cluster gauges sampled on every scheduling event export as JSONL.
+//
+// With -metrics, a live telemetry endpoint serves Prometheus text at
+// http://<addr>/metrics and a JSON registry snapshot at /debug/pilot
+// while the experiments run; every cell's accounting accumulates into
+// the one registry. -linger keeps the endpoint (and process) up after
+// the experiments finish so a scraper can collect the final state.
+//
+// The scale subcommand runs the engine-speed sweep (-scales picks the
+// unit counts) and writes BENCH_scale.json — the artifact ROADMAP's
+// engine-raw-speed item tracks.
 package main
 
 import (
@@ -16,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -30,8 +42,12 @@ func main() {
 	trials := flag.Int("trials", 3, "trials per Figure 5 bar")
 	traceOut := flag.String("trace", "", "write every cell's flight-recorder stream as one Chrome trace-event JSON file")
 	seriesOut := flag.String("series", "", "write every cell's live cluster gauges as JSON Lines")
+	metricsAddr := flag.String("metrics", "", "serve live Prometheus text at http://<addr>/metrics and a JSON snapshot at /debug/pilot while experiments run")
+	linger := flag.Duration("linger", 0, "keep the process (and -metrics endpoint) alive this long after the experiments finish")
+	scalesFlag := flag.String("scales", "", "comma-separated unit counts for the scale sweep (default 100,1000,10000)")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the scale sweep's benchmark document")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] [-trace out.json] [-series out.jsonl] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|breakdown|all\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] [-trace out.json] [-series out.jsonl] [-metrics addr] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|scale|breakdown|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,6 +60,19 @@ func main() {
 	if *traceOut != "" || *seriesOut != "" {
 		tap = new(experiments.Tap)
 		experiments.SetTap(tap)
+	}
+	var msrv *pilot.MetricsServer
+	if *metricsAddr != "" {
+		reg := pilot.NewMetricsRegistry()
+		experiments.SetMetricsRegistry(reg)
+		var err error
+		msrv, err = pilot.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: -metrics %s: %v\n", *metricsAddr, err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics (snapshot at /debug/pilot)\n\n", msrv.Addr())
 	}
 	run := func(name string, fn func() error) {
 		if cmd != name && cmd != "all" {
@@ -58,7 +87,7 @@ func main() {
 	known := map[string]bool{"fig5": true, "fig6": true, "speedups": true,
 		"ablate-shuffle": true, "ablate-amreuse": true, "sched": true,
 		"elastic": true, "data": true, "dataelastic": true, "dag": true,
-		"cache":     true,
+		"cache": true, "scale": true,
 		"breakdown": true, "all": true}
 	if !known[cmd] {
 		flag.Usage()
@@ -176,6 +205,33 @@ func main() {
 		}
 		return nil
 	})
+	run("scale", func() error {
+		scales, err := parseScales(*scalesFlag)
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.RunScaleSweep(*seed, scales)
+		if err != nil {
+			return err
+		}
+		experiments.WriteScaleSweep(os.Stdout, rows)
+		if err := experiments.CheckScaleSweep(rows, scales); err != nil {
+			return err
+		}
+		f, err := os.Create(*scaleOut)
+		if err != nil {
+			return err
+		}
+		if err := experiments.WriteScaleBenchJSON(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote scale benchmarks (%d scales) to %s\n", len(rows), *scaleOut)
+		return nil
+	})
 	run("breakdown", func() error { return breakdown(*seed) })
 
 	if tap != nil {
@@ -184,6 +240,27 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *linger > 0 {
+		fmt.Printf("lingering %s before exit\n", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// parseScales parses the -scales flag ("100,1000,10000"); empty means
+// the sweep's defaults.
+func parseScales(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var scales []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -scales entry %q", part)
+		}
+		scales = append(scales, n)
+	}
+	return scales, nil
 }
 
 // writeTapOutputs exports the collected flight-recorder streams.

@@ -1,16 +1,25 @@
-// Command tracecheck validates a Chrome trace-event JSON file produced
-// by repro -trace: the file must parse as a trace-event object, every
+// Command tracecheck validates the observability artifacts repro
+// emits, so CI can assert the export formats do not rot silently.
+//
+// Given a trace file, it checks Chrome trace-event JSON produced by
+// repro -trace: the file must parse as a trace-event object, every
 // complete ("X") span must carry a timestamp and a non-negative
 // duration, and with -spans N the span count must equal N — one span
-// per completed Compute-Unit. CI runs it against the dag experiment's
-// trace so the export format cannot rot silently.
+// per completed Compute-Unit.
+//
+// With -seriesfile, it validates a gauge-series JSONL stream produced
+// by repro -series (obs.Series.WriteJSONL): every line must parse as
+// a JSON object, timestamps must be monotonically non-decreasing per
+// cell, the integer gauges must be non-negative, and store free-byte
+// readings must be -1 (unbounded) or non-negative.
 //
 // Usage:
 //
-//	tracecheck [-spans N] trace.json
+//	tracecheck [-spans N] [-seriesfile series.jsonl] [trace.json]
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,24 +28,33 @@ import (
 
 func main() {
 	spans := flag.Int("spans", -1, "required number of complete (ph=X) spans; -1 skips the count check")
+	seriesFile := flag.String("seriesfile", "", "gauge-series JSONL file to validate (repro -series output)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tracecheck [-spans N] trace.json\n")
+		fmt.Fprintf(os.Stderr, "usage: tracecheck [-spans N] [-seriesfile series.jsonl] [trace.json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() > 1 || (flag.NArg() == 0 && *seriesFile == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	path := flag.Arg(0)
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "tracecheck: %s: %s\n", path, fmt.Sprintf(format, args...))
-		os.Exit(1)
+	if flag.NArg() == 1 {
+		checkTrace(flag.Arg(0), *spans)
 	}
+	if *seriesFile != "" {
+		checkSeries(*seriesFile)
+	}
+}
 
+func fail(path, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: %s: %s\n", path, fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+func checkTrace(path string, spans int) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fail("%v", err)
+		fail(path, "%v", err)
 	}
 	var tf struct {
 		TraceEvents []struct {
@@ -48,10 +66,10 @@ func main() {
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &tf); err != nil {
-		fail("not valid Chrome trace-event JSON: %v", err)
+		fail(path, "not valid Chrome trace-event JSON: %v", err)
 	}
 	if tf.TraceEvents == nil {
-		fail("missing traceEvents array")
+		fail(path, "missing traceEvents array")
 	}
 	got := 0
 	for i, te := range tf.TraceEvents {
@@ -59,16 +77,104 @@ func main() {
 		case "X":
 			got++
 			if te.Ts == nil || te.Dur == nil || *te.Dur < 0 || te.Pid == nil {
-				fail("event %d (%q): malformed span (needs ts, pid and non-negative dur)", i, te.Name)
+				fail(path, "event %d (%q): malformed span (needs ts, pid and non-negative dur)", i, te.Name)
 			}
 		case "i", "M":
 			// Instants and process metadata.
 		default:
-			fail("event %d (%q): unexpected phase %q", i, te.Name, te.Ph)
+			fail(path, "event %d (%q): unexpected phase %q", i, te.Name, te.Ph)
 		}
 	}
-	if *spans >= 0 && got != *spans {
-		fail("%d complete spans, want %d (one per completed unit)", got, *spans)
+	if spans >= 0 && got != spans {
+		fail(path, "%d complete spans, want %d (one per completed unit)", got, spans)
 	}
 	fmt.Printf("tracecheck: %s OK: %d events, %d spans\n", path, len(tf.TraceEvents), got)
+}
+
+// gaugeLine mirrors obs.GaugeSample's JSONL shape. Pointer fields
+// distinguish "absent" from "zero" where the writer always emits the
+// field, so a silently dropped key is caught.
+type gaugeLine struct {
+	Cell         string           `json:"cell"`
+	T            *float64         `json:"t"`
+	QueueDepth   *int             `json:"queue_depth"`
+	WaitingCores *int             `json:"waiting_cores"`
+	HeldUnits    *int             `json:"held_units"`
+	HeldCores    *int             `json:"held_cores"`
+	RunningUnits *int             `json:"running_units"`
+	RunningCores *int             `json:"running_cores"`
+	TotalCores   *int             `json:"total_cores"`
+	Utilization  *float64         `json:"utilization"`
+	CacheEntries int              `json:"cache_entries"`
+	CacheBytes   int64            `json:"cache_bytes"`
+	StoreFree    map[string]int64 `json:"store_free"`
+}
+
+func checkSeries(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(path, "%v", err)
+	}
+	defer f.Close()
+
+	lastT := map[string]float64{} // per-cell high-water timestamp
+	lines := 0
+	cells := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		lines++
+		var g gaugeLine
+		if err := json.Unmarshal(sc.Bytes(), &g); err != nil {
+			fail(path, "line %d: not a JSON gauge sample: %v", lines, err)
+		}
+		if g.T == nil {
+			fail(path, "line %d: missing t", lines)
+		}
+		cells[g.Cell] = true
+		if prev, ok := lastT[g.Cell]; ok && *g.T < prev {
+			fail(path, "line %d: cell %q: t=%g goes backwards (previous %g)", lines, g.Cell, *g.T, prev)
+		}
+		lastT[g.Cell] = *g.T
+		for _, c := range []struct {
+			name string
+			v    *int
+		}{
+			{"queue_depth", g.QueueDepth},
+			{"waiting_cores", g.WaitingCores},
+			{"held_units", g.HeldUnits},
+			{"held_cores", g.HeldCores},
+			{"running_units", g.RunningUnits},
+			{"running_cores", g.RunningCores},
+			{"total_cores", g.TotalCores},
+		} {
+			if c.v == nil {
+				fail(path, "line %d: missing gauge %s", lines, c.name)
+			}
+			if *c.v < 0 {
+				fail(path, "line %d: gauge %s is negative (%d)", lines, c.name, *c.v)
+			}
+		}
+		if g.Utilization != nil && *g.Utilization < 0 {
+			fail(path, "line %d: negative utilization %g", lines, *g.Utilization)
+		}
+		if g.CacheEntries < 0 || g.CacheBytes < 0 {
+			fail(path, "line %d: negative cache gauge (%d entries, %d bytes)", lines, g.CacheEntries, g.CacheBytes)
+		}
+		for store, free := range g.StoreFree {
+			if free < -1 {
+				fail(path, "line %d: store %q free bytes %d (want -1 for unbounded or >= 0)", lines, store, free)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(path, "read: %v", err)
+	}
+	if lines == 0 {
+		fail(path, "no gauge samples")
+	}
+	fmt.Printf("tracecheck: %s OK: %d samples across %d cells\n", path, lines, len(cells))
 }

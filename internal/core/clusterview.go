@@ -73,6 +73,11 @@ type PilotView struct {
 	// InFlightUnits counts units bound to the pilot that have not yet
 	// reached a final state; InFlightCores is their summed core demand.
 	InFlightUnits, InFlightCores int
+	// DoneUnits and FailedUnits are the pilot's lifetime completion
+	// counters — units bound here that reached DONE, or FAILED/CANCELED.
+	// Always-on and O(1) per transition, so accounting costs nothing
+	// when no recorder or registry is attached.
+	DoneUnits, FailedUnits int64
 	// WaitingUnits/WaitingCores are the bound-but-not-yet-executing part
 	// of the in-flight load; RunningUnits/RunningCores the executing part.
 	WaitingUnits, WaitingCores int
@@ -179,6 +184,7 @@ func (um *UnitManager) buildView() *ClusterView {
 		pv := &PilotView{Pilot: pl}
 		if ld := um.load[pl]; ld != nil {
 			pv.InFlightUnits, pv.InFlightCores = ld.units, ld.cores
+			pv.DoneUnits, pv.FailedUnits = ld.done, ld.failed
 		}
 		v.Pilots = append(v.Pilots, pv)
 		v.byPilot[pl] = pv

@@ -188,11 +188,23 @@ type UnitManager struct {
 	// sampleGen is the generation the flight recorder last sampled gauges
 	// at: one gauge reading per scheduling-event generation, not per kick.
 	sampleGen uint64
+
+	// passes counts completed schedule-pass batches and offered the
+	// units handed to the policy across them (a unit re-offered by a
+	// later pass counts again) — the bind loop's raw work measure, which
+	// the scale sweep reports as rescan cost.
+	passes  int64
+	offered int64
 }
 
 type pilotLoad struct {
 	units int
 	cores int
+	// done and failed count units bound to the pilot that reached a
+	// final state — lifetime totals, never decremented. They feed
+	// PilotView and the telemetry plane's per-pilot accounting.
+	done   int64
+	failed int64
 }
 
 // UnitManagerOption configures a UnitManager built by NewUnitManager.
@@ -390,6 +402,8 @@ func (um *UnitManager) schedulePass(p *sim.Proc) {
 		um.rerun = false
 		batch := um.pending
 		um.pending = nil
+		um.passes++
+		um.offered += int64(len(batch))
 		um.bumpGen() // the waiting set changed; views must recount
 		if len(batch) > 1 {
 			// Higher priority binds first; the stable sort keeps
@@ -476,6 +490,33 @@ func (um *UnitManager) placeOne(p *sim.Proc, u *Unit) {
 	um.session.store.Push(p, pl.queueName, u)
 }
 
+// countFinal credits a finished unit to its pilot's lifetime
+// completion counters. Cache-completed units never bound, so they have
+// no pilot to credit; their accounting lives in the cache counters.
+func (um *UnitManager) countFinal(u *Unit, st UnitState) {
+	if u.Pilot == nil {
+		return
+	}
+	ld := um.load[u.Pilot]
+	if ld == nil {
+		return
+	}
+	if st == UnitDone {
+		ld.done++
+	} else {
+		ld.failed++
+	}
+}
+
+// BindPassStats reports the bind loop's lifetime work: passes is the
+// number of scheduling batches run, offered the units handed to the
+// policy across them (re-offers count). offered/passes ≫ 1 on a
+// late-binding policy is the O(N²) rescan cost the scale sweep
+// characterizes.
+func (um *UnitManager) BindPassStats() (passes, offered int64) {
+	return um.passes, um.offered
+}
+
 // uncharge drops the unit from the in-flight bookkeeping.
 func (um *UnitManager) uncharge(u *Unit) {
 	pl, ok := um.charged[u]
@@ -543,6 +584,7 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 		u.OnStateChange(func(u *Unit, st UnitState) {
 			um.bumpGen() // any transition can shift the waiting/running split
 			if st.Final() {
+				um.countFinal(u, st)
 				um.uncharge(u)
 				// A leader's end releases its coalesced waiters. Waiters
 				// sent back to execute will produce the dead leader's

@@ -43,7 +43,7 @@ func (dm *Manager) FailPilot(p *sim.Proc, dp *Pilot) error {
 	dm.eng.Tracef("data pilot %s (%s) FAILED", dp.ID, dp.store.Name())
 	if r := dm.rec; r != nil {
 		r.Record(obs.Event{Kind: obs.KindStoreFail, Pilot: dp.Label(),
-			Detail: dp.store.Name()})
+			Detail: dp.store.Name(), Bytes: dp.store.UsedBytes()})
 	}
 
 	// Collect the live units in ID order so re-replication placement is

@@ -117,6 +117,7 @@ func runCacheCell(cached bool, seed int64) (*CacheRow, error) {
 	// check below audits its stream — in the cached cell it proves the
 	// coalesced and hit submissions completed without ever binding.
 	rec := pilot.NewRecorder(eng)
+	tapMetrics(rec)
 	session := pilot.NewSession(eng,
 		pilot.WithProfile(schedProfile()), pilot.WithSeed(seed), pilot.WithRecorder(rec))
 	res := &pilot.Resource{Name: "cache", URL: "slurm://cache", Machine: m, Batch: batch}

@@ -115,6 +115,7 @@ func runDAGCell(ord pilot.GraphOrdering, seed int64) (*DAGRow, error) {
 	// The cell always runs with a flight recorder: its event stream is
 	// what the bind-invariant check below audits, tap or no tap.
 	rec := pilot.NewRecorder(eng)
+	tapMetrics(rec)
 	session := pilot.NewSession(eng,
 		pilot.WithProfile(schedProfile()), pilot.WithSeed(seed), pilot.WithRecorder(rec))
 	res := &pilot.Resource{Name: "dag", URL: "slurm://dag", Machine: m, Batch: batch}

@@ -28,6 +28,7 @@ type tapCell struct {
 var (
 	tapMu        sync.Mutex
 	installedTap *Tap
+	installedReg *pilot.MetricsRegistry
 )
 
 // SetTap installs t as the destination for recorder output from every
@@ -46,16 +47,45 @@ func getTap() *Tap {
 	return installedTap
 }
 
+// SetMetricsRegistry installs reg as the live telemetry destination:
+// every subsequently run experiment cell bridges its recorder's event
+// stream into it, so a /metrics endpoint serving reg shows the whole
+// session's accounting accumulate across cells. nil uninstalls.
+func SetMetricsRegistry(reg *pilot.MetricsRegistry) {
+	tapMu.Lock()
+	installedReg = reg
+	tapMu.Unlock()
+}
+
+func getMetricsRegistry() *pilot.MetricsRegistry {
+	tapMu.Lock()
+	defer tapMu.Unlock()
+	return installedReg
+}
+
 // tapRecorder attaches a fresh flight recorder to the session when a
-// tap is installed; without one it returns nil and the run is
-// unobserved (the opt-in contract).
+// tap or a metrics registry is installed; with neither it returns nil
+// and the run is unobserved (the opt-in contract).
 func tapRecorder(eng *sim.Engine, s *pilot.Session) *pilot.Recorder {
-	if getTap() == nil {
+	if getTap() == nil && getMetricsRegistry() == nil {
 		return nil
 	}
 	rec := pilot.NewRecorder(eng)
 	s.AttachRecorder(rec)
+	tapMetrics(rec)
 	return rec
+}
+
+// tapMetrics bridges rec's stream into the installed registry (no-op
+// without one). Cells that build their recorder directly — dag, cache,
+// which always record for their own invariant checks — call this so
+// their events reach the live endpoint too.
+func tapMetrics(rec *pilot.Recorder) {
+	reg := getMetricsRegistry()
+	if reg == nil || rec == nil {
+		return
+	}
+	rec.OnRecord(pilot.NewMetricsBridge(reg).Apply)
 }
 
 // tapCommit publishes one finished cell's stream to the installed tap;

@@ -12,36 +12,87 @@ import (
 	"time"
 )
 
-// Sample accumulates duration observations.
+// Sample accumulates duration observations. The zero value keeps every
+// observation; NewReservoir bounds memory at a fixed capacity by
+// reservoir sampling (Algorithm R), trading exact quantiles for a
+// uniform subsample — count, mean and extrema stay exact either way.
 type Sample struct {
 	values []time.Duration
 	// sorted caches the ascending order for Percentile; Add invalidates
 	// it, so repeated quantile reads between observations sort once.
 	sorted []time.Duration
+
+	// capacity bounds len(values) when positive (reservoir mode);
+	// n, sum, min and max track the full stream exactly in both modes.
+	capacity int
+	n        int64
+	sum      time.Duration
+	min, max time.Duration
+	rng      uint64
 }
 
-// Add appends an observation.
+// NewReservoir creates a capacity-bounded sample: once capacity
+// observations are held, each further observation replaces a uniformly
+// random held one with probability capacity/n, so quantiles are
+// estimated over a uniform subsample of the stream. The seed fixes the
+// replacement sequence — same stream, same seed, same estimates.
+func NewReservoir(capacity int, seed int64) *Sample {
+	if capacity <= 0 {
+		panic("metrics: reservoir capacity must be positive")
+	}
+	state := uint64(seed)*2685821657736338717 + 0x9E3779B97F4A7C15
+	return &Sample{capacity: capacity, rng: state}
+}
+
+// next advances the xorshift64* state — a private generator so
+// reservoir behaviour never depends on the global math/rand stream.
+func (s *Sample) next() uint64 {
+	s.rng ^= s.rng >> 12
+	s.rng ^= s.rng << 25
+	s.rng ^= s.rng >> 27
+	return s.rng * 2685821657736338717
+}
+
+// Add appends an observation (in reservoir mode, possibly displacing a
+// held one).
 func (s *Sample) Add(d time.Duration) {
-	s.values = append(s.values, d)
-	s.sorted = nil
+	s.n++
+	if s.n == 1 || d < s.min {
+		s.min = d
+	}
+	if s.n == 1 || d > s.max {
+		s.max = d
+	}
+	s.sum += d
+	if s.capacity == 0 || len(s.values) < s.capacity {
+		s.values = append(s.values, d)
+		s.sorted = nil
+		return
+	}
+	if j := int(s.next() % uint64(s.n)); j < s.capacity {
+		s.values[j] = d
+		s.sorted = nil
+	}
 }
 
-// N returns the number of observations.
-func (s *Sample) N() int { return len(s.values) }
+// N returns the number of observations in the stream (not the held
+// subsample).
+func (s *Sample) N() int { return int(s.n) }
 
-// Mean returns the arithmetic mean (0 for an empty sample).
+// Held returns how many observations the sample currently retains —
+// N() when unbounded, at most the capacity in reservoir mode.
+func (s *Sample) Held() int { return len(s.values) }
+
+// Mean returns the arithmetic mean of the full stream (0 when empty).
 func (s *Sample) Mean() time.Duration {
-	if len(s.values) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, v := range s.values {
-		sum += v
-	}
-	return sum / time.Duration(len(s.values))
+	return s.sum / time.Duration(s.n)
 }
 
-// Std returns the population standard deviation.
+// Std returns the population standard deviation — over the held
+// subsample in reservoir mode.
 func (s *Sample) Std() time.Duration {
 	n := len(s.values)
 	if n < 2 {
@@ -56,33 +107,12 @@ func (s *Sample) Std() time.Duration {
 	return time.Duration(math.Sqrt(acc/float64(n)) * 1e9)
 }
 
-// Min and Max return the extrema (0 for empty samples).
-func (s *Sample) Min() time.Duration {
-	if len(s.values) == 0 {
-		return 0
-	}
-	m := s.values[0]
-	for _, v := range s.values[1:] {
-		if v < m {
-			m = v
-		}
-	}
-	return m
-}
+// Min returns the smallest observation of the full stream (0 when
+// empty) — exact even in reservoir mode.
+func (s *Sample) Min() time.Duration { return s.min }
 
-// Max returns the largest observation.
-func (s *Sample) Max() time.Duration {
-	if len(s.values) == 0 {
-		return 0
-	}
-	m := s.values[0]
-	for _, v := range s.values[1:] {
-		if v > m {
-			m = v
-		}
-	}
-	return m
-}
+// Max returns the largest observation of the full stream.
+func (s *Sample) Max() time.Duration { return s.max }
 
 // Percentile returns the q-quantile (0 ≤ q ≤ 1) of the sample by the
 // nearest-rank method on a sorted copy: the smallest observation v such

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestReservoirBoundsMemory(t *testing.T) {
+	s := NewReservoir(256, 1)
+	for i := 0; i < 100_000; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if s.Held() != 256 {
+		t.Fatalf("Held = %d; want 256", s.Held())
+	}
+	if s.N() != 100_000 {
+		t.Fatalf("N = %d; want 100000", s.N())
+	}
+}
+
+func TestReservoirExactAggregates(t *testing.T) {
+	s := NewReservoir(16, 7)
+	for i := 1; i <= 10_000; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	// Count, mean and extrema track the full stream, not the subsample.
+	if got, want := s.Mean(), time.Duration(10_001)*time.Millisecond/2; got != want {
+		t.Fatalf("Mean = %v; want %v", got, want)
+	}
+	if s.Min() != time.Millisecond {
+		t.Fatalf("Min = %v; want 1ms", s.Min())
+	}
+	if s.Max() != 10_000*time.Millisecond {
+		t.Fatalf("Max = %v; want 10s", s.Max())
+	}
+}
+
+// TestReservoirPercentileAccuracy pins quantile estimation error on a
+// known uniform stream: with a 2048-slot reservoir over 10⁵
+// observations, estimated P50/P95 must land within 5 percentile points
+// of truth.
+func TestReservoirPercentileAccuracy(t *testing.T) {
+	const n = 100_000
+	s := NewReservoir(2048, 42)
+	for i := 1; i <= n; i++ {
+		s.Add(time.Duration(i) * time.Microsecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, n / 2 * time.Microsecond},
+		{0.95, n * 95 / 100 * time.Microsecond},
+		{0.99, n * 99 / 100 * time.Microsecond},
+	} {
+		got := s.Percentile(tc.q)
+		errPts := math.Abs(got.Seconds()-tc.want.Seconds()) / (n * time.Microsecond).Seconds() * 100
+		if errPts > 5 {
+			t.Errorf("P%.0f = %v (truth %v): off by %.2f percentile points (> 5)",
+				tc.q*100, got, tc.want, errPts)
+		}
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		s := NewReservoir(64, 99)
+		for i := 0; i < 50_000; i++ {
+			s.Add(time.Duration(i) * time.Millisecond)
+		}
+		return s.P95()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, same stream gave %v then %v", a, b)
+	}
+}
+
+func TestReservoirZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReservoir(0, ...) did not panic")
+		}
+	}()
+	NewReservoir(0, 1)
+}
+
+func TestUnboundedSampleUnchanged(t *testing.T) {
+	var s Sample
+	for _, d := range []time.Duration{5, 1, 3, 2, 4} {
+		s.Add(d * time.Second)
+	}
+	if s.N() != 5 || s.Held() != 5 {
+		t.Fatalf("N/Held = %d/%d; want 5/5", s.N(), s.Held())
+	}
+	if s.Mean() != 3*time.Second || s.Min() != time.Second || s.Max() != 5*time.Second {
+		t.Fatalf("aggregates wrong: mean %v min %v max %v", s.Mean(), s.Min(), s.Max())
+	}
+	if s.P50() != 3*time.Second {
+		t.Fatalf("P50 = %v; want 3s", s.P50())
+	}
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Bridge derives the standard labeled-instrument set from the flight
+// recorder's Event stream, so the telemetry plane is single-sourced:
+// code paths record events once and both the trace exporters and the
+// /metrics exposition fall out of the same stream. Feed it live by
+// hooking Apply into Recorder.OnRecord, or after the fact with
+// MetricsFromEvents.
+//
+// The instrument set and its label conventions:
+//
+//	pilot_events_total{kind}                 counter  every recorded event
+//	pilot_units_done{pilot,scheduler}        counter  units reaching DONE
+//	pilot_units_failed{pilot}                counter  units reaching FAILED/CANCELED
+//	pilot_units_running{pilot}               gauge    units in AGENT_EXECUTING
+//	pilot_units_held                         gauge    units parked in hold states
+//	bind_latency_seconds{pilot,scheduler}    histogram UMGR_SCHEDULING → bind
+//	unit_duration_seconds{pilot}             histogram AGENT_EXECUTING → DONE
+//	pilot_autoscale_total{pilot,policy}      counter  autoscaler verdicts applied
+//	pilot_cache_ops_total{op}                counter  result-cache traffic
+//	data_replica_ops_total{op,store}         counter  replica motion
+//	data_replica_bytes_total{op,store}       counter  bytes moved by replica ops
+//	data_store_failures_total{store}         counter  data pilots killed
+//
+// `pilot` label values are pilot IDs (`pilot.0001`); `store` values are
+// data-pilot labels. Units completed straight from the result cache
+// carry scheduler="cache" — no scheduler ever bound them.
+//
+// Apply must be called from one goroutine at a time (the simulation
+// goroutine, when hooked into a recorder); the registry it updates is
+// safe to scrape concurrently.
+type Bridge struct {
+	reg *metrics.Registry
+
+	events       *metrics.Counter
+	unitsDone    *metrics.Counter
+	unitsFailed  *metrics.Counter
+	unitsRunning *metrics.Gauge
+	unitsHeld    *metrics.Gauge
+	bindLatency  *metrics.Histogram
+	unitDuration *metrics.Histogram
+	autoscale    *metrics.Counter
+	cacheOps     *metrics.Counter
+	replicaOps   *metrics.Counter
+	replicaBytes *metrics.Counter
+	storeFails   *metrics.Counter
+
+	units map[string]*unitTrack
+}
+
+// unitTrack is the per-unit state the bridge needs to turn state-event
+// pairs into latencies. Entries are dropped at final states so the map
+// stays bounded by in-flight units, not stream length.
+type unitTrack struct {
+	submitted    time.Duration
+	hasSubmitted bool
+	executing    time.Duration
+	hasExecuting bool
+	pilot        string
+	scheduler    string
+	cached       bool
+}
+
+// NewBridge declares the standard instrument set on reg and returns a
+// bridge feeding it.
+func NewBridge(reg *metrics.Registry) *Bridge {
+	return &Bridge{
+		reg: reg,
+		events: reg.Counter("pilot_events_total",
+			"flight-recorder events by kind", "kind"),
+		unitsDone: reg.Counter("pilot_units_done",
+			"compute units completed", "pilot", "scheduler"),
+		unitsFailed: reg.Counter("pilot_units_failed",
+			"compute units failed or canceled", "pilot"),
+		unitsRunning: reg.Gauge("pilot_units_running",
+			"compute units currently executing", "pilot"),
+		unitsHeld: reg.Gauge("pilot_units_held",
+			"compute units parked in Unit-Manager hold states"),
+		bindLatency: reg.Histogram("bind_latency_seconds",
+			"virtual seconds from UMGR_SCHEDULING to the scheduler bind",
+			nil, "pilot", "scheduler"),
+		unitDuration: reg.Histogram("unit_duration_seconds",
+			"virtual seconds from AGENT_EXECUTING to DONE",
+			nil, "pilot"),
+		autoscale: reg.Counter("pilot_autoscale_total",
+			"autoscaler verdicts that requested capacity change", "pilot", "policy"),
+		cacheOps: reg.Counter("pilot_cache_ops_total",
+			"result-cache traffic by operation", "op"),
+		replicaOps: reg.Counter("data_replica_ops_total",
+			"Data-Unit replica operations", "op", "store"),
+		replicaBytes: reg.Counter("data_replica_bytes_total",
+			"bytes moved by replica operations", "op", "store"),
+		storeFails: reg.Counter("data_store_failures_total",
+			"data pilots killed by failure injection", "store"),
+		units: make(map[string]*unitTrack),
+	}
+}
+
+// Registry returns the registry the bridge feeds.
+func (b *Bridge) Registry() *metrics.Registry { return b.reg }
+
+// track returns (creating) the per-unit state for id.
+func (b *Bridge) track(id string) *unitTrack {
+	t, ok := b.units[id]
+	if !ok {
+		t = &unitTrack{}
+		b.units[id] = t
+	}
+	return t
+}
+
+// Apply folds one event into the instrument set. Events must arrive in
+// record order (they do, from OnRecord or a replayed Events() slice).
+func (b *Bridge) Apply(ev Event) {
+	b.events.Inc(string(ev.Kind))
+	switch ev.Kind {
+	case KindUnitState:
+		b.applyUnitState(ev)
+	case KindBind:
+		t := b.track(ev.Unit)
+		t.pilot = ev.Pilot
+		t.scheduler = ev.Policy
+		if t.hasSubmitted {
+			b.bindLatency.Observe((ev.At - t.submitted).Seconds(), ev.Pilot, ev.Policy)
+		}
+	case KindHold:
+		b.unitsHeld.Add(1)
+	case KindRelease:
+		b.unitsHeld.Add(-1)
+	case KindAutoscale:
+		if ev.Applied != 0 {
+			b.autoscale.Inc(ev.Pilot, ev.Policy)
+		}
+	case KindCache:
+		b.cacheOps.Inc(ev.Op)
+		if ev.Op == "hit" || ev.Op == "coalesce" {
+			b.track(ev.Unit).cached = true
+		}
+	case KindReplica:
+		b.replicaOps.Inc(ev.Op, ev.Pilot)
+		if ev.Bytes > 0 {
+			b.replicaBytes.Add(float64(ev.Bytes), ev.Op, ev.Pilot)
+		}
+	case KindStoreFail:
+		b.storeFails.Inc(ev.Pilot)
+	}
+}
+
+// applyUnitState folds a Compute-Unit state transition.
+func (b *Bridge) applyUnitState(ev Event) {
+	t := b.track(ev.Unit)
+	if ev.Pilot != "" {
+		t.pilot = ev.Pilot
+	}
+	switch ev.State {
+	case "UMGR_SCHEDULING":
+		t.submitted = ev.At
+		t.hasSubmitted = true
+	case "AGENT_EXECUTING":
+		t.executing = ev.At
+		t.hasExecuting = true
+		b.unitsRunning.Add(1, t.pilot)
+	case "DONE":
+		sched := t.scheduler
+		if sched == "" && t.cached {
+			sched = "cache"
+		}
+		b.unitsDone.Inc(t.pilot, sched)
+		if t.hasExecuting {
+			b.unitDuration.Observe((ev.At - t.executing).Seconds(), t.pilot)
+			b.unitsRunning.Add(-1, t.pilot)
+		}
+		delete(b.units, ev.Unit)
+	case "FAILED", "CANCELED":
+		b.unitsFailed.Inc(t.pilot)
+		if t.hasExecuting {
+			b.unitsRunning.Add(-1, t.pilot)
+		}
+		delete(b.units, ev.Unit)
+	}
+}
+
+// MetricsFromEvents replays a recorded event stream through a fresh
+// bridge and returns the populated registry — the after-the-fact path
+// for streams already captured by a Recorder.
+func MetricsFromEvents(events []Event) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	b := NewBridge(reg)
+	for _, ev := range events {
+		b.Apply(ev)
+	}
+	return reg
+}

@@ -58,7 +58,8 @@ const (
 	// (cached copy drained) or "promote" (cached copy became a managed
 	// replica). Pilot names the data pilot by label.
 	KindReplica Kind = "replica"
-	// KindStoreFail marks a data pilot killed by FailPilot.
+	// KindStoreFail marks a data pilot killed by FailPilot; Bytes
+	// carries the occupancy lost with it.
 	KindStoreFail Kind = "store-fail"
 	// KindGraphAdmit marks a UnitGraph node admitted to the
 	// Unit-Manager; Critical carries its critical-path length.
@@ -129,6 +130,7 @@ type Recorder struct {
 	events []Event
 	counts map[Kind]int
 	series Series
+	hooks  []func(Event)
 }
 
 // NewRecorder creates a recorder stamping events with eng's virtual
@@ -144,12 +146,25 @@ func NewRecorder(eng *sim.Engine) *Recorder {
 }
 
 // Record stamps ev with the next sequence number and the current
-// virtual time, then appends it.
+// virtual time, appends it, and hands the stamped event to every
+// OnRecord hook.
 func (r *Recorder) Record(ev Event) {
 	ev.Seq = len(r.events)
 	ev.At = r.eng.Now()
 	r.events = append(r.events, ev)
 	r.counts[ev.Kind]++
+	for _, fn := range r.hooks {
+		fn(ev)
+	}
+}
+
+// OnRecord registers fn to run on every subsequently recorded event,
+// after stamping — the live tail of the stream. This is how the metrics
+// Bridge single-sources its instruments from the recorder without the
+// recorder knowing about registries. Hooks run on the simulation
+// goroutine; whatever they update must be safe to read from elsewhere.
+func (r *Recorder) OnRecord(fn func(Event)) {
+	r.hooks = append(r.hooks, fn)
 }
 
 // Events returns the recorded events in record order. The slice is a

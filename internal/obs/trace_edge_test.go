@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// decodeTrace parses exporter output back into the envelope shape,
+// failing the test on anything that is not valid Chrome trace JSON.
+func decodeTrace(t *testing.T, buf *bytes.Buffer) struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+} {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.TraceEvents == nil {
+		t.Fatalf("traceEvents must be an array, not null:\n%s", buf.String())
+	}
+	return doc
+}
+
+// TestWriteChromeTraceZeroDurationSpan: a unit whose executing and DONE
+// states land at the same instant must still emit a complete span, with
+// dur exactly 0 (not omitted, not negative).
+func TestWriteChromeTraceZeroDurationSpan(t *testing.T) {
+	at := 3 * time.Second
+	events := []Event{
+		{Kind: KindUnitState, Unit: "u1", Pilot: "p1", State: "AGENT_EXECUTING", At: at},
+		{Kind: KindUnitState, Unit: "u1", Pilot: "p1", State: "DONE", At: at},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, &buf)
+	var spans int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		if ev.Dur == nil {
+			t.Fatal("zero-duration span dropped its dur field")
+		}
+		if *ev.Dur != 0 {
+			t.Fatalf("dur = %v; want 0", *ev.Dur)
+		}
+		if ev.Ts != micros(at) {
+			t.Fatalf("ts = %v; want %v", ev.Ts, micros(at))
+		}
+	}
+	if spans != 1 {
+		t.Fatalf("spans = %d; want 1", spans)
+	}
+}
+
+// TestWriteChromeTraceEmptyRecorder: a recorder that never saw an event
+// still exports a parseable trace with an empty (non-null) event array.
+func TestWriteChromeTraceEmptyRecorder(t *testing.T) {
+	rec := NewRecorder(sim.NewEngine())
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, &buf)
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty recorder produced %d events", len(doc.TraceEvents))
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q; want ms", doc.DisplayTimeUnit)
+	}
+}
+
+// TestWriteChromeTraceInstantOnly: a run recording only instant events
+// (binds, autoscale verdicts, store failures — no unit ever completed)
+// must emit valid JSON with each instant on a named track.
+func TestWriteChromeTraceInstantOnly(t *testing.T) {
+	events := []Event{
+		{Kind: KindBind, Unit: "u1", Pilot: "p1", Policy: "backfill", At: time.Second},
+		{Kind: KindAutoscale, Pilot: "p1", Policy: "queue-depth", Applied: 2, At: 2 * time.Second},
+		{Kind: KindStoreFail, Pilot: "disk-a", Detail: "volume", At: 3 * time.Second},
+		{Kind: KindCache, Unit: "u2", Op: "hit", At: 4 * time.Second},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, &buf)
+	var instants, spans, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "i":
+			instants++
+		case "X":
+			spans++
+		case "M":
+			meta++
+		}
+	}
+	if instants != 4 {
+		t.Fatalf("instants = %d; want 4", instants)
+	}
+	if spans != 0 {
+		t.Fatalf("spans = %d; want 0 (nothing completed)", spans)
+	}
+	// Every instant's pid must be announced by a process_name metadata
+	// record — Perfetto otherwise shows bare numbers.
+	named := make(map[int]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			named[ev.Pid] = true
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "i" && !named[ev.Pid] {
+			t.Fatalf("instant %q on unnamed pid %d", ev.Name, ev.Pid)
+		}
+	}
+}
+
+// TestWriteChromeTraceCellsEmptyCell: an empty cell among populated
+// ones neither breaks the export nor bleeds into its neighbors' pids.
+func TestWriteChromeTraceCellsEmptyCell(t *testing.T) {
+	cells := []Cell{
+		{Label: "empty"},
+		{Label: "busy", Events: []Event{
+			{Kind: KindUnitState, Unit: "u1", Pilot: "p1", State: "AGENT_EXECUTING", At: time.Second},
+			{Kind: KindUnitState, Unit: "u1", Pilot: "p1", State: "DONE", At: 2 * time.Second},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceCells(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeTrace(t, &buf)
+	var spans int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != 1 {
+		t.Fatalf("spans = %d; want 1", spans)
+	}
+}

@@ -159,16 +159,49 @@
 // ClusterView into a Series of live gauges (cores, utilization,
 // demand, cache counters), exportable as JSON Lines.
 //
-// Three consumers sit on the stream: WriteChromeTrace and
+// Four consumers sit on the stream: WriteChromeTrace and
 // WriteChromeTraceCells render it as Chrome trace-event JSON viewable
 // in Perfetto (one complete span per executed unit, instants for
 // decisions); VerifyBinds and DoneUnits audit scheduling invariants
 // (every DONE unit bound exactly once, coalesced cache waiters never
-// bound); and internal/profiling derives its per-phase breakdowns
-// from the same events. The cmd/repro harness records any experiment
-// with -trace/-series, and cmd/tracecheck validates the export.
-// Without a recorder attached, every instrumentation site reduces to
-// a nil check.
+// bound); internal/profiling derives its per-phase breakdowns from
+// the same events; and the metrics bridge below folds the stream into
+// labeled instruments. The cmd/repro harness records any experiment
+// with -trace/-series, and cmd/tracecheck validates both exports
+// (-seriesfile for the gauge stream). Without a recorder attached,
+// every instrumentation site reduces to a nil check.
+//
+// # Metrics
+//
+// MetricsRegistry is a labeled-instrument registry — counters, gauges
+// and histograms with ordered label sets — safe for concurrent
+// observation and scraping. Two paths fill it from the event stream:
+// MetricsFromEvents(rec.Events()) replays a finished recording, and
+// NewMetricsBridge(reg) with rec.OnRecord(bridge.Apply) folds events
+// in live as they are recorded. Instrument names follow Prometheus
+// conventions (snake_case, unit suffixes, _total on counters); labels
+// stay low-cardinality — pilot ("pilot.0001"), scheduler (the binding
+// policy, or "cache" for units completed from the result cache),
+// policy, op, store, kind. The derived set covers completions and
+// failures per pilot (pilot_units_done, pilot_units_failed), live
+// execution and hold gauges (pilot_units_running, pilot_units_held),
+// submit-to-bind latency and execution time histograms
+// (bind_latency_seconds, unit_duration_seconds), autoscale
+// applications, cache ops, and replica traffic in operations and
+// bytes.
+//
+// WithMetricsAddr("127.0.0.1:9090") makes a session serve its
+// registry over HTTP for the lifetime of the process: GET /metrics
+// returns Prometheus text exposition format (0.0.4), GET /debug/pilot
+// the same registry as JSON. The option ensures a recorder exists,
+// bridges it into a fresh registry, and panics if the address cannot
+// be listened on; Session.Metrics and Session.MetricsServer expose
+// the pieces, and ServeMetrics serves any registry standalone. The
+// cmd/repro harness wires the same plumbing with -metrics addr
+// (add -linger to keep the endpoint up after the experiments finish),
+// and its "scale" subcommand sweeps a backfill workload across
+// 10²/10³/10⁴ units, writing per-scale throughput, bind-pass and
+// turnaround-percentile rows to BENCH_scale.json.
 //
 // Every pluggable seam above — execution backends, unit schedulers,
 // autoscale policies, data backends — is one instance of the same
