@@ -1,0 +1,169 @@
+// Compare mode: the CI regression gate. Two BENCH_*.json documents in,
+// a ratio table out, non-zero exit when a gated metric moved past its
+// threshold:
+//
+//	benchjson -compare -floor units/sec=0.5 -ceil ns/op=2.0 old.json new.json
+//
+// -floor gates higher-is-better metrics (new/old must stay at or above
+// the ratio); -ceil gates lower-is-better ones (new/old must stay at or
+// below). Both repeat. A benchmark present in the old document but
+// missing from the new one — a dropped sweep tier — also fails the
+// gate: coverage regressions must not pass silently.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// thresholds collects repeated "metric=ratio" flag values.
+type thresholds map[string]float64
+
+func (t thresholds) String() string {
+	parts := make([]string, 0, len(t))
+	for k, v := range t {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (t thresholds) Set(s string) error {
+	metric, ratio, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want metric=ratio, got %q", s)
+	}
+	v, err := strconv.ParseFloat(ratio, 64)
+	if err != nil || v <= 0 {
+		return fmt.Errorf("bad ratio in %q", s)
+	}
+	t[metric] = v
+	return nil
+}
+
+// benchKey distinguishes same-named benchmarks across packages.
+func benchKey(r Result) string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+// compare prints the per-metric ratio table and returns the gate
+// violations. Only metrics named by a threshold are gated; everything
+// else is shown for context. Ratios are new/old.
+func compare(oldDoc, newDoc Doc, floors, ceils thresholds, w io.Writer) []string {
+	newByKey := make(map[string]Result, len(newDoc.Benchmarks))
+	for _, r := range newDoc.Benchmarks {
+		newByKey[benchKey(r)] = r
+	}
+	var violations []string
+	fmt.Fprintf(w, "%-44s %-12s %14s %14s %8s  %s\n",
+		"benchmark", "metric", "old", "new", "ratio", "gate")
+	for _, o := range oldDoc.Benchmarks {
+		n, found := newByKey[benchKey(o)]
+		if !found {
+			v := fmt.Sprintf("%s: present in old document, missing from new", benchKey(o))
+			violations = append(violations, v)
+			fmt.Fprintf(w, "%-44s %-12s %14s %14s %8s  FAIL (missing)\n",
+				o.Name, "-", "-", "-", "-")
+			continue
+		}
+		metrics := make([]string, 0, len(o.Metrics))
+		for m := range o.Metrics {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			ov := o.Metrics[m]
+			nv, ok := n.Metrics[m]
+			gate := ""
+			ratio := ""
+			if ok && ov != 0 {
+				r := nv / ov
+				ratio = fmt.Sprintf("%.3f", r)
+				if floor, gated := floors[m]; gated {
+					if r < floor {
+						gate = fmt.Sprintf("FAIL (< floor %g)", floor)
+						violations = append(violations, fmt.Sprintf(
+							"%s %s: %.6g -> %.6g (ratio %.3f < floor %g)",
+							o.Name, m, ov, nv, r, floor))
+					} else {
+						gate = fmt.Sprintf("ok (floor %g)", floor)
+					}
+				}
+				if ceil, gated := ceils[m]; gated {
+					if r > ceil {
+						gate = fmt.Sprintf("FAIL (> ceil %g)", ceil)
+						violations = append(violations, fmt.Sprintf(
+							"%s %s: %.6g -> %.6g (ratio %.3f > ceil %g)",
+							o.Name, m, ov, nv, r, ceil))
+					} else {
+						gate = fmt.Sprintf("ok (ceil %g)", ceil)
+					}
+				}
+			} else if !ok {
+				if _, gated := floors[m]; gated {
+					gate = "FAIL (metric missing)"
+					violations = append(violations, fmt.Sprintf(
+						"%s: gated metric %s missing from new document", o.Name, m))
+				} else if _, gated := ceils[m]; gated {
+					gate = "FAIL (metric missing)"
+					violations = append(violations, fmt.Sprintf(
+						"%s: gated metric %s missing from new document", o.Name, m))
+				}
+			}
+			newStr := "-"
+			if ok {
+				newStr = fmt.Sprintf("%.6g", nv)
+			}
+			fmt.Fprintf(w, "%-44s %-12s %14.6g %14s %8s  %s\n",
+				o.Name, m, ov, newStr, ratio, gate)
+		}
+	}
+	return violations
+}
+
+// readDoc loads one BENCH_*.json document.
+func readDoc(path string) (Doc, error) {
+	var doc Doc
+	f, err := os.Open(path)
+	if err != nil {
+		return doc, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return doc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runCompare is -compare's entry: load both documents, gate, report.
+func runCompare(oldPath, newPath string, floors, ceils thresholds) int {
+	oldDoc, err := readDoc(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	newDoc, err := readDoc(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	violations := compare(oldDoc, newDoc, floors, ceils, os.Stdout)
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchjson: %d regression gate violation(s):\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		return 1
+	}
+	fmt.Printf("\nregression gate clean: %d benchmarks compared against %s\n",
+		len(oldDoc.Benchmarks), oldPath)
+	return 0
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(results ...Result) Doc { return Doc{Benchmarks: results} }
+
+func row(name, pkg string, metrics map[string]float64) Result {
+	return Result{Name: name, Pkg: pkg, Iterations: 1, Metrics: metrics}
+}
+
+func TestCompareCleanGate(t *testing.T) {
+	oldDoc := doc(
+		row("BenchmarkScaleSweep/units=100", "repro/internal/experiments",
+			map[string]float64{"units/sec": 1000, "sim-sec": 226}),
+		row("BenchmarkScaleSweep/units=1000", "repro/internal/experiments",
+			map[string]float64{"units/sec": 900, "sim-sec": 700}),
+	)
+	newDoc := doc(
+		row("BenchmarkScaleSweep/units=100", "repro/internal/experiments",
+			map[string]float64{"units/sec": 950, "sim-sec": 226}),
+		row("BenchmarkScaleSweep/units=1000", "repro/internal/experiments",
+			map[string]float64{"units/sec": 1800, "sim-sec": 700}),
+	)
+	var out strings.Builder
+	violations := compare(oldDoc, newDoc, thresholds{"units/sec": 0.5}, nil, &out)
+	if len(violations) != 0 {
+		t.Fatalf("clean comparison produced violations: %v", violations)
+	}
+	if !strings.Contains(out.String(), "units/sec") {
+		t.Error("ratio table missing the gated metric")
+	}
+}
+
+func TestCompareFloorViolation(t *testing.T) {
+	oldDoc := doc(row("BenchmarkScaleSweep/units=10000", "p",
+		map[string]float64{"units/sec": 10000}))
+	newDoc := doc(row("BenchmarkScaleSweep/units=10000", "p",
+		map[string]float64{"units/sec": 4000})) // ratio 0.4 < floor 0.5
+	var out strings.Builder
+	violations := compare(oldDoc, newDoc, thresholds{"units/sec": 0.5}, nil, &out)
+	if len(violations) != 1 {
+		t.Fatalf("violations = %v, want exactly one floor breach", violations)
+	}
+	if !strings.Contains(violations[0], "floor") || !strings.Contains(violations[0], "units/sec") {
+		t.Errorf("violation text %q does not name the metric and gate", violations[0])
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Error("ratio table does not flag the failing row")
+	}
+}
+
+func TestCompareCeilViolation(t *testing.T) {
+	oldDoc := doc(row("BenchmarkBindLoop", "p", map[string]float64{"ns/op": 1000}))
+	newDoc := doc(row("BenchmarkBindLoop", "p", map[string]float64{"ns/op": 2500}))
+	violations := compare(oldDoc, newDoc, nil, thresholds{"ns/op": 2.0}, &strings.Builder{})
+	if len(violations) != 1 || !strings.Contains(violations[0], "ceil") {
+		t.Fatalf("violations = %v, want one ceil breach", violations)
+	}
+}
+
+// A dropped benchmark (a sweep tier removed) must fail the gate even if
+// every surviving row is fine — coverage cannot regress silently.
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	oldDoc := doc(
+		row("BenchmarkScaleSweep/units=100", "p", map[string]float64{"units/sec": 100}),
+		row("BenchmarkScaleSweep/units=100000", "p", map[string]float64{"units/sec": 100}),
+	)
+	newDoc := doc(row("BenchmarkScaleSweep/units=100", "p",
+		map[string]float64{"units/sec": 100}))
+	violations := compare(oldDoc, newDoc, thresholds{"units/sec": 0.5}, nil, &strings.Builder{})
+	if len(violations) != 1 || !strings.Contains(violations[0], "missing") {
+		t.Fatalf("violations = %v, want one missing-benchmark failure", violations)
+	}
+}
+
+// A gated metric vanishing from a surviving benchmark fails too.
+func TestCompareMissingMetricFails(t *testing.T) {
+	oldDoc := doc(row("BenchmarkScaleSweep/units=100", "p",
+		map[string]float64{"units/sec": 100, "sim-sec": 226}))
+	newDoc := doc(row("BenchmarkScaleSweep/units=100", "p",
+		map[string]float64{"sim-sec": 226}))
+	violations := compare(oldDoc, newDoc, thresholds{"units/sec": 0.5}, nil, &strings.Builder{})
+	if len(violations) != 1 || !strings.Contains(violations[0], "units/sec") {
+		t.Fatalf("violations = %v, want one missing-metric failure", violations)
+	}
+}
+
+// Ungated metrics are context only: they print but never gate.
+func TestCompareUngatedMetricNeverFails(t *testing.T) {
+	oldDoc := doc(row("BenchmarkScaleSweep/units=100", "p",
+		map[string]float64{"units/sec": 100, "wall-ms": 10}))
+	newDoc := doc(row("BenchmarkScaleSweep/units=100", "p",
+		map[string]float64{"units/sec": 100, "wall-ms": 5000}))
+	violations := compare(oldDoc, newDoc, thresholds{"units/sec": 0.5}, nil, &strings.Builder{})
+	if len(violations) != 0 {
+		t.Fatalf("ungated wall-ms swing produced violations: %v", violations)
+	}
+}
+
+// Same benchmark name in different packages must not cross-match.
+func TestComparePkgDisambiguation(t *testing.T) {
+	oldDoc := doc(
+		row("BenchmarkX", "pkg/a", map[string]float64{"units/sec": 100}),
+		row("BenchmarkX", "pkg/b", map[string]float64{"units/sec": 1}),
+	)
+	newDoc := doc(
+		row("BenchmarkX", "pkg/a", map[string]float64{"units/sec": 100}),
+		row("BenchmarkX", "pkg/b", map[string]float64{"units/sec": 1}),
+	)
+	violations := compare(oldDoc, newDoc, thresholds{"units/sec": 0.9}, nil, &strings.Builder{})
+	if len(violations) != 0 {
+		t.Fatalf("per-package self-comparison produced violations: %v", violations)
+	}
+}
+
+func TestThresholdsFlagParsing(t *testing.T) {
+	th := thresholds{}
+	if err := th.Set("units/sec=0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.Set("ns/op=2"); err != nil {
+		t.Fatal(err)
+	}
+	if th["units/sec"] != 0.5 || th["ns/op"] != 2 {
+		t.Fatalf("parsed thresholds = %v", th)
+	}
+	if err := th.Set("nonsense"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if err := th.Set("m=-1"); err == nil {
+		t.Error("negative ratio accepted")
+	}
+	if got := th.String(); !strings.Contains(got, "units/sec=0.5") {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -10,11 +10,17 @@
 // Each benchmark line becomes one record with its iteration count and
 // every reported metric (ns/op, B/op, allocs/op, and custom metrics
 // like sim-sec or speedup).
+//
+// -compare switches to the regression-gate mode documented in
+// compare.go:
+//
+//	go run ./cmd/benchjson -compare -floor units/sec=0.5 BENCH_scale.json new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -87,14 +93,32 @@ func scan(doc *Doc, r io.Reader) error {
 }
 
 func main() {
+	compareMode := flag.Bool("compare", false, "compare two BENCH_*.json documents (old new) and exit non-zero on a gated regression")
+	floors := thresholds{}
+	ceils := thresholds{}
+	flag.Var(floors, "floor", "higher-is-better gate metric=ratio (repeatable): new/old must stay >= ratio, e.g. -floor units/sec=0.5")
+	flag.Var(ceils, "ceil", "lower-is-better gate metric=ratio (repeatable): new/old must stay <= ratio, e.g. -ceil ns/op=2.0")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchjson [bench-output.txt ...]\n")
+		fmt.Fprintf(os.Stderr, "       benchjson -compare [-floor metric=ratio ...] [-ceil metric=ratio ...] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *compareMode {
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), floors, ceils))
+	}
 	doc := Doc{Benchmarks: []Result{}}
-	if len(os.Args) < 2 {
+	if flag.NArg() == 0 {
 		if err := scan(&doc, os.Stdin); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
 			os.Exit(1)
 		}
 	} else {
-		for _, path := range os.Args[1:] {
+		for _, path := range flag.Args() {
 			f, err := os.Open(path)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

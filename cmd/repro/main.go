@@ -17,8 +17,12 @@
 // the experiments finish so a scraper can collect the final state.
 //
 // The scale subcommand runs the engine-speed sweep (-scales picks the
-// unit counts) and writes BENCH_scale.json — the artifact ROADMAP's
-// engine-raw-speed item tracks.
+// unit counts) and writes BENCH_scale.json, the artifact the CI
+// regression gate compares against.
+//
+// -cpuprofile and -memprofile capture pprof profiles of the run —
+// pair them with the scale subcommand to see where the bind loop's
+// wall-clock goes at 10⁵ units.
 package main
 
 import (
@@ -26,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -44,8 +50,10 @@ func main() {
 	seriesOut := flag.String("series", "", "write every cell's live cluster gauges as JSON Lines")
 	metricsAddr := flag.String("metrics", "", "serve live Prometheus text at http://<addr>/metrics and a JSON snapshot at /debug/pilot while experiments run")
 	linger := flag.Duration("linger", 0, "keep the process (and -metrics endpoint) alive this long after the experiments finish")
-	scalesFlag := flag.String("scales", "", "comma-separated unit counts for the scale sweep (default 100,1000,10000)")
+	scalesFlag := flag.String("scales", "", "comma-separated unit counts for the scale sweep (default 100,1000,10000,100000)")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the scale sweep's benchmark document")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run (scale sweep included) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiments finish to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [-seed N] [-trials N] [-trace out.json] [-series out.jsonl] [-metrics addr] fig5|fig6|speedups|ablate-shuffle|ablate-amreuse|sched|elastic|data|dataelastic|dag|cache|scale|breakdown|all\n")
 		flag.PrintDefaults()
@@ -56,6 +64,12 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 	var tap *experiments.Tap
 	if *traceOut != "" || *seriesOut != "" {
 		tap = new(experiments.Tap)
@@ -240,10 +254,57 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	stopProfiles() // flush before any -linger idle time dilutes the CPU profile
 	if *linger > 0 {
 		fmt.Printf("lingering %s before exit\n", *linger)
 		time.Sleep(*linger)
 	}
+}
+
+// startProfiles arms the optional pprof outputs. The returned stop is
+// idempotent: main calls it as soon as the experiments finish (so a
+// -linger window does not dilute the CPU profile) and again via defer.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: -cpuprofile: %v\n", err)
+			} else {
+				fmt.Printf("wrote CPU profile to %s\n", cpuPath)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: -memprofile: %v\n", err)
+			} else {
+				fmt.Printf("wrote heap profile to %s\n", memPath)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // parseScales parses the -scales flag ("100,1000,10000"); empty means

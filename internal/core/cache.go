@@ -201,12 +201,13 @@ func (um *UnitManager) requeueWaiter(u *Unit) {
 		u.fail(err)
 	case unresolved > 0:
 		um.held[u] = unresolved
+		um.setAcct(u, acctHeld, nil)
 		um.recordHold(u, unresolved)
 		u.advance(UnitPendingInput)
 		um.bumpGen()
 	default:
 		u.advance(UnitSchedulingUM)
-		um.pending = append(um.pending, u)
+		um.enqueueUnit(u, false)
 		um.kick()
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/data"
 	"repro/internal/sim"
 )
@@ -51,10 +53,6 @@ type ClusterView struct {
 	Cache CacheSnapshot
 
 	byPilot map[*Pilot]*PilotView
-	// waiting are the units behind the Waiting counts, kept so the
-	// per-pilot input-byte refresh can re-walk them without re-deriving
-	// the set.
-	waiting []*Unit
 }
 
 // PilotView is one pilot's slice of the ClusterView.
@@ -176,8 +174,10 @@ func (um *UnitManager) ensureView() *ClusterView {
 	return um.view
 }
 
-// buildView runs the counting pass: per-pilot in-flight load and the
-// waiting/running split of every unit the manager is charged for.
+// buildView copies the manager's running sums into a view — O(pilots),
+// no unit walk. The sums are maintained as deltas by setAcct (and the
+// park index's aggregates) on every unit transition; debugViewAudit
+// re-derives them by full walk and cross-checks.
 func (um *UnitManager) buildView() *ClusterView {
 	v := &ClusterView{byPilot: make(map[*Pilot]*PilotView, len(um.pilots))}
 	for _, pl := range um.pilots {
@@ -185,61 +185,73 @@ func (um *UnitManager) buildView() *ClusterView {
 		if ld := um.load[pl]; ld != nil {
 			pv.InFlightUnits, pv.InFlightCores = ld.units, ld.cores
 			pv.DoneUnits, pv.FailedUnits = ld.done, ld.failed
+			pv.WaitingUnits, pv.WaitingCores = ld.waitingUnits, ld.waitingCores
+			pv.RunningUnits, pv.RunningCores = ld.runningUnits, ld.runningCores
 		}
 		v.Pilots = append(v.Pilots, pv)
 		v.byPilot[pl] = pv
 	}
-	for _, u := range um.pending {
-		v.WaitingUnits++
-		v.WaitingCores += u.Desc.Cores
-		v.waiting = append(v.waiting, u)
-	}
-	// Held units are counted apart from the waiting set (map order does
-	// not matter: the counts are commutative sums).
-	for u := range um.held {
-		if u.State() != UnitPendingInput {
-			continue
-		}
-		v.HeldUnits++
-		v.HeldCores += u.Desc.Cores
-	}
-	// Map iteration order does not matter: every accumulation below is
-	// commutative, and the waiting list is only ever summed over.
-	for u, pl := range um.charged {
-		pv := v.byPilot[pl]
-		switch st := u.State(); {
-		case st.Final():
-		case st < UnitExecuting:
-			v.WaitingUnits++
-			v.WaitingCores += u.Desc.Cores
-			v.waiting = append(v.waiting, u)
-			if pv != nil {
-				pv.WaitingUnits++
-				pv.WaitingCores += u.Desc.Cores
-			}
-		default:
-			v.RunningUnits++
-			v.RunningCores += u.Desc.Cores
-			if pv != nil {
-				pv.RunningUnits++
-				pv.RunningCores += u.Desc.Cores
-			}
-		}
+	v.WaitingUnits = um.park.units + um.park.asideUnits - um.hiddenUnits + um.boundWaitingUnits
+	v.WaitingCores = um.park.cores + um.park.asideCores - um.hiddenCores + um.boundWaitingCores
+	v.RunningUnits, v.RunningCores = um.runningUnits, um.runningCores
+	v.HeldUnits, v.HeldCores = um.heldUnits, um.heldCores
+	if debugViewAudit {
+		um.auditView(v)
 	}
 	return v
 }
 
-// refreshView re-reads the cheap live probes — pilot state and capacity,
-// YARN metrics, attached stores — and recomputes the per-pilot pending
-// input bytes from the memoized waiting list. These change outside the
-// manager's event stream (a resize completing, a replica staging), so
-// they are never served stale.
-func (um *UnitManager) refreshView(v *ClusterView) {
-	v.Now = um.session.eng.Now()
-	v.Cache = CacheSnapshot{}
-	if um.rc != nil {
-		v.Cache = CacheSnapshot{Enabled: true, Stats: um.rc.Stats()}
+// debugViewAudit turns on the full-walk cross-check of the incremental
+// accounting inside buildView. Tests flip it; production reads stay
+// O(pilots).
+var debugViewAudit = false
+
+// auditView re-derives the view's counts the pre-incremental way — a
+// full walk over the park index, the held map and the charged map — and
+// panics on any mismatch with the running sums.
+func (um *UnitManager) auditView(v *ClusterView) {
+	var waitU, waitC, runU, runC, heldU, heldC int
+	um.park.forEachUnit(func(u *Unit) {
+		if um.hiding && u.parkSeq < um.hideBoundary {
+			return // in the running pass's batch: hidden, like the old detach
+		}
+		waitU++
+		waitC += u.Desc.Cores
+	})
+	for u := range um.held {
+		if u.State() != UnitPendingInput {
+			continue
+		}
+		heldU++
+		heldC += u.Desc.Cores
 	}
+	for u := range um.charged {
+		switch st := u.State(); {
+		case st.Final():
+		case st < UnitExecuting:
+			waitU++
+			waitC += u.Desc.Cores
+		default:
+			runU++
+			runC += u.Desc.Cores
+		}
+	}
+	if waitU != v.WaitingUnits || waitC != v.WaitingCores ||
+		runU != v.RunningUnits || runC != v.RunningCores ||
+		heldU != v.HeldUnits || heldC != v.HeldCores {
+		panic(fmt.Sprintf("core: incremental view drift: walk says waiting %d/%d running %d/%d held %d/%d, sums say %d/%d %d/%d %d/%d",
+			waitU, waitC, runU, runC, heldU, heldC,
+			v.WaitingUnits, v.WaitingCores, v.RunningUnits, v.RunningCores, v.HeldUnits, v.HeldCores))
+	}
+}
+
+// refreshProbes re-reads the cheap per-pilot live probes — pilot state
+// and capacity, YARN metrics, attached stores — and reports whether any
+// pilot has a live attached store. These change outside the manager's
+// event stream (a resize completing, a replica staging), so every
+// consumer re-probes rather than trusting the memoized view; the bind
+// loop calls this before each offer.
+func (um *UnitManager) refreshProbes(v *ClusterView) bool {
 	anyData := false
 	for _, pv := range v.Pilots {
 		pl := pv.Pilot
@@ -265,10 +277,23 @@ func (um *UnitManager) refreshView(v *ClusterView) {
 			anyData = true
 		}
 	}
-	if !anyData {
+	return anyData
+}
+
+// refreshView is the full refresh behind the public ClusterView: the
+// per-pilot probes plus the per-pilot pending input bytes, re-walked
+// over the current waiting units (parked — minus a running pass's
+// hidden batch — and bound-but-not-executing).
+func (um *UnitManager) refreshView(v *ClusterView) {
+	v.Now = um.session.eng.Now()
+	v.Cache = CacheSnapshot{}
+	if um.rc != nil {
+		v.Cache = CacheSnapshot{Enabled: true, Stats: um.rc.Stats()}
+	}
+	if !um.refreshProbes(v) {
 		return // no attached stores: every PendingInputBytes is trivially 0
 	}
-	for _, u := range v.waiting {
+	addInputs := func(u *Unit) {
 		for _, ref := range u.Desc.Inputs {
 			if ref.Unit == nil {
 				continue
@@ -278,6 +303,17 @@ func (um *UnitManager) refreshView(v *ClusterView) {
 					pv.PendingInputBytes += ref.Unit.SizeBytes()
 				}
 			}
+		}
+	}
+	um.park.forEachUnit(func(u *Unit) {
+		if um.hiding && u.parkSeq < um.hideBoundary {
+			return
+		}
+		addInputs(u)
+	})
+	for u := range um.charged {
+		if u.acct == acctBoundWaiting {
+			addInputs(u)
 		}
 	}
 }

@@ -159,9 +159,10 @@ func TestClusterViewMemoizedOnGeneration(t *testing.T) {
 }
 
 // BenchmarkClusterView guards the snapshot-assembly cost on the bind hot
-// path: every placeOne builds candidates from a ClusterView, so its
-// rebuild (forced here by bumping the generation) plus the live-probe
-// refresh must stay cheap as the in-flight unit count grows.
+// path: every offer builds candidates from a ClusterView, so its rebuild
+// (forced here by bumping the generation) plus the live-probe refresh
+// must stay cheap — and, since the incremental-accounting rework, flat in
+// the in-flight unit count — as the load grows.
 func BenchmarkClusterView(b *testing.B) {
 	for _, inflight := range []int{16, 256} {
 		b.Run(fmt.Sprintf("%dunits", inflight), func(b *testing.B) {
@@ -173,8 +174,8 @@ func BenchmarkClusterView(b *testing.B) {
 				b.Fatal(err)
 			}
 			// Synthetic in-flight load: pilots and charged units wired
-			// directly, so the benchmark isolates the assembly walk from
-			// agent execution.
+			// directly through the accounting the bind path uses, so the
+			// benchmark isolates view assembly from agent execution.
 			pilots := make([]*Pilot, 4)
 			for i := range pilots {
 				pilots[i] = &Pilot{ID: fmt.Sprintf("bench.%d", i), session: s,
@@ -194,10 +195,11 @@ func BenchmarkClusterView(b *testing.B) {
 				ld := um.load[pl]
 				ld.units++
 				ld.cores += u.Desc.Cores
+				um.setAcct(u, acctBoundWaiting, pl)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				um.bumpGen() // force the full counting pass, not the memoized hit
+				um.bumpGen() // force the rebuild, not the memoized hit
 				v := um.ClusterView()
 				if v.WaitingUnits != inflight {
 					b.Fatalf("view counted %d waiting units, want %d", v.WaitingUnits, inflight)

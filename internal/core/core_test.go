@@ -1,6 +1,7 @@
 package core
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -12,6 +13,15 @@ import (
 	"repro/internal/storage"
 	"repro/internal/yarn"
 )
+
+// TestMain turns the incremental-accounting cross-check on for the whole
+// package: every ClusterView any core test reads is re-derived by full
+// walk and compared against the running sums, so a drifted delta fails
+// loudly here instead of skewing autoscalers silently in production.
+func TestMain(m *testing.M) {
+	debugViewAudit = true
+	os.Exit(m.Run())
+}
 
 // env bundles a ready-to-use simulation environment.
 type env struct {

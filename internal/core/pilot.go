@@ -83,14 +83,16 @@ func (pl *Pilot) OnStateChange(fn PilotCallback) {
 // state, to avoid waiting forever on a failed pilot). It reports whether
 // the pilot actually passed through the awaited state.
 func (pl *Pilot) WaitState(p *sim.Proc, st PilotState) bool {
-	pl.watch.Await(p, pl.state, func(s PilotState) bool { return s >= st || s.Final() })
+	// Final states are the largest values, so "st or final" is the
+	// threshold min(st, PilotDone) — an indexed wait, never a scan.
+	pl.watch.AwaitMin(p, pl.state, min(st, PilotDone))
 	_, reached := pl.Timestamps[st]
 	return reached
 }
 
 // Wait blocks until the pilot reaches a final state.
 func (pl *Pilot) Wait(p *sim.Proc) PilotState {
-	pl.watch.Await(p, pl.state, PilotState.Final)
+	pl.watch.AwaitMin(p, pl.state, PilotDone)
 	return pl.state
 }
 

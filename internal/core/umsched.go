@@ -100,6 +100,18 @@ type UnitScheduler interface {
 	Pick(p *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error)
 }
 
+// CapacityGated marks a UnitScheduler whose park decision is exactly
+// the pickAdmissible admission rule: the policy parks a unit if and
+// only if no Active (or Resizing) pilot has enough free cores for it
+// (unknown capacity counting as enough), and it never blocks or keeps
+// cross-offer state on the park path. The manager exploits the
+// contract: parked units index by core demand and are re-offered only
+// when some pilot could admit that demand — or on pilot topology/state
+// events, which re-offer everything so ErrUnschedulable answers stay
+// current. Policies that park on any other signal must not implement
+// this, or their parked units would miss offers they want.
+type CapacityGated interface{ CapacityGated() }
+
 // unitSchedulers is the registry: policy name to per-manager factory,
 // an instance of the one generic registry behind every pluggable seam.
 var unitSchedulers = registry.New[func() UnitScheduler]("core", "unit scheduler", ErrUnknownScheduler)
@@ -214,6 +226,10 @@ type backfillScheduler struct{}
 
 func (*backfillScheduler) Name() string { return SchedulerBackfill }
 
+// CapacityGated: backfill parks exactly when pickAdmissible finds no
+// admissible pilot, so the manager may capacity-index its parks.
+func (*backfillScheduler) CapacityGated() {}
+
 func (*backfillScheduler) Pick(_ *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error) {
 	return pickAdmissible(u, cands, func(*Candidate) int64 { return 0 })
 }
@@ -322,6 +338,10 @@ func hasDataPilot(c *Candidate) bool {
 type coLocateScheduler struct{}
 
 func (*coLocateScheduler) Name() string { return SchedulerCoLocate }
+
+// CapacityGated: co-locate scores differently but parks exactly on the
+// pickAdmissible rule, so its parks may capacity-index too.
+func (*coLocateScheduler) CapacityGated() {}
 
 func (*coLocateScheduler) Pick(_ *sim.Proc, u *Unit, cands []*Candidate) (*Pilot, error) {
 	out := outputBytes(u)

@@ -27,7 +27,38 @@ type Unit struct {
 	Pilot *Pilot
 	// Err records the failure cause for UnitFailed.
 	Err error
+
+	// acct is the ClusterView bucket the unit currently occupies and
+	// acctPilot the pilot that bucket is attributed to (bound units
+	// only); the manager maintains both through setAcct so views are
+	// running sums instead of per-read walks. parkSeq is the unit's
+	// current park-index stamp — entries below a pass's batch boundary
+	// are hidden from views while the pass runs, exactly like the old
+	// detached batch slice was.
+	acct      acctPhase
+	acctPilot *Pilot
+	parkSeq   uint64
 }
+
+// acctPhase names the ClusterView bucket a unit occupies; see setAcct.
+type acctPhase uint8
+
+const (
+	// acctNone: not counted anywhere — before submission bookkeeping,
+	// after a final state, or invisible by design (cache-coalesced
+	// waiters in UnitPendingResult).
+	acctNone acctPhase = iota
+	// acctParked: in the park index awaiting (re)binding. The index's
+	// own aggregates carry the counts; the phase only records
+	// membership.
+	acctParked
+	// acctHeld: parked in UnitPendingInput behind unreplicated inputs.
+	acctHeld
+	// acctBoundWaiting: bound to a pilot but not yet executing.
+	acctBoundWaiting
+	// acctRunning: executing on its pilot.
+	acctRunning
+)
 
 // State returns the unit state.
 func (u *Unit) State() UnitState { return u.state }
@@ -46,9 +77,11 @@ func (u *Unit) OnStateChange(fn UnitCallback) {
 	}
 }
 
-// Wait blocks p until the unit reaches a final state.
+// Wait blocks p until the unit reaches a final state. Final states are
+// the largest UnitState values, so this is a threshold wait — indexed,
+// not scanned, no matter how many units park here.
 func (u *Unit) Wait(p *sim.Proc) UnitState {
-	u.watch.Await(p, u.state, UnitState.Final)
+	u.watch.AwaitMin(p, u.state, UnitDone)
 	return u.state
 }
 
@@ -151,8 +184,21 @@ type UnitManager struct {
 	load    map[*Pilot]*pilotLoad
 	charged map[*Unit]*Pilot
 
-	// pending holds units awaiting (re)binding, in submission order.
-	pending []*Unit
+	// park indexes the units awaiting (re)binding by (priority,
+	// submission order) and, for capacity-gated policies, by core
+	// demand — the structure that lets a pass re-offer only what the
+	// cluster could admit instead of the whole backlog.
+	park parkIndex
+	// policyGated records whether the policy implements CapacityGated:
+	// its parked units re-offer only when admissible. fullReoffer forces
+	// the next pass to offer every parked unit regardless (set on pilot
+	// topology/state events, which can change admissibility and
+	// ErrUnschedulable answers); pilotGen invalidates the pass's cached
+	// candidate set on those same events.
+	policyGated bool
+	fullReoffer bool
+	pilotGen    uint64
+	cands       passCands
 	// held maps each unit parked in UnitPendingInput to its count of
 	// unresolved input Data-Units. A unit enters the map at Submit when
 	// some input is not yet replicated, and leaves it either into the
@@ -189,6 +235,20 @@ type UnitManager struct {
 	// at: one gauge reading per scheduling-event generation, not per kick.
 	sampleGen uint64
 
+	// Incremental ClusterView accounting: manager-wide running sums
+	// maintained by setAcct on unit transitions, so a view read is an
+	// O(pilots) copy instead of an O(in-flight) walk. Parked units are
+	// counted by the park index's own aggregates; hiddenUnits/
+	// hiddenCores subtract the in-pass batch from the waiting counts
+	// while a pass runs (mirroring the old detached batch slice), with
+	// hideBoundary the park-seq boundary that defines the batch.
+	boundWaitingUnits, boundWaitingCores int
+	runningUnits, runningCores           int
+	heldUnits, heldCores                 int
+	hiding                               bool
+	hideBoundary                         uint64
+	hiddenUnits, hiddenCores             int
+
 	// passes counts completed schedule-pass batches and offered the
 	// units handed to the policy across them (a unit re-offered by a
 	// later pass counts again) — the bind loop's raw work measure, which
@@ -200,11 +260,77 @@ type UnitManager struct {
 type pilotLoad struct {
 	units int
 	cores int
+	// waiting/running split the in-flight load for PilotView, maintained
+	// as deltas by setAcct.
+	waitingUnits, waitingCores int
+	runningUnits, runningCores int
 	// done and failed count units bound to the pilot that reached a
 	// final state — lifetime totals, never decremented. They feed
 	// PilotView and the telemetry plane's per-pilot accounting.
 	done   int64
 	failed int64
+}
+
+// setAcct moves u between ClusterView buckets, applying the deltas to
+// the manager-wide and per-pilot running sums. It is the single place
+// incremental accounting mutates, so every transition path (submit,
+// hold, release, bind, execute, final) stays balanced by construction;
+// the auditView cross-check recomputes the sums by full walk in tests.
+func (um *UnitManager) setAcct(u *Unit, phase acctPhase, pl *Pilot) {
+	if u.acct == phase && u.acctPilot == pl {
+		return
+	}
+	cores := u.Desc.Cores
+	switch u.acct {
+	case acctParked:
+		// The park index's aggregates carry parked counts; nothing to
+		// undo here.
+	case acctHeld:
+		um.heldUnits--
+		um.heldCores -= cores
+	case acctBoundWaiting:
+		um.boundWaitingUnits--
+		um.boundWaitingCores -= cores
+		if ld := um.load[u.acctPilot]; ld != nil {
+			ld.waitingUnits--
+			ld.waitingCores -= cores
+		}
+	case acctRunning:
+		um.runningUnits--
+		um.runningCores -= cores
+		if ld := um.load[u.acctPilot]; ld != nil {
+			ld.runningUnits--
+			ld.runningCores -= cores
+		}
+	}
+	u.acct, u.acctPilot = phase, pl
+	switch phase {
+	case acctHeld:
+		um.heldUnits++
+		um.heldCores += cores
+	case acctBoundWaiting:
+		um.boundWaitingUnits++
+		um.boundWaitingCores += cores
+		if ld := um.load[pl]; ld != nil {
+			ld.waitingUnits++
+			ld.waitingCores += cores
+		}
+	case acctRunning:
+		um.runningUnits++
+		um.runningCores += cores
+		if ld := um.load[pl]; ld != nil {
+			ld.runningUnits++
+			ld.runningCores += cores
+		}
+	}
+}
+
+// enqueueUnit parks u in the bind queue. gated routes policy re-parks
+// into the capacity-indexed tier; fresh arrivals always enter the must
+// tier so their first offer can still bind, park, or fail them.
+func (um *UnitManager) enqueueUnit(u *Unit, gated bool) {
+	um.setAcct(u, acctParked, nil)
+	um.park.push(u, gated)
 }
 
 // UnitManagerOption configures a UnitManager built by NewUnitManager.
@@ -241,6 +367,8 @@ func NewUnitManager(s *Session, opts ...UnitManagerOption) (*UnitManager, error)
 		held:    make(map[*Unit]int),
 		wake:    sim.NewQueue[struct{}](s.eng),
 	}
+	_, um.policyGated = policy.(CapacityGated)
+	um.cands.um = um
 	if cfg.resultCache {
 		um.rc = cache.NewResultCache[cachedResult, *Unit](cfg.resultCacheBytes)
 		um.rcKeys = make(map[*Unit]cache.Key)
@@ -273,8 +401,15 @@ func (um *UnitManager) AddPilot(pl *Pilot) error {
 	}
 	um.pilots = append(um.pilots, pl)
 	um.load[pl] = &pilotLoad{}
+	um.pilotGen++
+	um.fullReoffer = true
 	um.bumpGen()
 	pl.OnStateChange(func(pl *Pilot, st PilotState) {
+		// Pilot topology/state events can change what is admissible and
+		// what is forever unschedulable: invalidate the cached candidate
+		// set and force the next pass to re-offer everything once.
+		um.pilotGen++
+		um.fullReoffer = true
 		if st.Final() {
 			um.rebindOrphans(pl)
 		}
@@ -315,7 +450,13 @@ func (um *UnitManager) notifyObservers() {
 	for _, fn := range um.observers {
 		fn()
 	}
-	um.sampleGauges()
+	if !um.passing {
+		// Gauge samples batch per pass iteration (schedulePass samples
+		// after each one) instead of per kick — a pass binding thousands
+		// of units kicks thousands of times but the series only needs
+		// the settled points.
+		um.sampleGauges()
+	}
 }
 
 // sampleGauges appends one live-gauge reading to the attached flight
@@ -381,12 +522,24 @@ func (um *UnitManager) bindLoop(p *sim.Proc) {
 	}
 }
 
-// schedulePass offers every pending unit to the policy once. Passes are
-// single-flight: a pass requested while one runs (whose store round
-// trips block in virtual time) first asks the running pass to go around
-// again, then blocks until it retires — so when Submit's pass call
-// returns, every unit submitted before it has been offered to the
-// policy (eager policies: bound), no matter which process placed it.
+// schedulePass offers the offerable part of the parked backlog to the
+// policy. Passes are single-flight: a pass requested while one runs
+// (whose store round trips block in virtual time) first asks the
+// running pass to go around again, then blocks until it retires — so
+// when Submit's pass call returns, every unit submitted before it has
+// been offered to the policy (eager policies: bound), no matter which
+// process placed it.
+//
+// Each iteration drains a batch: the park entries stamped before the
+// iteration began, best (priority, submission order) first off the
+// heaps. Under a CapacityGated policy, gated classes whose core demand
+// no Active pilot can admit are skipped wholesale — the collapse of the
+// old every-kick full re-offer — except on fullReoffer iterations
+// (pilot topology/state events), which re-offer everything so
+// admissibility and ErrUnschedulable answers stay current. Units the
+// policy re-parks, and entries stamped mid-iteration, go aside until
+// the iteration ends; mid-iteration the batch remainder is hidden from
+// views, exactly as the old detached batch slice was.
 func (um *UnitManager) schedulePass(p *sim.Proc) {
 	for um.passing {
 		um.rerun = true
@@ -400,63 +553,106 @@ func (um *UnitManager) schedulePass(p *sim.Proc) {
 	}()
 	for {
 		um.rerun = false
-		batch := um.pending
-		um.pending = nil
 		um.passes++
-		um.offered += int64(len(batch))
-		um.bumpGen() // the waiting set changed; views must recount
-		if len(batch) > 1 {
-			// Higher priority binds first; the stable sort keeps
-			// submission order among equals, so all-zero priorities (the
-			// default) reproduce plain FIFO exactly.
-			sort.SliceStable(batch, func(i, j int) bool {
-				return batch[i].Desc.Priority > batch[j].Desc.Priority
-			})
-		}
-		for _, u := range batch {
-			um.placeOne(p, u)
-		}
+		full := um.fullReoffer || !um.policyGated
+		um.fullReoffer = false
+		um.beginBatch()
+		um.runBatch(p, full)
+		um.endBatch()
+		um.sampleGauges()
 		if !um.rerun {
 			return
 		}
 	}
 }
 
-// placeOne runs the policy for one unit: bind, park, or fail.
-func (um *UnitManager) placeOne(p *sim.Proc, u *Unit) {
-	if u.State().Final() {
-		return
+// beginBatch opens a pass iteration: everything parked so far becomes
+// the batch, hidden from views until offered (or until the iteration
+// ends — there is no observable instant between the iteration's last
+// bind and the bulk unhide, so hiding only the unprocessed prefix is
+// indistinguishable from the old detach-whole-batch behavior).
+func (um *UnitManager) beginBatch() {
+	um.hideBoundary = um.park.nextSeq
+	um.hiddenUnits, um.hiddenCores = um.park.units, um.park.cores
+	um.hiding = true
+	um.bumpGen()
+}
+
+// endBatch closes a pass iteration: aside entries rejoin the heaps and
+// the batch remainder becomes visible again.
+func (um *UnitManager) endBatch() {
+	um.park.flushAside()
+	um.hiding = false
+	um.hiddenUnits, um.hiddenCores = 0, 0
+	um.bumpGen()
+}
+
+// unhide removes a popped batch entry from the hidden aggregate.
+func (um *UnitManager) unhide(e parkEntry) {
+	if um.hiding && e.seq < um.hideBoundary {
+		um.hiddenUnits--
+		um.hiddenCores -= e.cores
 	}
-	live := um.livePilots()
-	if len(live) == 0 {
+}
+
+// runBatch drains one iteration's batch through the policy.
+func (um *UnitManager) runBatch(p *sim.Proc, full bool) {
+	boundary := um.hideBoundary
+	for {
+		um.cands.ensure()
+		admit := func(cores int) bool { return full || um.cands.admits(cores) }
+		if !um.park.anyOfferable(admit) {
+			// Nothing left that could bind: the hidden remainder (gated
+			// classes beyond current capacity) unhides at endBatch.
+			return
+		}
+		e, ok := um.park.popBest()
+		if !ok {
+			return
+		}
+		if e.seq >= boundary {
+			// Stamped mid-iteration (policy re-park, released input,
+			// failover orphan): next iteration's work.
+			um.park.setAside(e)
+			continue
+		}
+		um.unhide(e)
+		if e.u.State().Final() || e.u.acct != acctParked {
+			continue // went final while parked: drop the stale entry
+		}
+		if e.gated && !admit(e.cores) {
+			// Inadmissible, but ranked above a possible offer: keep the
+			// park (restamped at its processing position, like the old
+			// pass's re-append) without paying the policy round trip.
+			um.park.stamp(&e)
+			um.park.setAside(e)
+			continue
+		}
+		um.offerOne(p, e.u)
+	}
+}
+
+// offerOne runs the policy for one unit: bind, park, or fail.
+func (um *UnitManager) offerOne(p *sim.Proc, u *Unit) {
+	um.offered++
+	pc := &um.cands
+	if len(pc.list) == 0 {
 		u.fail(fmt.Errorf("core: unit %s: %w among %d registered", u.ID, ErrNoLivePilot, len(um.pilots)))
 		return
 	}
-	view := um.ClusterView()
-	cands := make([]*Candidate, len(live))
-	for i, pl := range live {
-		pv := view.For(pl)
-		cands[i] = &Candidate{Pilot: pl, InFlightUnits: pv.InFlightUnits, InFlightCores: pv.InFlightCores, View: pv}
-	}
-	pl, err := um.policy.Pick(p, u, cands)
+	pl, err := um.policy.Pick(p, u, pc.list)
 	if err != nil {
 		u.fail(fmt.Errorf("core: unit %s: %w", u.ID, err))
 		return
 	}
 	if pl == nil {
 		// Deferred (late binding): park until the next scheduling event.
-		um.pending = append(um.pending, u)
+		um.parkAgain(u)
 		um.bumpGen()
 		return
 	}
-	offered := false
-	for _, c := range cands {
-		if c.Pilot == pl {
-			offered = true
-			break
-		}
-	}
-	if !offered {
+	c := pc.byPilot[pl]
+	if c == nil {
 		// A (custom) policy returned a pilot outside the candidates it
 		// was offered — foreign, or already final before the pass: fail
 		// the unit rather than corrupt bookkeeping or retry forever.
@@ -467,7 +663,7 @@ func (um *UnitManager) placeOne(p *sim.Proc, u *Unit) {
 	if pl.State().Final() {
 		// The picked pilot died while the policy blocked in virtual
 		// time: park and retry with fresh candidates.
-		um.pending = append(um.pending, u)
+		um.parkAgain(u)
 		um.kick() // bumps the generation too
 		return
 	}
@@ -476,9 +672,10 @@ func (um *UnitManager) placeOne(p *sim.Proc, u *Unit) {
 	ld := um.load[pl]
 	ld.units++
 	ld.cores += u.Desc.Cores
+	um.setAcct(u, acctBoundWaiting, pl)
 	if r := um.session.rec; r != nil {
 		detail := ""
-		if pv := view.For(pl); pv != nil {
+		if pv := c.View; pv != nil {
 			detail = fmt.Sprintf("%d/%d cores in flight", pv.InFlightCores, pv.TotalCores)
 		}
 		r.Record(obs.Event{
@@ -488,6 +685,79 @@ func (um *UnitManager) placeOne(p *sim.Proc, u *Unit) {
 	}
 	u.advance(UnitPendingAgent)
 	um.session.store.Push(p, pl.queueName, u)
+}
+
+// parkAgain re-parks an offered unit, stamped at its processing
+// position and set aside until the current iteration ends. Gated
+// policies' re-parks enter the capacity-indexed tier.
+func (um *UnitManager) parkAgain(u *Unit) {
+	um.setAcct(u, acctParked, nil)
+	e := parkEntry{u: u, prio: u.Desc.Priority, cores: u.Desc.Cores, gated: um.policyGated}
+	um.park.stamp(&e)
+	if um.passing {
+		um.park.setAside(e)
+	} else {
+		um.park.insert(e)
+	}
+}
+
+// passCands is the per-pass candidate set: one Candidate per live
+// pilot, with a membership map replacing the old per-unit linear scan.
+// The set rebuilds only when the pilot topology or a pilot's state
+// changed (pilotGen); the numeric fields and live probes refresh before
+// every offer, so policies see the same freshness the old per-unit
+// ClusterView rebuild gave them, without the per-unit allocations.
+type passCands struct {
+	um       *UnitManager
+	pilotGen uint64
+	built    bool
+	all      []Candidate
+	list     []*Candidate
+	byPilot  map[*Pilot]*Candidate
+	// maxFree is the largest admittable core demand across candidates:
+	// the admission gate for capacity-indexed classes. Pilots with
+	// unknown capacity admit anything, as pickAdmissible does.
+	maxFree int
+}
+
+// admits reports whether some candidate could admit a unit of the given
+// core demand under the pickAdmissible rule.
+func (pc *passCands) admits(cores int) bool { return cores <= pc.maxFree }
+
+// ensure refreshes the candidate set for the next offer.
+func (pc *passCands) ensure() {
+	um := pc.um
+	if !pc.built || pc.pilotGen != um.pilotGen {
+		live := um.livePilots()
+		pc.all = make([]Candidate, len(live))
+		pc.list = pc.list[:0]
+		pc.byPilot = make(map[*Pilot]*Candidate, len(live))
+		for i, pl := range live {
+			c := &pc.all[i]
+			c.Pilot = pl
+			pc.list = append(pc.list, c)
+			pc.byPilot[pl] = c
+		}
+		pc.built = true
+		pc.pilotGen = um.pilotGen
+	}
+	v := um.ensureView()
+	um.refreshProbes(v)
+	pc.maxFree = 0
+	for _, c := range pc.list {
+		pv := v.byPilot[c.Pilot]
+		c.View = pv
+		c.InFlightUnits, c.InFlightCores = pv.InFlightUnits, pv.InFlightCores
+		if st := pv.State; st != PilotActive && st != PilotResizing {
+			continue
+		}
+		switch free := pv.TotalCores - pv.InFlightCores; {
+		case pv.TotalCores == 0:
+			pc.maxFree = int(^uint(0) >> 1) // unknown capacity admits all
+		case free > pc.maxFree:
+			pc.maxFree = free
+		}
+	}
 }
 
 // countFinal credits a finished unit to its pilot's lifetime
@@ -545,7 +815,10 @@ func (um *UnitManager) rebindOrphans(dead *Pilot) {
 	for _, u := range orphans {
 		um.uncharge(u)
 		u.Pilot = nil
-		um.pending = append(um.pending, u)
+		// Failover rebinds enter the must tier: the next pass is a full
+		// one anyway (the pilot's death set fullReoffer), and their
+		// first re-offer must re-evaluate schedulability.
+		um.enqueueUnit(u, false)
 	}
 	um.bumpGen()
 }
@@ -583,7 +856,11 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 		u.Timestamps[UnitNew] = um.session.eng.Now()
 		u.OnStateChange(func(u *Unit, st UnitState) {
 			um.bumpGen() // any transition can shift the waiting/running split
+			if st == UnitExecuting {
+				um.setAcct(u, acctRunning, u.acctPilot)
+			}
 			if st.Final() {
+				um.setAcct(u, acctNone, nil)
 				um.countFinal(u, st)
 				um.uncharge(u)
 				// A leader's end releases its coalesced waiters. Waiters
@@ -618,11 +895,12 @@ func (um *UnitManager) Submit(p *sim.Proc, descs []ComputeUnitDescription) ([]*U
 			// the policy until every input Data-Unit is replicated. The
 			// watch callbacks release (or fail) it.
 			um.held[u] = unresolved
+			um.setAcct(u, acctHeld, nil)
 			um.recordHold(u, unresolved)
 			u.advance(UnitPendingInput)
 		default:
 			u.advance(UnitSchedulingUM)
-			um.pending = append(um.pending, u)
+			um.enqueueUnit(u, false)
 		}
 		units = append(units, u)
 	}
@@ -697,7 +975,7 @@ func (um *UnitManager) releaseInput(u *Unit) {
 			Name: u.Desc.Name, Cores: u.Desc.Cores})
 	}
 	u.advance(UnitSchedulingUM)
-	um.pending = append(um.pending, u)
+	um.enqueueUnit(u, false)
 	um.kick()
 }
 

@@ -190,9 +190,10 @@ func (du *Unit) OnStateChange(fn UnitCallback) {
 	}
 }
 
-// Wait blocks p until the unit reaches a final state.
+// Wait blocks p until the unit reaches a final state. Final states are
+// the largest UnitState values, so this is an indexed threshold wait.
 func (du *Unit) Wait(p *sim.Proc) UnitState {
-	du.watch.Await(p, du.state, UnitState.Final)
+	du.watch.AwaitMin(p, du.state, StateDone)
 	return du.state
 }
 
@@ -200,7 +201,7 @@ func (du *Unit) Wait(p *sim.Proc) UnitState {
 // state, to avoid waiting forever on failed staging). It reports whether
 // the unit actually passed through the awaited state.
 func (du *Unit) WaitState(p *sim.Proc, st UnitState) bool {
-	du.watch.Await(p, du.state, func(s UnitState) bool { return s >= st || s.Final() })
+	du.watch.AwaitMin(p, du.state, min(st, StateDone))
 	_, reached := du.Timestamps[st]
 	return reached
 }
@@ -210,7 +211,7 @@ func (du *Unit) WaitState(p *sim.Proc, st UnitState) bool {
 // Compute staging waits here so stage-in never reads a half-staged
 // replica.
 func (du *Unit) WaitReady(p *sim.Proc) bool {
-	du.watch.Await(p, du.state, func(s UnitState) bool { return s >= StateReplicated })
+	du.watch.AwaitMin(p, du.state, StateReplicated)
 	return du.state == StateReplicated
 }
 

@@ -16,21 +16,22 @@ import (
 )
 
 // The scale sweep: the same many-task workload run at growing unit
-// counts (10², 10³, 10⁴ by default) across many pilots, measuring what
-// the telemetry plane reports — wall-clock units/sec (engine raw
-// speed), bind-loop pass cost (the late binder's O(N²) rescan), and
-// virtual-time turnaround percentiles. This is the measurement
-// ROADMAP's engine-raw-speed item demands before the 1M-unit refactor:
-// BENCH_scale.json pins today's numbers so a regression (or the
-// refactor's win) is visible.
+// counts (10², 10³, 10⁴, 10⁵ by default) across many pilots, measuring
+// what the telemetry plane reports — wall-clock units/sec (engine raw
+// speed), bind-loop pass cost (the late binder's rescan amplification),
+// and virtual-time turnaround percentiles. BENCH_scale.json pins the
+// numbers so a regression (or a win) is visible; since the
+// capacity-indexed bind loop landed, offered/units sits near 2 and the
+// sweep is what guards it staying there.
 //
 // The workload is deterministic per seed: 1-core units with a small
 // deterministic spread of virtual runtimes, bound by the backfill
-// scheduler (late binding — the policy whose rescan cost grows
-// quadratically and is exactly what Offered/Passes exposes).
+// scheduler (late binding — the policy whose parked set the old bind
+// loop re-offered wholesale on every kick, the O(N²) behavior the
+// Offered counter exposes).
 
 // DefaultScales are the unit counts the sweep runs at.
-var DefaultScales = []int{100, 1000, 10000}
+var DefaultScales = []int{100, 1000, 10000, 100000}
 
 // ScaleRow is one scale's measurements.
 type ScaleRow struct {

@@ -20,11 +20,19 @@ func TestScaleSweepSmall(t *testing.T) {
 	if err := CheckScaleSweep(rows, scales); err != nil {
 		t.Fatal(err)
 	}
-	// The backfill binder re-offers parked units every pass: offered
-	// must exceed the unit count once the workload outgrows capacity.
-	if rows[1].Offered <= int64(rows[1].Units) {
-		t.Errorf("scale %d: offered %d shows no rescan amplification",
-			rows[1].Units, rows[1].Offered)
+	// The capacity-indexed bind loop offers each unit roughly twice
+	// (once fresh, once when capacity admits it) plus a full re-offer
+	// per pilot event. Every unit must still be offered at least once,
+	// and the old every-kick amplification (thousands of offers per
+	// unit) must not creep back.
+	for _, r := range rows {
+		if r.Offered < int64(r.Units) {
+			t.Errorf("scale %d: offered %d < units", r.Units, r.Offered)
+		}
+		if r.Offered > 20*int64(r.Units) {
+			t.Errorf("scale %d: offered %d exceeds 20x units — rescan amplification is back",
+				r.Units, r.Offered)
+		}
 	}
 
 	var buf bytes.Buffer
@@ -58,6 +66,27 @@ func TestScaleSweepSmall(t *testing.T) {
 	WriteScaleSweep(&table, rows)
 	if !strings.Contains(table.String(), "units/sec") {
 		t.Error("sweep table missing header")
+	}
+}
+
+// TestScaleSweepLargeTier runs the 10⁵-unit cell end to end — the tier
+// the committed BENCH_scale.json regression gate guards. It costs tens
+// of seconds of wall time, so -short skips it.
+func TestScaleSweepLargeTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10⁵-unit sweep tier skipped in -short mode")
+	}
+	scales := []int{100_000}
+	rows, err := RunScaleSweep(42, scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckScaleSweep(rows, scales); err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Offered > 20*int64(r.Units) {
+		t.Errorf("offered %d exceeds 20x units at 10⁵ — rescan amplification is back", r.Offered)
 	}
 }
 

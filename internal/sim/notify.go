@@ -1,5 +1,10 @@
 package sim
 
+import (
+	"cmp"
+	"sort"
+)
+
 // Notifier is the state-event fabric beneath stateful entities (pilots,
 // Compute-Units, Data-Units): it fans each entered state out to
 // subscribed callbacks and wakes parked waiters whose condition the new
@@ -8,19 +13,44 @@ package sim
 // failure paths are never reported to subscribers, but a failure's final
 // state does wake waiters parked on the skipped states (their conditions
 // treat final states as release).
-type Notifier[S comparable] struct {
-	eng     *Engine
-	cbs     []func(S)
-	waiters []*stateWaiter[S]
+//
+// Waiters come in two classes. Threshold waiters (AwaitMin) park on
+// "state reached at least X" and are indexed in a min-heap keyed by
+// threshold, so an entered state releases exactly the satisfied ones in
+// O(k log n) — entering a state never scans waiters it cannot release.
+// Predicate waiters (Await) carry an arbitrary condition and are scanned
+// per entered state; every lifecycle wait in this codebase is
+// threshold-shaped (state enums order lifecycle states before final
+// ones), so the scan list stays empty on the hot paths.
+type Notifier[S cmp.Ordered] struct {
+	eng *Engine
+	cbs []func(S)
+	// seq orders waiter registration across both classes, so releases
+	// fire in registration order exactly as a single scanned list would.
+	seq uint64
+	// th is the threshold min-heap, ordered by (min, seq).
+	th []*stateWaiter[S]
+	// conds holds predicate waiters, scanned per entered state.
+	conds []*stateWaiter[S]
+	// waking guards against re-entrant wakes: a state entered while a
+	// wake is mid-flight queues behind it instead of interleaving with
+	// the in-progress release scan.
+	waking       bool
+	pendingWakes []S
 }
 
-type stateWaiter[S comparable] struct {
-	cond func(S) bool
-	ev   *Event
+type stateWaiter[S cmp.Ordered] struct {
+	// min is the release threshold for AwaitMin waiters; cond the
+	// predicate for Await waiters (nil on threshold waiters).
+	min   S
+	cond  func(S) bool
+	seq   uint64
+	ev    *Event
+	fired bool
 }
 
 // NewNotifier creates a notifier on the engine.
-func NewNotifier[S comparable](eng *Engine) *Notifier[S] {
+func NewNotifier[S cmp.Ordered](eng *Engine) *Notifier[S] {
 	return &Notifier[S]{eng: eng}
 }
 
@@ -30,7 +60,9 @@ func (n *Notifier[S]) Subscribe(fn func(S)) {
 }
 
 // Entered reports a state that was actually entered: subscribers fire in
-// registration order, then waiters are woken.
+// registration order, then waiters are woken. Entered may be called
+// re-entrantly from a subscriber callback; the nested entry's waiter
+// releases complete before the outer state's.
 func (n *Notifier[S]) Entered(st S) {
 	for _, fn := range n.cbs {
 		fn(st)
@@ -38,29 +70,137 @@ func (n *Notifier[S]) Entered(st S) {
 	n.wake(st)
 }
 
-// wake releases every waiter whose condition holds for st.
+// wake releases every waiter whose condition holds for st. Nested wakes
+// (a predicate or trigger side effect entering another state) queue
+// behind the in-flight one, so the waiter structures are never mutated
+// mid-scan.
 func (n *Notifier[S]) wake(st S) {
-	if len(n.waiters) == 0 {
+	if len(n.th) == 0 && len(n.conds) == 0 && len(n.pendingWakes) == 0 {
 		return
 	}
-	kept := n.waiters[:0]
-	for _, w := range n.waiters {
-		if w.cond(st) {
-			w.ev.Trigger()
-		} else {
-			kept = append(kept, w)
-		}
+	n.pendingWakes = append(n.pendingWakes, st)
+	if n.waking {
+		return
 	}
-	n.waiters = kept
+	n.waking = true
+	defer func() { n.waking = false }()
+	for len(n.pendingWakes) > 0 {
+		next := n.pendingWakes[0]
+		n.pendingWakes = n.pendingWakes[1:]
+		n.wakeOne(next)
+	}
+	n.pendingWakes = nil
+}
+
+// wakeOne releases the waiters st satisfies, in registration order.
+func (n *Notifier[S]) wakeOne(st S) {
+	var fired []*stateWaiter[S]
+	for len(n.th) > 0 && n.th[0].min <= st {
+		w := n.thPop()
+		w.fired = true
+		fired = append(fired, w)
+	}
+	if len(n.conds) > 0 {
+		kept := make([]*stateWaiter[S], 0, len(n.conds))
+		for _, w := range n.conds {
+			switch {
+			case w.fired:
+			case w.cond(st):
+				w.fired = true
+				fired = append(fired, w)
+			default:
+				kept = append(kept, w)
+			}
+		}
+		n.conds = kept
+	}
+	if len(fired) == 0 {
+		return
+	}
+	// Threshold pops arrive ordered by (min, seq); merge both classes
+	// back into pure registration order before triggering, so wake order
+	// is exactly what a single scanned list produced.
+	if len(fired) > 1 {
+		sort.Slice(fired, func(i, j int) bool { return fired[i].seq < fired[j].seq })
+	}
+	for _, w := range fired {
+		w.ev.Trigger()
+	}
 }
 
 // Await parks p until an entered state satisfies cond; it returns
-// immediately if the current state cur already does.
+// immediately if the current state cur already does. The condition must
+// be a pure predicate over the state: it runs inside the wake scan and
+// must not re-enter the notifier. Prefer AwaitMin for the common
+// "reached at least" shape — predicate waiters cost a scan per entered
+// state, threshold waiters do not.
 func (n *Notifier[S]) Await(p *Proc, cur S, cond func(S) bool) {
 	if cond(cur) {
 		return
 	}
-	w := &stateWaiter[S]{cond: cond, ev: NewEvent(n.eng)}
-	n.waiters = append(n.waiters, w)
+	n.seq++
+	w := &stateWaiter[S]{cond: cond, seq: n.seq, ev: NewEvent(n.eng)}
+	n.conds = append(n.conds, w)
 	p.Wait(w.ev)
+}
+
+// AwaitMin parks p until a state >= min is entered; it returns
+// immediately if the current state cur already is. This is the indexed
+// fast path: state enums order lifecycle states below final ones, so
+// "reached X or ended" waits reduce to a threshold.
+func (n *Notifier[S]) AwaitMin(p *Proc, cur S, min S) {
+	if cur >= min {
+		return
+	}
+	n.seq++
+	w := &stateWaiter[S]{min: min, seq: n.seq, ev: NewEvent(n.eng)}
+	n.thPush(w)
+	p.Wait(w.ev)
+}
+
+// thPush inserts w into the threshold heap.
+func (n *Notifier[S]) thPush(w *stateWaiter[S]) {
+	n.th = append(n.th, w)
+	i := len(n.th) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !thLess(n.th[i], n.th[parent]) {
+			break
+		}
+		n.th[i], n.th[parent] = n.th[parent], n.th[i]
+		i = parent
+	}
+}
+
+// thPop removes and returns the minimum-threshold waiter.
+func (n *Notifier[S]) thPop() *stateWaiter[S] {
+	top := n.th[0]
+	last := len(n.th) - 1
+	n.th[0] = n.th[last]
+	n.th[last] = nil
+	n.th = n.th[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(n.th) && thLess(n.th[l], n.th[small]) {
+			small = l
+		}
+		if r < len(n.th) && thLess(n.th[r], n.th[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		n.th[i], n.th[small] = n.th[small], n.th[i]
+		i = small
+	}
+	return top
+}
+
+func thLess[S cmp.Ordered](a, b *stateWaiter[S]) bool {
+	if a.min != b.min {
+		return a.min < b.min
+	}
+	return a.seq < b.seq
 }

@@ -3,10 +3,18 @@ package sim
 // Queue is an unbounded FIFO channel in virtual time. Producers never
 // block; consumers block until an item is available. Multiple consumers
 // are served in the order they started waiting.
+//
+// Items live in a growable ring buffer: Put, TryGet and the interrupt
+// path's put-back are all O(1), and a queue that cycles millions of
+// events (the coordination store under a 10^5-unit sweep) reuses one
+// allocation instead of shedding backing arrays as the head advances.
 type Queue[T any] struct {
 	eng     *Engine
-	items   []T
+	buf     []T
+	head    int
+	count   int
 	waiters []*qWaiter[T]
+	whead   int
 }
 
 type qWaiter[T any] struct {
@@ -22,34 +30,89 @@ func NewQueue[T any](e *Engine) *Queue[T] {
 
 // Len returns the number of buffered items (items already handed to a
 // blocked consumer are not counted).
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.count }
+
+// grow doubles the ring, unwrapping it into the new backing array.
+func (q *Queue[T]) grow() {
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]T, size)
+	for i := 0; i < q.count; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
+// pushBack appends v at the tail of the ring.
+func (q *Queue[T]) pushBack(v T) {
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = v
+	q.count++
+}
+
+// pushFront prepends v at the head of the ring (the interrupt put-back).
+func (q *Queue[T]) pushFront(v T) {
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+	q.buf[q.head] = v
+	q.count++
+}
+
+// popFront removes and returns the head item; the vacated slot is zeroed
+// so popped values do not pin garbage.
+func (q *Queue[T]) popFront() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return v
+}
+
+// nextWaiter dequeues the oldest live waiter, nil when none remain. The
+// waiter list compacts lazily: the head index advances past served and
+// withdrawn entries, and the slice resets once drained.
+func (q *Queue[T]) nextWaiter() *qWaiter[T] {
+	for q.whead < len(q.waiters) {
+		w := q.waiters[q.whead]
+		q.waiters[q.whead] = nil
+		q.whead++
+		if q.whead == len(q.waiters) {
+			q.waiters = q.waiters[:0]
+			q.whead = 0
+		}
+		if w != nil && !w.ev.Triggered() {
+			return w
+		}
+	}
+	return nil
+}
 
 // Put appends v to the queue, waking the oldest waiting consumer if any.
 func (q *Queue[T]) Put(v T) {
-	// Deliver directly to the oldest waiter if one exists.
-	for len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
-		if w.ev.Triggered() {
-			continue // timed out; its event already fired
-		}
+	if w := q.nextWaiter(); w != nil {
 		w.item = v
 		w.given = true
 		w.ev.Trigger()
 		return
 	}
-	q.items = append(q.items, v)
+	q.pushBack(v)
 }
 
 // TryGet removes and returns the head item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.count == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.popFront(), true
 }
 
 // Get blocks p until an item is available and returns it. If the wait is
@@ -78,16 +141,16 @@ func (q *Queue[T]) Get(p *Proc) T {
 func (q *Queue[T]) withdraw(w *qWaiter[T]) {
 	if w.given {
 		// The item was delivered but never consumed: put it back first.
-		q.items = append([]T{w.item}, q.items...)
+		q.pushFront(w.item)
 		var zero T
 		w.item = zero
 		w.given = false
 		return
 	}
-	w.ev.Trigger() // make Put skip this waiter
-	for i, cand := range q.waiters {
-		if cand == w {
-			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+	w.ev.Trigger() // make Put (via nextWaiter) skip this waiter
+	for i := q.whead; i < len(q.waiters); i++ {
+		if q.waiters[i] == w {
+			q.waiters[i] = nil
 			break
 		}
 	}
@@ -111,13 +174,12 @@ func (q *Queue[T]) GetTimeout(p *Proc, d Duration) (T, bool) {
 	}()
 	fired := p.WaitTimeout(w.ev, d)
 	if !fired {
-		// Mark the waiter dead. Put skips waiters whose event has
-		// triggered; trigger it now so it is skipped, and drop it from
-		// the waiter list eagerly.
+		// Mark the waiter dead: trigger its event so nextWaiter skips it,
+		// and clear its slot eagerly.
 		w.ev.Trigger()
-		for i, cand := range q.waiters {
-			if cand == w {
-				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+		for i := q.whead; i < len(q.waiters); i++ {
+			if q.waiters[i] == w {
+				q.waiters[i] = nil
 				break
 			}
 		}

@@ -135,3 +135,43 @@ func TestQueueConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// BenchmarkQueue100kPending drives the ring buffer at the coordination
+// store's 10⁵-unit scale: fill to 100k pending items, then drain. The
+// ring must absorb this in one (amortized) allocation per growth step
+// with O(1) Put/TryGet; a slice-shedding queue would churn the allocator
+// here.
+func BenchmarkQueue100kPending(b *testing.B) {
+	const pending = 100_000
+	e := NewEngine()
+	q := NewQueue[int](e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := 0; v < pending; v++ {
+			q.Put(v)
+		}
+		for v := 0; v < pending; v++ {
+			got, ok := q.TryGet()
+			if !ok || got != v {
+				b.Fatalf("item %d: got %d ok=%v", v, got, ok)
+			}
+		}
+	}
+}
+
+// BenchmarkQueueSteadyChurn is the bind-loop wake pattern: a queue that
+// stays small but cycles forever must reuse its ring slots and never
+// grow.
+func BenchmarkQueueSteadyChurn(b *testing.B) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Put(i)
+		if _, ok := q.TryGet(); !ok {
+			b.Fatal("queue lost an item")
+		}
+	}
+}

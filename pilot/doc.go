@@ -122,9 +122,11 @@
 // vcores), the waiting/running demand split, the attached data store's
 // used/free bytes, and the input bytes parked behind the manager's
 // waiting units. Unit schedulers receive it as Candidate.View; autoscale
-// policies as AutoscaleSnapshot.View. The expensive demand count is
-// memoized behind the manager's scheduling-event generation counter, so
-// autoscaler ticks that land between events reuse it.
+// policies as AutoscaleSnapshot.View. The demand counts are maintained
+// incrementally off the manager's unit accounting (no per-view walk of
+// the in-flight units), and the assembled snapshot is memoized behind
+// the scheduling-event generation counter, so autoscaler ticks that
+// land between events reuse it.
 //
 // On top of the shared view sits the "data-aware" autoscale policy
 // (AutoscaleDataAware, DataAwarePolicy): it grows the pilot whose
@@ -200,8 +202,34 @@
 // cmd/repro harness wires the same plumbing with -metrics addr
 // (add -linger to keep the endpoint up after the experiments finish),
 // and its "scale" subcommand sweeps a backfill workload across
-// 10²/10³/10⁴ units, writing per-scale throughput, bind-pass and
-// turnaround-percentile rows to BENCH_scale.json.
+// 10²–10⁵ units, writing per-scale throughput, bind-pass and
+// turnaround-percentile rows to BENCH_scale.json — the document
+// cmd/benchjson's -compare mode gates CI against.
+//
+// # Scheduling internals
+//
+// The bind loop that makes the 10⁵-unit sweep feasible is
+// capacity-indexed. Units a late-binding policy cannot place yet park
+// in priority heaps keyed by their core demand; a scheduling event
+// (free capacity, a new or resized pilot, fresh submissions) re-offers
+// only the classes the current free capacity could actually satisfy,
+// and pilot-set changes trigger a full re-offer so ErrUnschedulable
+// verdicts stay current. Offer order is priority-descending with FIFO
+// tie-breaks — identical to the previous sort-per-pass loop, so
+// seed-for-seed schedules are unchanged — but each unit is now offered
+// ~2 times instead of once per kick. Representative engine throughput
+// at seed 42 (units/sec, host wall-clock, same hardware):
+//
+//	units    rescan loop    capacity-indexed
+//	10²          7523            26235
+//	10³           395            16998
+//	10⁴             2.7          16124
+//	10⁵      infeasible           7274
+//
+// ClusterView demand counts ride the same accounting incrementally,
+// and the sim layer's Notifier indexes threshold waiters
+// (Wait/WaitState/WaitAll) in a min-heap so a state entry wakes
+// exactly the released waiters instead of scanning every parked one.
 //
 // Every pluggable seam above — execution backends, unit schedulers,
 // autoscale policies, data backends — is one instance of the same
